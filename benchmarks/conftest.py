@@ -1,0 +1,38 @@
+"""Shared benchmark configuration.
+
+Every benchmark regenerates one paper table/figure and writes the rendered
+rows to ``results/<name>.txt`` (so the reproduction output survives pytest's
+output capture).  Scale knobs:
+
+* ``REPRO_BENCH_WALK``  — dynamic blocks per workload (default 400)
+* ``REPRO_BENCH_APPS``  — mobile apps per figure (default all 10)
+* ``REPRO_BENCH_GROUP`` — SPEC benchmarks per group (default 4)
+"""
+
+import os
+from pathlib import Path
+
+import pytest
+
+#: walk length used by all benchmarks
+WALK = int(os.environ.get("REPRO_BENCH_WALK", "400"))
+#: number of mobile apps (None = all ten)
+APPS = int(os.environ.get("REPRO_BENCH_APPS", "0")) or None
+#: benchmarks per SPEC group in group-wide figures
+PER_GROUP = int(os.environ.get("REPRO_BENCH_GROUP", "4"))
+
+RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
+
+
+def write_result(name: str, text: str) -> None:
+    """Persist a rendered figure/table and echo it."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.txt"
+    path.write_text(text + "\n")
+    print(f"\n{text}\n[written to {path}]")
+
+
+@pytest.fixture(scope="session")
+def bench_scale():
+    """(walk_blocks, mobile_apps, per_group) for this run."""
+    return WALK, APPS, PER_GROUP

@@ -1,0 +1,49 @@
+"""Extension — alternative chain-criticality metrics (paper future work).
+
+Sec. III-A: "one could consider higher order representations for capturing
+such variances in future work".  We rank chains by four metrics and report
+how the chain populations they select differ.
+"""
+
+from conftest import write_result
+
+from repro.dfg import (
+    Dfg,
+    METRICS,
+    iter_maximal_paths,
+)
+from repro.experiments import app_context, format_table
+
+
+def _compare(walk):
+    ctx = app_context("Acrobat", walk)
+    dfg = Dfg(ctx.trace().window(0, min(8000, len(ctx.trace()))))
+    paths = [p for p in iter_maximal_paths(dfg)][:4000]
+    rows = []
+    for name, metric in METRICS.items():
+        scores = []
+        for path in paths:
+            fanouts = [dfg.fanouts[p] for p in path]
+            scores.append(metric(fanouts))
+        selected = sum(1 for s in scores if s > 8.0)
+        mean_score = sum(scores) / len(scores) if scores else 0.0
+        rows.append((name, len(paths), selected, mean_score))
+    return rows
+
+
+def test_metric_comparison(benchmark, bench_scale):
+    walk, _, _ = bench_scale
+    rows = benchmark.pedantic(_compare, args=(walk,),
+                              rounds=1, iterations=1)
+    text = "Extension: chain-criticality metric comparison\n" + format_table(
+        ["metric", "paths", "selected@8", "mean score"],
+        [[name, str(n), str(sel), f"{mean:.2f}"]
+         for name, n, sel, mean in rows],
+    )
+    write_result("ext_metric_comparison", text)
+
+    by_name = {r[0]: r for r in rows}
+    # The variance-penalized metric is never more permissive than average.
+    assert by_name["variance_penalized"][2] <= by_name["average"][2]
+    # Total fanout is the most permissive.
+    assert by_name["total"][2] >= by_name["average"][2]

@@ -1,0 +1,60 @@
+"""Extension — sensitivity to the CritIC average-fanout threshold.
+
+The paper fixes the threshold at 8 and notes other values "result in
+slight performance degradations" (Sec. III-C).  We sweep the threshold:
+lower values admit low-value chains (more switch overhead per useful
+member), higher values shrink coverage.
+"""
+
+from conftest import write_result
+
+from repro.compiler import CriticPass, PassManager, region_oracle
+from repro.cpu import simulate, speedup
+from repro.experiments import app_context, format_table, geometric_mean
+from repro.profiler import FinderConfig, find_critic_profile
+
+THRESHOLDS = (4.0, 6.0, 8.0, 12.0, 16.0)
+
+
+def _sweep(walk, apps):
+    names = ["Acrobat", "Maps", "Office"][:apps or 3]
+    rows = []
+    for threshold in THRESHOLDS:
+        ratios = []
+        coverage = 0.0
+        for name in names:
+            ctx = app_context(name, walk)
+            base = ctx.stats("baseline")
+            profile = find_critic_profile(
+                ctx.trace(), ctx.workload.program,
+                FinderConfig(threshold=threshold), app_name=name,
+            )
+            records = profile.select_for_compiler(max_length=5)
+            result = PassManager([
+                CriticPass(records, mode="cdp",
+                           may_alias=region_oracle(ctx.workload.memory))
+            ]).run(ctx.workload.program)
+            stats = simulate(ctx.workload.trace_for(result.program))
+            ratios.append(speedup(base, stats))
+            coverage += profile.total_coverage()
+        rows.append((threshold,
+                     100 * (geometric_mean(ratios) - 1),
+                     100 * coverage / len(names)))
+    return rows
+
+
+def test_threshold_sensitivity(benchmark, bench_scale):
+    walk, apps, _ = bench_scale
+    rows = benchmark.pedantic(
+        _sweep, args=(walk, min(apps or 3, 3)), rounds=1, iterations=1,
+    )
+    text = "Extension: CritIC threshold sensitivity\n" + format_table(
+        ["threshold", "speedup", "coverage"],
+        [[f"{t:.0f}", f"{s:+.2f}%", f"{c:.1f}%"] for t, s, c in rows],
+    )
+    write_result("ext_threshold_sensitivity", text)
+
+    by_threshold = dict((t, (s, c)) for t, s, c in rows)
+    # Coverage shrinks monotonically as the threshold rises.
+    coverages = [by_threshold[t][1] for t in THRESHOLDS]
+    assert all(a >= b - 0.2 for a, b in zip(coverages, coverages[1:]))

@@ -1,0 +1,58 @@
+"""Extension — microarchitectural ablations of the design choices.
+
+DESIGN.md §5 calls out two simulator design decisions that carry the
+paper's mechanisms: byte-granular fetch (the lever the 16-bit conversion
+pulls) and the restricted scheduling window (the structure dependence
+chains clog).  This bench sweeps both and reports how the baseline and the
+CritIC benefit respond.
+"""
+
+from dataclasses import replace
+
+from conftest import write_result
+
+from repro.cpu import GOOGLE_TABLET, simulate, speedup
+from repro.experiments import app_context, format_table
+
+APPS = ("Acrobat", "Maps")
+
+
+def _sweep(walk):
+    rows = []
+    for label, cfg in (
+        ("fetch=8B", replace(GOOGLE_TABLET, fetch_bytes_per_cycle=8)),
+        ("fetch=16B (base)", GOOGLE_TABLET),
+        ("fetch=32B", replace(GOOGLE_TABLET, fetch_bytes_per_cycle=32)),
+        ("window=6", replace(GOOGLE_TABLET, scheduling_window=6)),
+        ("window=12 (base)", GOOGLE_TABLET),
+        ("window=48", replace(GOOGLE_TABLET, scheduling_window=48)),
+    ):
+        base_ipc = 0.0
+        critic_gain = 0.0
+        for app in APPS:
+            ctx = app_context(app, walk)
+            base = simulate(ctx.scheme_trace("baseline"), cfg)
+            critic = simulate(ctx.scheme_trace("critic"), cfg)
+            base_ipc += base.ipc
+            critic_gain += 100 * (speedup(base, critic) - 1)
+        rows.append((label, base_ipc / len(APPS),
+                     critic_gain / len(APPS)))
+    return rows
+
+
+def test_window_and_fetch_ablation(benchmark, bench_scale):
+    walk, _, _ = bench_scale
+    rows = benchmark.pedantic(_sweep, args=(walk,), rounds=1, iterations=1)
+    text = ("Extension: fetch-width / scheduling-window ablation "
+            f"(mean of {', '.join(APPS)})\n") + format_table(
+        ["configuration", "baseline IPC", "CritIC speedup"],
+        [[label, f"{ipc:.2f}", f"{gain:+.2f}%"] for label, ipc, gain in rows],
+    )
+    write_result("ext_window_ablation", text)
+
+    by = {label: (ipc, gain) for label, ipc, gain in rows}
+    # Baseline IPC grows monotonically with fetch bandwidth.
+    assert by["fetch=8B"][0] < by["fetch=16B (base)"][0] + 0.05
+    assert by["fetch=16B (base)"][0] <= by["fetch=32B"][0] + 0.05
+    # Narrower fetch makes the 16-bit conversion matter more (or equal).
+    assert by["fetch=8B"][1] >= by["fetch=32B"][1] - 0.5

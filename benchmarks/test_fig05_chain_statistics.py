@@ -1,0 +1,42 @@
+"""Fig 5 — IC length/spread and unique-CritIC coverage.
+
+Paper shapes checked: SPEC ICs are an order of magnitude longer and more
+spread out than mobile ICs (mobile <= ~tens of members, SPEC hundreds);
+the Thumb-encodable CritIC subset covers nearly all of the full set
+(paper: within ~5%).
+"""
+
+from conftest import write_result
+
+from repro.experiments import fig05
+
+
+def test_fig05(benchmark, bench_scale):
+    walk, apps, per_group = bench_scale
+    result = benchmark.pedantic(
+        fig05.run,
+        kwargs=dict(per_group=per_group, walk_blocks=walk, mobile_apps=apps),
+        rounds=1, iterations=1,
+    )
+    write_result("fig05_chain_statistics", fig05.format_result(result))
+
+    by = {r.group: r for r in result.chain_stats}
+    # SPEC chains are much longer and more spread than mobile chains.
+    assert by["spec_int"].max_length > 3 * by["mobile"].max_length
+    assert by["spec_float"].max_length > 3 * by["mobile"].max_length
+    assert by["spec_int"].mean_spread > 2 * by["mobile"].mean_spread
+    assert by["spec_int"].max_spread > by["mobile"].max_spread
+    # Mobile chains stay short (paper: <= ~20 members).
+    assert by["mobile"].max_length <= 40
+
+    for row in result.coverage:
+        assert row.unique_chains > 0
+        # The encodable subset loses only a small part of total coverage.
+        assert row.encodable_coverage_pct \
+            >= 0.75 * row.total_coverage_pct
+        # The profile stays concise (paper: ~10KB).
+        assert row.table_bytes < 64 * 1024
+
+    for cdf in result.cdfs.values():
+        # CDFs are monotone non-decreasing.
+        assert all(b >= a - 1e-12 for a, b in zip(cdf, cdf[1:]))

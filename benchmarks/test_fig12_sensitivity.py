@@ -1,0 +1,44 @@
+"""Fig 12 — sensitivity to CritIC length and profile coverage.
+
+Paper shapes checked: per-length speedup rises then falls (finding
+all-convertible chains of exactly length n gets harder as n grows — the
+paper peaks at n = 5, we assert the peak lies at a small-to-moderate n and
+that very long exact lengths underperform it); more profile coverage never
+hurts and the full profile is at least as good as a sliver.
+"""
+
+from conftest import write_result
+
+from repro.experiments import fig12
+
+
+def test_fig12a_length(benchmark, bench_scale):
+    walk, apps, _ = bench_scale
+    rows = benchmark.pedantic(
+        fig12.run_length_sensitivity,
+        kwargs=dict(apps=min(apps or 3, 4), walk_blocks=walk),
+        rounds=1, iterations=1,
+    )
+    write_result("fig12a_length_sensitivity", fig12.format_length(rows))
+
+    by_len = {r.length: r for r in rows}
+    best = max(rows, key=lambda r: r.speedup_pct)
+    # The best exact length is small-to-moderate (paper: 5).
+    assert best.length <= 7
+    # The longest evaluated length converts fewer chains than the best.
+    assert by_len[max(by_len)].chains_converted \
+        <= best.chains_converted
+
+
+def test_fig12b_profile_coverage(benchmark, bench_scale):
+    walk, apps, _ = bench_scale
+    rows = benchmark.pedantic(
+        fig12.run_profile_sensitivity,
+        kwargs=dict(apps=min(apps or 3, 4), walk_blocks=walk),
+        rounds=1, iterations=1,
+    )
+    write_result("fig12b_profile_sensitivity", fig12.format_profile(rows))
+
+    by_frac = {r.profiled_fraction: r for r in rows}
+    # Full profiling is at least as good as profiling a tenth.
+    assert by_frac[1.0].speedup_pct >= by_frac[0.1].speedup_pct - 0.4

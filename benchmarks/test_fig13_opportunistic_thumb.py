@@ -1,0 +1,36 @@
+"""Fig 13 — opportunistic Thumb conversion vs CritIC.
+
+Paper shapes checked: CritIC converts far fewer dynamic instructions than
+OPP16 and Compress (paper: 37% and 50% fewer); stacking OPP16 on top of
+CritIC is at least as good as CritIC alone (the paper's +25% relative
+boost); conversion fractions are ordered Compress >= OPP16 > CritIC.
+"""
+
+from conftest import write_result
+
+from repro.experiments import fig13
+
+
+def test_fig13(benchmark, bench_scale):
+    walk, apps, _ = bench_scale
+    result = benchmark.pedantic(
+        fig13.run, kwargs=dict(apps=apps, walk_blocks=walk),
+        rounds=1, iterations=1,
+    )
+    write_result("fig13_opportunistic_thumb", fig13.format_result(result))
+
+    schemes = list(fig13.SCHEMES)
+    opp16 = schemes.index("opp16")
+    compress = schemes.index("compress")
+    critic = schemes.index("critic")
+    stacked = schemes.index("opp16_critic")
+
+    conv = result.mean_converted_frac
+    # CritIC converts far fewer instructions than the volume baselines.
+    assert conv[critic] < 0.6 * conv[opp16]
+    assert conv[critic] < 0.6 * conv[compress]
+    assert conv[compress] >= conv[opp16] - 0.02
+
+    # Stacking OPP16 on CritIC keeps (or improves) the CritIC result.
+    speedups = result.mean_speedups_pct
+    assert speedups[stacked] >= speedups[critic] - 1.0

@@ -1,0 +1,14 @@
+"""Table I — the baseline simulated hardware configuration."""
+
+from conftest import write_result
+
+from repro.cpu import GOOGLE_TABLET, format_table1
+
+
+def test_table1_configuration(benchmark):
+    text = benchmark.pedantic(format_table1, rounds=1, iterations=1)
+    write_result("table1_config", "Table I: baseline configuration\n" + text)
+    assert "4-wide superscalar" in text
+    assert "128-entry ROB" in text
+    assert "32KB 2-way" in text
+    assert GOOGLE_TABLET.rob_entries == 128

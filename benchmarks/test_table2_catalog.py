@@ -1,0 +1,21 @@
+"""Table II — the evaluated app/benchmark catalog."""
+
+from conftest import write_result
+
+from repro.workloads import (
+    format_table2,
+    mobile_app_names,
+    spec_float_names,
+    spec_int_names,
+)
+
+
+def test_table2_catalog(benchmark):
+    text = benchmark.pedantic(format_table2, rounds=1, iterations=1)
+    write_result("table2_catalog", "Table II: evaluated workloads\n" + text)
+    assert len(mobile_app_names()) == 10
+    assert len(spec_int_names()) == 8
+    assert len(spec_float_names()) == 8
+    for app in ("Acrobat", "Angrybirds", "Browser", "Facebook", "Email",
+                "Maps", "Music", "Office", "Photogallery", "Youtube"):
+        assert app in text

@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Design-space tour: CritIC vs hardware fetch mechanisms (Fig 11 mini).
+
+Evaluates one app on the baseline core, each hardware variant (2xFD,
+4x i-cache, EFetch, PerfectBr, BackendPrio, AllHW), and each with the
+CritIC software transformation stacked on top — showing that the software
+approach composes with hardware help.
+
+Run:  python examples/design_space.py [AppName]
+"""
+
+import sys
+
+from repro.cpu import (
+    GOOGLE_TABLET,
+    config_2xfd,
+    config_4x_icache,
+    config_all_hw,
+    config_backend_prio,
+    config_efetch,
+    config_perfect_br,
+    simulate,
+    speedup,
+)
+from repro.experiments import app_context
+
+
+def main() -> None:
+    app = sys.argv[1] if len(sys.argv) > 1 else "Youtube"
+    ctx = app_context(app, walk_blocks=600)
+    base = ctx.stats("baseline", GOOGLE_TABLET)
+    print(f"=== {app}: baseline {base.cycles:,} cycles "
+          f"(IPC {base.ipc:.2f}) ===\n")
+    print(f"{'configuration':<14} {'alone':>8} {'+CritIC':>9}")
+    print("-" * 34)
+
+    critic = ctx.stats("critic", GOOGLE_TABLET)
+    print(f"{'CritIC (sw)':<14} {100 * (speedup(base, critic) - 1):>+7.1f}%"
+          f" {'-':>9}")
+
+    for label, make in (
+        ("2xFD", config_2xfd),
+        ("4xI$", config_4x_icache),
+        ("EFetch", config_efetch),
+        ("PerfectBr", config_perfect_br),
+        ("BackendPrio", config_backend_prio),
+        ("AllHW", config_all_hw),
+    ):
+        config = make()
+        hw = ctx.stats("baseline", config)
+        both = ctx.stats("critic", config)
+        print(f"{label:<14} {100 * (speedup(base, hw) - 1):>+7.1f}%"
+              f" {100 * (speedup(base, both) - 1):>+8.1f}%")
+
+    print("\nfetch-stall anatomy under selected configs:")
+    for label, stats in (
+        ("baseline", base),
+        ("PerfectBr", ctx.stats("baseline", config_perfect_br())),
+        ("AllHW", ctx.stats("baseline", config_all_hw())),
+    ):
+        f = stats.fetch_stall_fractions()
+        print(f"  {label:<10} F.StallForI {f['stall_for_i']:.1%}  "
+              f"F.StallForR+D {f['stall_for_rd']:.1%}  "
+              f"active {f['active']:.1%}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""Walkthrough of the paper's Fig 2 example: why single-instruction
+fanout prioritization misses, and how ICs capture it.
+
+Builds the Fig 2 DFG (I0 fans out to I1..I10; I10 to I11..I20; I20 feeds
+the high-fanout I22), then:
+
+* shows which paths qualify as self-contained ICs and which do not,
+* computes each IC's average-fanout criticality,
+* shows that the chain through the *low-fanout* I20 is the one worth
+  prioritizing — the paper's core observation.
+
+Run:  python examples/scheduling_walkthrough.py
+"""
+
+from repro.dfg import Dfg, iter_maximal_paths, make_chain
+from repro.isa import Instruction, Opcode
+from repro.trace import Trace, TraceEntry
+
+
+def alu(dest, *srcs):
+    return Instruction(Opcode.ADD, dests=(dest,), srcs=srcs)
+
+
+def build_fig2_trace() -> Trace:
+    """The Fig 2 DFG as a dynamic stream (see paper Sec. II-C)."""
+    instrs = [alu(0, 6, 7)]                      # I0
+    instrs += [alu(2, 0) for _ in range(9)]      # I1..I9  (consume I0)
+    instrs += [alu(1, 0)]                        # I10     (consumes I0)
+    instrs += [alu(3, 1)]                        # I11     (consumes I10)
+    instrs += [alu(4, 1) for _ in range(8)]      # I12..I19
+    instrs += [alu(5, 1)]                        # I20     (fanout 1!)
+    instrs += [alu(2, 0, 3)]                     # I21     (I0 and I11)
+    instrs += [alu(3, 5)]                        # I22     (consumes I20)
+    return Trace([
+        TraceEntry(seq=i, instr=ins.with_uid(i), pc=0x1000 + 4 * i)
+        for i, ins in enumerate(instrs)
+    ])
+
+
+def label(pos: int) -> str:
+    return f"I{pos}"
+
+
+def main() -> None:
+    trace = build_fig2_trace()
+    dfg = Dfg(trace)
+
+    print("=== Fig 2 walkthrough ===\n")
+    print("fanouts:")
+    for pos in (0, 10, 20, 22):
+        print(f"  {label(pos):>4}: fanout {dfg.fanouts[pos]:2d}   "
+              f"{trace.entries[pos].instr.to_text()}")
+
+    print("\nIC checks (self-contained paths):")
+    for path, note in [
+        ([0, 10, 20, 22], "the chain the paper prioritizes"),
+        ([0, 10, 11], "a shorter IC"),
+        ([0, 1], "sub-path of an IC is an IC"),
+        ([0, 1, 21], "NOT an IC: I21 also depends on I11"),
+    ]:
+        ok = dfg.is_self_contained_path(path)
+        names = " -> ".join(label(p) for p in path)
+        print(f"  {names:<24} {'IC ' if ok else 'not IC':<7} ({note})")
+
+    print("\nchain criticalities (average fanout per member):")
+    for path in ([0, 10, 20, 22], [0, 10, 11]):
+        chain = make_chain(dfg, path)
+        names = " -> ".join(label(p) for p in path)
+        print(f"  {names:<24} avg fanout {chain.avg_fanout:5.2f}   "
+              f"critical at threshold 8: {chain.is_critical(8.0)}")
+
+    print("\nthe point: I20 has fanout 1 — a single-instruction fanout")
+    print("heuristic never prioritizes it, yet it gates the high-fanout")
+    print("I22.  Chain-level criticality (avg fanout of I0->I10->I20->I22")
+    print("=", f"{make_chain(dfg, [0, 10, 20, 22]).avg_fanout:.2f})",
+          "captures it.")
+
+    print("\nall maximal ICs found automatically:")
+    shown = 0
+    for path in iter_maximal_paths(dfg):
+        if len(path) >= 3:
+            chain = make_chain(dfg, path)
+            names = " -> ".join(label(p) for p in path)
+            print(f"  {names:<28} avg fanout {chain.avg_fanout:.2f}")
+            shown += 1
+        if shown >= 6:
+            break
+
+
+if __name__ == "__main__":
+    main()

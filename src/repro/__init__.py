@@ -1,0 +1,30 @@
+"""repro — a reproduction of *CritICs: Critiquing Criticality in Mobile
+Apps* (MICRO 2018).
+
+Subpackages:
+
+* ``repro.isa`` — ARM-like ISA with 32-bit and 16-bit Thumb encodings.
+* ``repro.trace`` — programs, dynamic traces, dependence analysis.
+* ``repro.workloads`` — synthetic mobile/SPEC workload generator (Table II).
+* ``repro.dfg`` — fanout criticality and Instruction Chains (ICs).
+* ``repro.profiler`` — offline CritIC discovery and the profile table.
+* ``repro.compiler`` — ART-style pass pipeline incl. the CritIC pass.
+* ``repro.cpu`` — cycle-level OoO pipeline model (Table I).
+* ``repro.memory`` — caches, DRAM, prefetchers.
+* ``repro.energy`` — SoC energy model (Fig 10c).
+* ``repro.experiments`` — per-figure reproduction harness.
+
+Quickstart::
+
+    from repro.experiments import app_context
+    from repro.cpu import speedup
+
+    ctx = app_context("Acrobat")
+    base = ctx.stats("baseline")
+    critic = ctx.stats("critic")
+    print(f"CritIC speedup: {100 * (speedup(base, critic) - 1):.1f}%")
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

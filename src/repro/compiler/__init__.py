@@ -1,0 +1,33 @@
+"""Compiler layer: pass manager and all program transformations."""
+
+from repro.compiler.passes import (
+    AliasOracle,
+    CompilerPass,
+    CompressPass,
+    ConstantFoldingPass,
+    CriticPass,
+    DeadCodePass,
+    Opp16Pass,
+    PassContext,
+    PassManager,
+    PipelineResult,
+    SimplifierPass,
+    conservative_oracle,
+    region_oracle,
+)
+
+__all__ = [
+    "AliasOracle",
+    "CompilerPass",
+    "CompressPass",
+    "ConstantFoldingPass",
+    "CriticPass",
+    "DeadCodePass",
+    "Opp16Pass",
+    "PassContext",
+    "PassManager",
+    "PipelineResult",
+    "SimplifierPass",
+    "conservative_oracle",
+    "region_oracle",
+]

@@ -1,0 +1,36 @@
+"""Compiler passes: substrate (ART-style), CritIC, and Thumb baselines."""
+
+from repro.compiler.passes.base import (
+    CompilerPass,
+    PassContext,
+    PassManager,
+    PipelineResult,
+)
+from repro.compiler.passes.critic_pass import (
+    AliasOracle,
+    CriticPass,
+    conservative_oracle,
+    region_oracle,
+)
+from repro.compiler.passes.substrate import (
+    ConstantFoldingPass,
+    DeadCodePass,
+    SimplifierPass,
+)
+from repro.compiler.passes.thumb_baselines import CompressPass, Opp16Pass
+
+__all__ = [
+    "AliasOracle",
+    "CompilerPass",
+    "CompressPass",
+    "ConstantFoldingPass",
+    "CriticPass",
+    "DeadCodePass",
+    "Opp16Pass",
+    "PassContext",
+    "PassManager",
+    "PipelineResult",
+    "SimplifierPass",
+    "conservative_oracle",
+    "region_oracle",
+]

@@ -1,0 +1,64 @@
+"""Compiler pass infrastructure.
+
+The paper adds a "CritIC instrumentation pass" as a final pass of the ART
+optimizing compiler, alongside ART's stock passes (constant folding, dead
+code elimination, instruction simplification, ...).  We mirror that shape:
+passes transform a :class:`~repro.trace.program.Program` copy and record
+statistics into a shared :class:`PassContext`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Protocol
+
+from repro.trace.program import Program
+
+
+@dataclass
+class PassContext:
+    """Mutable context threaded through a pass pipeline."""
+
+    stats: Dict[str, Dict[str, int]] = field(default_factory=dict)
+
+    def bump(self, pass_name: str, counter: str, amount: int = 1) -> None:
+        """Increment a per-pass statistic."""
+        bucket = self.stats.setdefault(pass_name, {})
+        bucket[counter] = bucket.get(counter, 0) + amount
+
+    def get(self, pass_name: str, counter: str) -> int:
+        """Read a statistic (0 if never bumped)."""
+        return self.stats.get(pass_name, {}).get(counter, 0)
+
+
+class CompilerPass(Protocol):
+    """A program-to-program transformation."""
+
+    name: str
+
+    def run(self, program: Program, ctx: PassContext) -> Program:
+        """Return a transformed program (must not mutate the input)."""
+        ...  # pragma: no cover - protocol
+
+
+class PassManager:
+    """Runs a list of passes in order, collecting statistics."""
+
+    def __init__(self, passes: List[CompilerPass]):
+        self.passes = list(passes)
+
+    def run(self, program: Program) -> "PipelineResult":
+        """Apply every pass to (a copy of) ``program``."""
+        ctx = PassContext()
+        current = program.copy()
+        for compiler_pass in self.passes:
+            current = compiler_pass.run(current, ctx)
+        return PipelineResult(program=current, ctx=ctx)
+
+
+@dataclass
+class PipelineResult:
+    """Output of a pass pipeline."""
+
+    program: Program
+    ctx: PassContext

@@ -1,0 +1,241 @@
+"""The CritIC instrumentation pass (the paper's core compiler contribution).
+
+For every profiled CritIC in a basic block, the pass
+
+1. **hoists** the chain's member instructions so they sit back-to-back at
+   the first member's position (legal because an IC is self-contained:
+   no bypassed instruction feeds a chain member — re-checked statically
+   here with register, flag, and memory-alias hazard tests), and
+2. **re-encodes** the members in the 16-bit Thumb format behind a format
+   switch: either the repurposed ``CDP`` command (Approach 2, Sec. IV-B;
+   up to 9 members per CDP) or a pair of switch branches (Approach 1,
+   Sec. IV-A; works on stock hardware but costs two extra instructions).
+
+Modes:
+
+* ``"cdp"`` — hoist + Thumb conversion with CDP switches (the paper's
+  CritIC design);
+* ``"branch"`` — hoist + Thumb conversion with branch-pair switches;
+* ``"hoist"`` — hoist only, members stay 32-bit (the Hoist ablation).
+
+With ``ideal=True``, the all-or-nothing encodability rule and the length
+cap are waived (the CritIC.Ideal upper bound of Sec. IV-E).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.isa.encoding import chain_thumb_encodable
+from repro.isa.instruction import Encoding, Instruction, MAX_CDP_COVER
+from repro.isa.opcodes import Opcode
+from repro.profiler.profile_table import CriticRecord
+from repro.trace.dependence import reads_flags, writes_flags
+from repro.trace.materialize import TableMemoryModel
+from repro.trace.program import Program
+
+from repro.compiler.passes.base import PassContext
+
+#: may_alias(load_uid, store_uid) -> bool.  The ART compiler has real alias
+#: information; ours comes from the workload memory model's region spans.
+AliasOracle = Callable[[int, int], bool]
+
+
+def conservative_oracle(_load_uid: int, _store_uid: int) -> bool:
+    """Assume every load may alias every store (always legal, least chains)."""
+    return True
+
+
+def region_oracle(memory: TableMemoryModel) -> AliasOracle:
+    """Alias oracle from access-pattern region spans (the generator's truth)."""
+
+    def may_alias(load_uid: int, store_uid: int) -> bool:
+        lo1, hi1 = memory.pattern_for(load_uid).span()
+        lo2, hi2 = memory.pattern_for(store_uid).span()
+        return lo1 < hi2 and lo2 < hi1
+
+    return may_alias
+
+
+@dataclass
+class CriticPass:
+    """Apply CritIC hoisting + Thumb conversion for profiled chains."""
+
+    records: Sequence[CriticRecord]
+    mode: str = "cdp"
+    ideal: bool = False
+    may_alias: AliasOracle = conservative_oracle
+    name: str = "critic"
+
+    def __post_init__(self) -> None:
+        if self.mode not in ("cdp", "branch", "hoist"):
+            raise ValueError(f"unknown mode {self.mode!r}")
+
+    # -- public entry ---------------------------------------------------------
+
+    def run(self, program: Program, ctx: PassContext) -> Program:
+        result = program.copy()
+        by_block: Dict[int, List[CriticRecord]] = {}
+        for record in self.records:
+            if record.block_id is not None:
+                by_block.setdefault(record.block_id, []).append(record)
+
+        for block_id, records in by_block.items():
+            block = result.block(block_id)
+            chains = self._plan_block(block.instructions, records, ctx)
+            if chains:
+                block.instructions = self._rewrite_block(
+                    result, block.instructions, chains, ctx
+                )
+        result.reindex()
+        return result
+
+    # -- planning ---------------------------------------------------------------
+
+    def _plan_block(
+        self,
+        instrs: List[Instruction],
+        records: Sequence[CriticRecord],
+        ctx: PassContext,
+    ) -> List[List[int]]:
+        """Choose the chains (as member index lists) to rewrite in a block."""
+        index_of = {instr.uid: i for i, instr in enumerate(instrs)}
+        claimed: Set[int] = set()
+        chains: List[List[int]] = []
+        for record in records:
+            positions = [index_of.get(uid, -1) for uid in record.uids]
+            if any(p < 0 for p in positions) or positions != sorted(positions):
+                ctx.bump(self.name, "skipped-missing")
+                continue
+            if any(p in claimed for p in positions):
+                ctx.bump(self.name, "skipped-overlap")
+                continue
+            members = [instrs[p] for p in positions]
+            if not self.ideal and self.mode != "hoist" \
+                    and not chain_thumb_encodable(members):
+                ctx.bump(self.name, "skipped-encoding")
+                continue
+            hazard = self._hoist_hazard(instrs, positions)
+            if hazard is not None:
+                ctx.bump(self.name, "skipped-hazard")
+                ctx.bump(self.name, f"hazard-{hazard}")
+                continue
+            claimed.update(positions)
+            chains.append(positions)
+        return chains
+
+    def _hoist_hazard(
+        self, instrs: List[Instruction], positions: List[int]
+    ) -> Optional[str]:
+        """Static hazard check for moving all members to positions[0].
+
+        For every member m (after the first) and every *bypassed*
+        instruction b between the chain head and m's original slot:
+
+        * b must not write a register m reads (true RAW into the chain —
+          would mean the chain was not self-contained),
+        * m must not write a register b reads (WAR: b would newly observe
+          m's value),
+        * flags: same two rules for the flags pseudo-register,
+        * memory: a load member must not bypass a store it may alias with,
+          and a store member must not bypass a load/store it may alias with.
+
+        Returns the hazard class name, or None when hoisting is legal.
+        """
+        member_set = set(positions)
+        first = positions[0]
+        for m_pos in positions[1:]:
+            member = instrs[m_pos]
+            m_srcs = set(member.srcs)
+            m_dests = set(member.dests)
+            for b_pos in range(first + 1, m_pos):
+                if b_pos in member_set:
+                    continue
+                bypassed = instrs[b_pos]
+                if m_srcs & set(bypassed.dests):
+                    return "raw"
+                if m_dests & set(bypassed.srcs):
+                    return "war"
+                if m_dests & set(bypassed.dests):
+                    return "waw"
+                if reads_flags(member) and writes_flags(bypassed):
+                    return "flags"
+                if writes_flags(member) and (reads_flags(bypassed)
+                                             or writes_flags(bypassed)):
+                    return "flags"
+                if member.is_load and bypassed.is_store \
+                        and self.may_alias(member.uid, bypassed.uid):
+                    return "memory"
+                if member.is_store and bypassed.is_memory \
+                        and self.may_alias(bypassed.uid, member.uid):
+                    return "memory"
+        return None
+
+    # -- rewriting ---------------------------------------------------------------
+
+    def _rewrite_block(
+        self,
+        program: Program,
+        instrs: List[Instruction],
+        chains: List[List[int]],
+        ctx: PassContext,
+    ) -> List[Instruction]:
+        start_of: Dict[int, List[int]] = {}
+        member_positions: Set[int] = set()
+        for positions in chains:
+            start_of[positions[0]] = positions
+            member_positions.update(positions)
+
+        out: List[Instruction] = []
+        for i, instr in enumerate(instrs):
+            if i in start_of:
+                out.extend(
+                    self._emit_chain(
+                        program, [instrs[p] for p in start_of[i]], ctx
+                    )
+                )
+            elif i not in member_positions:
+                out.append(instr)
+        return out
+
+    def _emit_chain(
+        self,
+        program: Program,
+        members: List[Instruction],
+        ctx: PassContext,
+    ) -> List[Instruction]:
+        ctx.bump(self.name, "chains")
+        ctx.bump(self.name, "members", len(members))
+
+        if self.mode == "hoist":
+            return list(members)
+
+        converted = [m.with_encoding(Encoding.THUMB16) for m in members]
+        ctx.bump(self.name, "thumbed", len(converted))
+
+        if self.mode == "branch":
+            # Approach 1: a 32-bit branch-to-next sets the Thumb flag, a
+            # final 16-bit branch-to-next resets it (Sec. IV-A).
+            enter = Instruction(Opcode.B, imm=0, uid=program.fresh_uid())
+            leave = Instruction(
+                Opcode.B, imm=0, encoding=Encoding.THUMB16,
+                uid=program.fresh_uid(),
+            )
+            ctx.bump(self.name, "switch-branches", 2)
+            return [enter, *converted, leave]
+
+        # Approach 2: CDP prefixes, each covering up to MAX_CDP_COVER
+        # following 16-bit instructions.
+        out: List[Instruction] = []
+        for start in range(0, len(converted), MAX_CDP_COVER):
+            chunk = converted[start:start + MAX_CDP_COVER]
+            out.append(
+                Instruction(
+                    Opcode.CDP, cdp_cover=len(chunk),
+                    encoding=Encoding.THUMB16, uid=program.fresh_uid(),
+                )
+            )
+            ctx.bump(self.name, "cdp-commands")
+            out.extend(chunk)
+        return out

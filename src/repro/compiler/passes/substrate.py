@@ -1,0 +1,146 @@
+"""ART-style substrate passes: constant folding, simplifier, dead code.
+
+These mirror the stock ART optimizing-compiler passes the paper's CritIC
+pass runs after (Sec. III-C: "constant folding, dead code elimination ...
+instruction simplifier").  They are deliberately conservative: never touch
+memory, branch, flag-setting, or predicated instructions, and never remove a
+block's last writer of a register (it may be live-out).
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Dict, List, Optional
+
+from repro.isa.condition import Cond
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import Opcode
+from repro.trace.dependence import writes_flags
+from repro.trace.program import Program
+
+from repro.compiler.passes.base import PassContext
+
+_FOLDABLE = {
+    Opcode.ADD: lambda a, b: a + b,
+    Opcode.SUB: lambda a, b: a - b,
+    Opcode.AND: lambda a, b: a & b,
+    Opcode.ORR: lambda a, b: a | b,
+    Opcode.EOR: lambda a, b: a ^ b,
+    Opcode.LSL: lambda a, b: (a << min(b, 31)) & 0xFFFF_FFFF,
+    Opcode.LSR: lambda a, b: a >> min(b, 31),
+}
+
+
+def _is_plain_alu(instr: Instruction) -> bool:
+    return (
+        instr.opcode in _FOLDABLE
+        and instr.cond is Cond.AL
+        and not instr.is_memory
+    )
+
+
+class ConstantFoldingPass:
+    """Fold ``MOV Rd, #a ; OP Re, Rd, #b`` into ``MOV Re, #(a OP b)``.
+
+    Only fires when the OP immediately follows the MOV (no intervening
+    writer of Rd to reason about) and the folded constant stays in 32 bits.
+    The MOV itself is kept — Rd may have other readers; the dead-code pass
+    cleans it up when it does not.
+    """
+
+    name = "constant-folding"
+
+    def run(self, program: Program, ctx: PassContext) -> Program:
+        result = program.copy()
+        for block in result.blocks:
+            instrs = block.instructions
+            for i in range(len(instrs) - 1):
+                mov, op = instrs[i], instrs[i + 1]
+                if mov.opcode is not Opcode.MOV or mov.imm is None:
+                    continue
+                if mov.cond is not Cond.AL or not mov.dests:
+                    continue
+                if not _is_plain_alu(op) or op.imm is None:
+                    continue
+                if op.srcs != (mov.dests[0],) or not op.dests:
+                    continue
+                if op.dests[0] == mov.dests[0]:
+                    continue
+                value = _FOLDABLE[op.opcode](mov.imm, op.imm) & 0xFFFF_FFFF
+                instrs[i + 1] = replace(
+                    op, opcode=Opcode.MOV, srcs=(), imm=value
+                )
+                ctx.bump(self.name, "folded")
+        result.reindex()
+        return result
+
+
+class SimplifierPass:
+    """Peephole identities: ``OP Rd, Rs, #0`` -> ``MOV Rd, Rs`` and friends."""
+
+    name = "simplifier"
+
+    _IDENTITY_ZERO = (Opcode.ADD, Opcode.SUB, Opcode.ORR, Opcode.EOR,
+                      Opcode.LSL, Opcode.LSR)
+
+    def run(self, program: Program, ctx: PassContext) -> Program:
+        result = program.copy()
+        for block in result.blocks:
+            instrs = block.instructions
+            for i, instr in enumerate(instrs):
+                if not _is_plain_alu(instr) or instr.imm != 0:
+                    continue
+                if instr.opcode not in self._IDENTITY_ZERO:
+                    continue
+                if len(instr.srcs) != 1 or len(instr.dests) != 1:
+                    continue
+                instrs[i] = replace(
+                    instr, opcode=Opcode.MOV, imm=None
+                )
+                ctx.bump(self.name, "simplified")
+        result.reindex()
+        return result
+
+
+class DeadCodePass:
+    """Remove instructions whose result is overwritten before any read.
+
+    Block-local and conservative: an instruction is dead only if, within its
+    own block, every destination register is rewritten before being read and
+    the instruction has no side effects (memory, flags, branch, predication).
+    """
+
+    name = "dead-code"
+
+    def run(self, program: Program, ctx: PassContext) -> Program:
+        result = program.copy()
+        for block in result.blocks:
+            keep: List[Instruction] = []
+            instrs = block.instructions
+            for i, instr in enumerate(instrs):
+                if self._is_dead(instrs, i):
+                    ctx.bump(self.name, "removed")
+                    continue
+                keep.append(instr)
+            block.instructions = keep
+        result.reindex()
+        return result
+
+    @staticmethod
+    def _is_dead(instrs: List[Instruction], i: int) -> bool:
+        instr = instrs[i]
+        if (not instr.dests or instr.is_memory or instr.is_branch
+                or writes_flags(instr) or instr.cond is not Cond.AL
+                or instr.opcode is Opcode.CDP):
+            return False
+        for dest in instr.dests:
+            overwritten = False
+            for later in instrs[i + 1:]:
+                if dest in later.srcs:
+                    return False
+                if dest in later.dests and later.cond is Cond.AL:
+                    overwritten = True
+                    break
+            if not overwritten:
+                return False  # possibly live-out
+        return True

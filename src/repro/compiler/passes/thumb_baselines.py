@@ -1,0 +1,120 @@
+"""Criticality-agnostic Thumb-conversion baselines (paper Sec. V).
+
+* :class:`Opp16Pass` — **OPP16**: opportunistically convert any run of at
+  least 3 consecutive Thumb-encodable instructions to 16-bit format, without
+  reordering anything.  Runs longer than one CDP's reach are split across
+  multiple CDP commands.
+
+* :class:`CompressPass` — **Compress**: the Fine-Grained Thumb Conversion
+  heuristic of Krishnaswamy & Gupta (LCTES'02) as the paper describes it:
+  first convert the whole function to Thumb, then flip "slower Thumb
+  instructions" back to 32-bit ARM.  In our model the slow-in-Thumb class is
+  the long-latency ops (MUL/DIV); the result converts *more* instructions
+  than OPP16 (minimum run length 2) at a higher per-run switch overhead.
+
+Both passes skip instructions that are already 16-bit (so they stack on top
+of the CritIC pass for the OPP16+CritIC scheme) and never touch CDP markers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.isa.encoding import is_thumb_encodable
+from repro.isa.instruction import Encoding, Instruction, MAX_CDP_COVER
+from repro.isa.opcodes import Opcode, is_long_latency
+from repro.trace.program import Program
+
+from repro.compiler.passes.base import PassContext
+
+
+def _convert_runs(
+    program: Program,
+    instrs: List[Instruction],
+    min_run: int,
+    eligible,
+    ctx: PassContext,
+    pass_name: str,
+) -> List[Instruction]:
+    """Convert maximal runs of ``eligible`` instructions to Thumb + CDPs."""
+    out: List[Instruction] = []
+    run: List[Instruction] = []
+
+    def flush() -> None:
+        if len(run) >= min_run:
+            converted = [i.with_encoding(Encoding.THUMB16) for i in run]
+            ctx.bump(pass_name, "thumbed", len(converted))
+            for start in range(0, len(converted), MAX_CDP_COVER):
+                chunk = converted[start:start + MAX_CDP_COVER]
+                out.append(
+                    Instruction(
+                        Opcode.CDP, cdp_cover=len(chunk),
+                        encoding=Encoding.THUMB16,
+                        uid=program.fresh_uid(),
+                    )
+                )
+                ctx.bump(pass_name, "cdp-commands")
+                out.extend(chunk)
+        else:
+            out.extend(run)
+        run.clear()
+
+    for instr in instrs:
+        if (instr.encoding is Encoding.ARM32
+                and instr.opcode is not Opcode.CDP
+                and eligible(instr)):
+            run.append(instr)
+        else:
+            flush()
+            out.append(instr)
+    flush()
+    return out
+
+
+@dataclass
+class Opp16Pass:
+    """OPP16: convert every ARM run of >= ``min_run`` encodable instructions.
+
+    The paper's rule: no reordering — an inconvertible instruction between
+    two convertible ones simply breaks the run (Sec. V).
+    """
+
+    min_run: int = 3
+    name: str = "opp16"
+
+    def run(self, program: Program, ctx: PassContext) -> Program:
+        result = program.copy()
+        for block in result.blocks:
+            block.instructions = _convert_runs(
+                result, block.instructions, self.min_run,
+                is_thumb_encodable, ctx, self.name,
+            )
+        result.reindex()
+        return result
+
+
+@dataclass
+class CompressPass:
+    """Fine-Grained Thumb Conversion (Krishnaswamy & Gupta style).
+
+    Whole-function conversion, then slow-in-Thumb instructions (long
+    latency ops) revert to ARM; surviving runs of >= 2 are emitted as Thumb.
+    """
+
+    min_run: int = 2
+    name: str = "compress"
+
+    @staticmethod
+    def _eligible(instr: Instruction) -> bool:
+        return is_thumb_encodable(instr) and not is_long_latency(instr.opcode)
+
+    def run(self, program: Program, ctx: PassContext) -> Program:
+        result = program.copy()
+        for block in result.blocks:
+            block.instructions = _convert_runs(
+                result, block.instructions, self.min_run,
+                self._eligible, ctx, self.name,
+            )
+        result.reindex()
+        return result

@@ -1,0 +1,54 @@
+"""Cycle-level CPU model: config (Table I), pipeline, branch prediction."""
+
+from repro.cpu.branch import (
+    BranchStats,
+    ReturnAddressStack,
+    TwoLevelPredictor,
+)
+from repro.cpu.config import (
+    CpuConfig,
+    FuConfig,
+    GOOGLE_TABLET,
+    HARDWARE_VARIANTS,
+    config_2xfd,
+    config_4x_icache,
+    config_all_hw,
+    config_backend_prio,
+    config_critical_prefetch,
+    config_efetch,
+    config_perfect_br,
+    format_table1,
+)
+from repro.cpu.pipeline import Simulator, simulate
+from repro.cpu.stats import (
+    FetchStalls,
+    STAGES,
+    SimStats,
+    StageResidency,
+    speedup,
+)
+
+__all__ = [
+    "BranchStats",
+    "CpuConfig",
+    "FetchStalls",
+    "FuConfig",
+    "GOOGLE_TABLET",
+    "HARDWARE_VARIANTS",
+    "ReturnAddressStack",
+    "STAGES",
+    "SimStats",
+    "Simulator",
+    "StageResidency",
+    "TwoLevelPredictor",
+    "config_2xfd",
+    "config_4x_icache",
+    "config_all_hw",
+    "config_backend_prio",
+    "config_critical_prefetch",
+    "config_efetch",
+    "config_perfect_br",
+    "format_table1",
+    "simulate",
+    "speedup",
+]

@@ -1,0 +1,165 @@
+"""CPU configuration (paper Table I) and the evaluated hardware variants.
+
+The baseline is the Google-Tablet configuration: a 4-wide superscalar
+(fetch/decode/rename/ROB/issue/execute/commit), 128-entry ROB, 4k-entry
+two-level BPU, 32KB 2-way i-cache / 64KB d-cache (2-cycle hits), 8-way 2MB
+L2 (10-cycle hits) and LPDDR3 DRAM.
+
+The hardware-comparison variants of Fig 11 (2xFD, 4x i-cache, EFetch,
+PerfectBr, BackendPrio, AllHW) are expressed as named constructors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, Optional
+
+from repro.memory.hierarchy import MemoryConfig
+
+
+@dataclass(frozen=True)
+class FuConfig:
+    """Functional-unit counts for the issue stage."""
+
+    alu: int = 4
+    mul: int = 1   # also serves DIV
+    fp: int = 1
+    mem: int = 2
+    branch: int = 1
+
+
+@dataclass(frozen=True)
+class CpuConfig:
+    """One simulated hardware configuration."""
+
+    name: str = "google-tablet"
+
+    # front end
+    fetch_bytes_per_cycle: int = 16       # 4 x 32-bit words
+    fetch_queue_entries: int = 8
+    decode_width: int = 4
+    decode_buffer_entries: int = 6
+    #: extra decode occupancy when a CDP format switch is processed
+    cdp_decode_penalty: int = 1
+    #: fetch bubble after an Approach-1 format-switch branch
+    switch_branch_bubble: int = 1
+    #: redirect bubble after a resolved mispredicted branch
+    redirect_penalty: int = 2
+
+    # back end
+    rename_width: int = 4
+    rob_entries: int = 128
+    #: scheduler (issue queue) capacity: dispatched-but-unissued
+    #: instructions; the structure dependence chains clog
+    issue_queue_entries: int = 20
+    issue_width: int = 4
+    #: scheduling window: instructions may issue out of order only within
+    #: the oldest ``scheduling_window`` unissued instructions — the
+    #: restricted schedulers of tablet-class cores (the paper's Google
+    #: Tablet era: Krait/A15-class, far shallower than server parts).
+    #: Dependence chains at the window head then gate issue exactly as the
+    #: paper's F.StallForR+D analysis describes.  0 means unrestricted.
+    scheduling_window: int = 12
+    commit_width: int = 4
+    fu: FuConfig = field(default_factory=FuConfig)
+
+    # branch prediction
+    bpu_entries: int = 4096
+    bpu_history_bits: int = 12
+    perfect_branch: bool = False
+
+    # memory
+    memory: MemoryConfig = field(default_factory=MemoryConfig)
+
+    # optimizations / baselines
+    critical_load_prefetch: bool = False
+    backend_priority: bool = False
+    efetch: bool = False
+
+    def with_name(self, name: str) -> "CpuConfig":
+        return replace(self, name=name)
+
+
+#: Table I baseline.
+GOOGLE_TABLET = CpuConfig()
+
+
+def config_2xfd(base: CpuConfig = GOOGLE_TABLET) -> CpuConfig:
+    """2xFD: double fetch/decode bandwidth, halve i-cache hit latency."""
+    memory = replace(base.memory,
+                     icache_hit=max(1, base.memory.icache_hit // 2))
+    return replace(
+        base, name="2xFD",
+        fetch_bytes_per_cycle=base.fetch_bytes_per_cycle * 2,
+        decode_width=base.decode_width * 2,
+        fetch_queue_entries=base.fetch_queue_entries * 2,
+        memory=memory,
+    )
+
+
+def config_4x_icache(base: CpuConfig = GOOGLE_TABLET) -> CpuConfig:
+    """4x i-cache capacity (128KB vs 32KB)."""
+    return replace(base, name="4xI$", memory=base.memory.scaled_icache(4))
+
+
+def config_efetch(base: CpuConfig = GOOGLE_TABLET) -> CpuConfig:
+    """EFetch call-history instruction prefetcher."""
+    return replace(base, name="EFetch", efetch=True)
+
+
+def config_perfect_br(base: CpuConfig = GOOGLE_TABLET) -> CpuConfig:
+    """Oracle branch prediction."""
+    return replace(base, name="PerfectBr", perfect_branch=True)
+
+
+def config_backend_prio(base: CpuConfig = GOOGLE_TABLET) -> CpuConfig:
+    """Token-based back-end prioritization of critical instructions."""
+    return replace(base, name="BackendPrio", backend_priority=True)
+
+
+def config_critical_prefetch(base: CpuConfig = GOOGLE_TABLET) -> CpuConfig:
+    """HPCA'09-style critical-load prefetching."""
+    return replace(base, name="CritLoadPrefetch",
+                   critical_load_prefetch=True)
+
+
+def config_all_hw(base: CpuConfig = GOOGLE_TABLET) -> CpuConfig:
+    """AllHW: 4x i-cache + EFetch + PerfectBr + BackendPrio."""
+    return replace(
+        base, name="AllHW",
+        memory=base.memory.scaled_icache(4),
+        efetch=True, perfect_branch=True, backend_priority=True,
+    )
+
+
+HARDWARE_VARIANTS: Dict[str, "type(lambda: None)"] = {
+    "2xFD": config_2xfd,
+    "4xI$": config_4x_icache,
+    "EFetch": config_efetch,
+    "PerfectBr": config_perfect_br,
+    "BackendPrio": config_backend_prio,
+    "AllHW": config_all_hw,
+}
+
+
+def format_table1(config: CpuConfig = GOOGLE_TABLET) -> str:
+    """Render the Table I configuration as fixed-width text."""
+    m = config.memory
+    rows = [
+        ("CPU", f"{config.decode_width}-wide superscalar, "
+                f"{config.rob_entries}-entry ROB, "
+                f"{config.bpu_entries}-entry 2-level BPU"),
+        ("Fetch", f"{config.fetch_bytes_per_cycle} B/cycle, "
+                  f"{config.fetch_queue_entries}-entry fetch queue"),
+        ("FUs", f"{config.fu.alu} ALU, {config.fu.mul} MUL/DIV, "
+                f"{config.fu.fp} FP, {config.fu.mem} MEM ports"),
+        ("I-cache", f"{m.icache_bytes // 1024}KB {m.icache_assoc}-way, "
+                    f"{m.icache_hit}-cycle hit"),
+        ("D-cache", f"{m.dcache_bytes // 1024}KB {m.dcache_assoc}-way, "
+                    f"{m.dcache_hit}-cycle hit"),
+        ("L2", f"{m.l2_bytes // (1024 * 1024)}MB {m.l2_assoc}-way, "
+               f"{m.l2_hit}-cycle hit"),
+        ("DRAM", "LPDDR3, 1 ch x 2 ranks x 8 banks, open-page"),
+    ]
+    width = max(len(k) for k, _ in rows)
+    return "\n".join(f"{k:<{width}}  {v}" for k, v in rows)

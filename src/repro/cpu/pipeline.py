@@ -1,0 +1,525 @@
+"""Cycle-level out-of-order superscalar pipeline (the gem5 stand-in).
+
+Models the Table I Google-Tablet core: byte-granular fetch (so 16-bit Thumb
+encodings double effective fetch bandwidth), i-cache and branch-prediction
+driven supply stalls, a fetch queue whose back-pressure exposes
+decode-to-commit congestion, a 128-entry ROB, dependence-driven wake-up,
+FU-constrained issue, and in-order commit.
+
+Stage processing order within a cycle is reverse-pipeline (commit,
+writeback, issue, dispatch, decode, fetch), giving standard one-cycle
+producer-to-consumer forwarding.
+
+The simulator consumes a :class:`~repro.trace.dynamic.Trace` — the actual
+executed path — and models *timing* faithfully: branch mispredictions stall
+fetch until the branch resolves, i-cache misses stall supply, CDP format
+switches cost a decode cycle, and Approach-1 switch branches inject fetch
+bubbles.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.cpu.branch import ReturnAddressStack, TwoLevelPredictor
+from repro.cpu.config import CpuConfig, GOOGLE_TABLET
+from repro.cpu.stats import FetchStalls, SimStats, StageResidency
+from repro.dfg.fanout import HIGH_FANOUT_THRESHOLD
+from repro.isa.condition import Cond
+from repro.isa.opcodes import InstrKind, Opcode
+from repro.memory.hierarchy import MemorySystem
+from repro.memory.prefetch import CriticalLoadPrefetcher, EFetchPrefetcher
+from repro.trace.dependence import compute_consumers, compute_producers
+from repro.trace.dynamic import Trace
+
+#: FU class per InstrKind (branch and system ride the ALU pool's sidecar).
+_FU_OF = {
+    InstrKind.ALU: "alu",
+    InstrKind.MUL: "mul",
+    InstrKind.DIV: "mul",
+    InstrKind.LOAD: "mem",
+    InstrKind.STORE: "mem",
+    InstrKind.BRANCH: "branch",
+    InstrKind.FP: "fp",
+    InstrKind.SYSTEM: "alu",
+}
+
+
+def _is_switch_branch(instr) -> bool:
+    """Approach-1 format-switch branch: unconditional B to the next PC."""
+    return (instr.opcode is Opcode.B and instr.target is None
+            and instr.cond is Cond.AL)
+
+
+class Simulator:
+    """One run of one trace on one CPU configuration."""
+
+    def __init__(
+        self,
+        trace: Trace,
+        config: CpuConfig = GOOGLE_TABLET,
+        memory: Optional[MemorySystem] = None,
+        critical_positions: Optional[Set[int]] = None,
+        chain_positions: Optional[Set[int]] = None,
+        warm: bool = True,
+    ):
+        """
+        Args:
+            trace: the dynamic stream to execute.
+            config: hardware configuration.
+            memory: optionally share/warm a memory system; a fresh one is
+                built from ``config.memory`` when omitted.
+            critical_positions: positions counted as "critical" for scoped
+                stats and criticality-driven baselines; computed from
+                direct fanout (threshold 8) when omitted.
+            chain_positions: positions that are CritIC members (scoped
+                residency stats for Fig 10b analyses).
+        """
+        self.trace = trace
+        self.config = config
+        self.memory = memory or MemorySystem(config.memory)
+        if warm:
+            self.memory.warm(trace)
+        self.entries = trace.entries
+        self.n = len(self.entries)
+
+        self.producers = compute_producers(trace)
+        self.consumers = compute_consumers(self.producers)
+        if critical_positions is None:
+            fanouts = [len(c) for c in self.consumers]
+            critical_positions = {
+                i for i, f in enumerate(fanouts)
+                if f >= HIGH_FANOUT_THRESHOLD
+            }
+        self.critical = critical_positions
+        self.chain = chain_positions or set()
+
+        self.bpu = TwoLevelPredictor(
+            config.bpu_entries, config.bpu_history_bits,
+            perfect=config.perfect_branch,
+        )
+        self.ras = ReturnAddressStack(perfect=config.perfect_branch)
+        self.clpt = CriticalLoadPrefetcher() \
+            if config.critical_load_prefetch else None
+        self.efetch = EFetchPrefetcher() if config.efetch else None
+
+        self.stats = SimStats(name=config.name)
+
+    # -- main loop --------------------------------------------------------------
+
+    def run(self, max_cycles: Optional[int] = None) -> SimStats:
+        """Simulate to completion (or ``max_cycles``) and return stats."""
+        n = self.n
+        entries = self.entries
+        config = self.config
+        mem = self.memory
+
+        # timestamps (-1 = not yet)
+        head_c = [-1] * n
+        fetch_c = [-1] * n
+        decode_c = [-1] * n
+        dispatch_c = [-1] * n
+        issue_c = [-1] * n
+        complete_c = [-1] * n
+
+        completed = bytearray(n)
+        dispatched = bytearray(n)
+        remaining = [0] * n
+
+        fetch_buffer: List[int] = []
+        decode_buffer: List[int] = []
+        rob: List[int] = []
+        rob_head = 0
+        ready: List[int] = []
+        ready_critical: List[int] = []
+        completing: Dict[int, List[int]] = {}
+        sched_window = config.scheduling_window
+        pending: List[int] = []
+        pending_head = 0
+
+        fetch_pos = 0
+        unissued = 0
+        icache_ready = 0
+        fetch_resume = 0
+        redirect_pos = -1
+        last_line = -1
+        line_bytes = mem.config.line_bytes
+
+        decode_cap = config.decode_buffer_entries
+        fq_cap = config.fetch_queue_entries
+        backend_prio = config.backend_priority
+        critical = self.critical
+        fu_caps = {
+            "alu": config.fu.alu, "mul": config.fu.mul,
+            "fp": config.fu.fp, "mem": config.fu.mem,
+            "branch": config.fu.branch,
+        }
+
+        stats = self.stats
+        fstall = stats.fetch
+        fstall_crit = stats.fetch_critical
+        committed = 0
+        now = 0
+        limit = max_cycles if max_cycles is not None else 1 << 62
+
+        while committed < n and now < limit:
+            # ---- commit ----
+            width = config.commit_width
+            while width and rob_head < len(rob):
+                pos = rob[rob_head]
+                if not completed[pos]:
+                    break
+                self._account_commit(pos, now, head_c, fetch_c, decode_c,
+                                     dispatch_c, issue_c, complete_c)
+                rob_head += 1
+                committed += 1
+                width -= 1
+            if rob_head > 4096:
+                del rob[:rob_head]
+                rob_head = 0
+
+            # ---- writeback / wake-up ----
+            for pos in completing.pop(now, ()):  # type: ignore[arg-type]
+                completed[pos] = 1
+                complete_c[pos] = now
+                for consumer in self.consumers[pos]:
+                    if dispatched[consumer] and not completed[consumer]:
+                        remaining[consumer] -= 1
+                        if remaining[consumer] == 0 and not sched_window:
+                            if backend_prio and consumer in critical:
+                                ready_critical.append(consumer)
+                            else:
+                                ready.append(consumer)
+
+            # ---- issue ----
+            if sched_window:
+                # Restricted scheduler: out-of-order issue only among the
+                # oldest `sched_window` unissued instructions.
+                while pending_head < len(pending) \
+                        and issue_c[pending[pending_head]] >= 0:
+                    pending_head += 1
+                if pending_head > 2048:
+                    del pending[:pending_head]
+                    pending_head = 0
+                slots = config.issue_width
+                caps = dict(fu_caps)
+                window: List[int] = []
+                idx = pending_head
+                while idx < len(pending) and len(window) < sched_window:
+                    pos = pending[idx]
+                    if issue_c[pos] < 0:
+                        window.append(pos)
+                    idx += 1
+                if backend_prio:
+                    window.sort(key=lambda p: p not in critical)
+                for pos in window:
+                    if slots == 0:
+                        break
+                    if remaining[pos] != 0:
+                        continue
+                    instr = entries[pos].instr
+                    fu = _FU_OF[instr.kind]
+                    if caps[fu] <= 0:
+                        continue
+                    caps[fu] -= 1
+                    slots -= 1
+                    unissued -= 1
+                    issue_c[pos] = now
+                    latency = self._execute_latency(pos, instr)
+                    completing.setdefault(now + latency, []).append(pos)
+            elif ready or ready_critical:
+                slots = config.issue_width
+                caps = dict(fu_caps)
+                queues = ((ready_critical, ready) if backend_prio
+                          else (ready,))
+                for queue in queues:
+                    if not queue:
+                        continue
+                    leftovers: List[int] = []
+                    for pos in queue:
+                        if slots == 0:
+                            leftovers.append(pos)
+                            continue
+                        instr = entries[pos].instr
+                        fu = _FU_OF[instr.kind]
+                        if caps[fu] <= 0:
+                            leftovers.append(pos)
+                            continue
+                        caps[fu] -= 1
+                        slots -= 1
+                        unissued -= 1
+                        issue_c[pos] = now
+                        latency = self._execute_latency(pos, instr)
+                        completing.setdefault(now + latency, []).append(pos)
+                    queue[:] = leftovers
+
+            # ---- dispatch / rename ----
+            width = config.rename_width
+            while width and decode_buffer and len(rob) - rob_head \
+                    < config.rob_entries \
+                    and unissued < config.issue_queue_entries:
+                pos = decode_buffer.pop(0)
+                unissued += 1
+                dispatch_c[pos] = now
+                dispatched[pos] = 1
+                rem = 0
+                for producer in self.producers[pos]:
+                    if not completed[producer]:
+                        rem += 1
+                remaining[pos] = rem
+                rob.append(pos)
+                if sched_window:
+                    pending.append(pos)
+                elif rem == 0:
+                    if backend_prio and pos in critical:
+                        ready_critical.append(pos)
+                    else:
+                        ready.append(pos)
+                width -= 1
+
+            # ---- decode ----
+            # The decoder processes fetch words: decode_width 32-bit parcels
+            # per cycle, i.e. up to 2x as many Thumb16 instructions — the
+            # decoder-side half of the "nearly doubled fetch bandwidth".
+            decode_bytes = config.decode_width * 4
+            while decode_bytes > 0 and fetch_buffer \
+                    and len(decode_buffer) < decode_cap:
+                pos = fetch_buffer[0]
+                instr = entries[pos].instr
+                size = instr.size_bytes
+                if size > decode_bytes:
+                    break
+                if instr.opcode is Opcode.CDP:
+                    fetch_buffer.pop(0)
+                    decode_c[pos] = now
+                    # The CDP is consumed at decode (mode switch); the
+                    # paper's conservative +1 decode-cycle cost is modeled
+                    # as a full extra parcel of decoder occupancy.
+                    stats.cdp_decoded += 1
+                    completed[pos] = 1  # never dispatched; commit skips it
+                    complete_c[pos] = now
+                    dispatch_c[pos] = now
+                    issue_c[pos] = now
+                    rob.append(pos)
+                    dispatched[pos] = 1
+                    decode_bytes -= size + 4 * config.cdp_decode_penalty
+                    continue
+                fetch_buffer.pop(0)
+                decode_c[pos] = now
+                decode_buffer.append(pos)
+                decode_bytes -= size
+
+            # ---- fetch ----
+            if fetch_pos < n:
+                if head_c[fetch_pos] < 0:
+                    head_c[fetch_pos] = now
+                is_crit_head = fetch_pos in critical
+                if redirect_pos >= 0:
+                    done = complete_c[redirect_pos]
+                    if done >= 0 and done + config.redirect_penalty <= now:
+                        redirect_pos = -1
+                if redirect_pos >= 0:
+                    fstall.stall_branch += 1
+                    if is_crit_head:
+                        fstall_crit.stall_branch += 1
+                elif now < fetch_resume:
+                    fstall.stall_switch += 1
+                    if is_crit_head:
+                        fstall_crit.stall_switch += 1
+                elif now < icache_ready:
+                    fstall.stall_icache += 1
+                    if is_crit_head:
+                        fstall_crit.stall_icache += 1
+                elif len(fetch_buffer) >= fq_cap:
+                    fstall.stall_backpressure += 1
+                    if is_crit_head:
+                        fstall_crit.stall_backpressure += 1
+                else:
+                    fetched, fetch_pos, last_line, icache_ready, \
+                        fetch_resume, redirect_pos = self._fetch_group(
+                            now, fetch_pos, last_line, fetch_buffer,
+                            fq_cap, fetch_c, head_c, line_bytes,
+                        )
+                    if fetched:
+                        fstall.active += 1
+                        if is_crit_head:
+                            fstall_crit.active += 1
+                    else:
+                        fstall.stall_icache += 1
+                        if is_crit_head:
+                            fstall_crit.stall_icache += 1
+            else:
+                fstall.drained += 1
+
+            stats.iq_occupancy_sum += unissued
+            if unissued >= config.issue_queue_entries:
+                stats.iq_full_cycles += 1
+            stats.rob_occupancy_sum += len(rob) - rob_head
+            now += 1
+
+        stats.cycles = now
+        stats.instructions = committed
+        self._finalize_memory_stats()
+        return stats
+
+    # -- helpers ---------------------------------------------------------------
+
+    def _fetch_group(
+        self, now: int, fetch_pos: int, last_line: int,
+        fetch_buffer: List[int], fq_cap: int,
+        fetch_c: List[int], head_c: List[int], line_bytes: int,
+    ) -> Tuple[bool, int, int, int, int, int]:
+        """Fetch up to fetch_bytes_per_cycle of instructions this cycle.
+
+        Returns (fetched_any, new_fetch_pos, last_line, icache_ready,
+        fetch_resume, redirect_pos).
+        """
+        config = self.config
+        entries = self.entries
+        mem = self.memory
+        budget = config.fetch_bytes_per_cycle
+        fetched = False
+        icache_ready = 0
+        fetch_resume = 0
+        redirect_pos = -1
+        n = self.n
+
+        while fetch_pos < n and budget > 0 \
+                and len(fetch_buffer) < fq_cap:
+            entry = entries[fetch_pos]
+            instr = entry.instr
+            size = instr.size_bytes
+            if size > budget:
+                break
+            line = entry.pc // line_bytes
+            if line != last_line:
+                latency = mem.ifetch(entry.pc, now)
+                last_line = line
+                if latency > mem.config.icache_hit:
+                    icache_ready = now + latency
+                    break
+            budget -= size
+            fetch_buffer.append(fetch_pos)
+            fetch_c[fetch_pos] = now
+            if head_c[fetch_pos] < 0:
+                head_c[fetch_pos] = now
+            fetched = True
+            pos = fetch_pos
+            fetch_pos += 1
+
+            if instr.is_branch:
+                stop, redirect_pos, fetch_resume = self._handle_branch(
+                    pos, entry, now, line_bytes
+                )
+                if stop:
+                    break
+        return (fetched, fetch_pos, last_line, icache_ready,
+                fetch_resume, redirect_pos)
+
+    def _handle_branch(self, pos: int, entry, now: int,
+                       line_bytes: int) -> Tuple[bool, int, int]:
+        """Branch bookkeeping at fetch; returns (stop_group, redirect_pos,
+        fetch_resume)."""
+        config = self.config
+        instr = entry.instr
+        if _is_switch_branch(instr):
+            # Approach-1 format switch: no misprediction, but the decoder
+            # flushes its prefetched bytes around the mode change.
+            return True, -1, now + 1 + config.switch_branch_bubble
+
+        if instr.opcode is Opcode.BL:
+            if pos + 1 < self.n:
+                self.ras.push(entry.pc + instr.size_bytes)
+                if self.efetch is not None:
+                    target_line = self.entries[pos + 1].pc // line_bytes
+                    for line in self.efetch.observe_call(target_line):
+                        self.memory.prefetch_instruction_line(line)
+                    self.stats.prefetches_issued = self.efetch.issued
+            return True, -1, 0  # unconditional taken: group ends
+
+        if instr.opcode is Opcode.BX:
+            correct = self.ras.predict_return()
+            if not correct:
+                self.stats.branch_mispredicts += 1
+                return True, pos, 0
+            return True, -1, 0
+
+        # conditional (or direct unconditional) B
+        taken = bool(entry.taken)
+        if instr.cond.is_predicated:
+            correct = self.bpu.predict_conditional(entry.pc, taken)
+            if not correct:
+                self.stats.branch_mispredicts += 1
+                return True, pos, 0
+            return taken, -1, 0
+        return taken, -1, 0
+
+    def _execute_latency(self, pos: int, instr) -> int:
+        """Execute latency including the memory system for loads/stores."""
+        latency = instr.latency
+        entry = self.entries[pos]
+        if instr.is_load and entry.mem_addr is not None:
+            latency = max(latency, self.memory.load(entry.mem_addr))
+            if self.clpt is not None:
+                prefetches = self.clpt.observe(
+                    entry.pc, entry.mem_addr, pos in self.critical
+                )
+                for addr in prefetches:
+                    self.memory.prefetch_data(addr)
+                self.stats.prefetches_issued = self.clpt.issued
+        elif instr.is_store and entry.mem_addr is not None:
+            latency = max(latency, self.memory.store(entry.mem_addr))
+        return max(1, latency)
+
+    def _account_commit(self, pos: int, now: int, head_c, fetch_c,
+                        decode_c, dispatch_c, issue_c, complete_c) -> None:
+        """Accumulate per-stage residency at commit time."""
+        issue_wait = issue_c[pos] - dispatch_c[pos]
+        stages = (
+            ("fetch", decode_c[pos] - head_c[pos]),
+            ("decode", dispatch_c[pos] - decode_c[pos]),
+            ("dispatch", 1 if issue_wait > 0 else 0),
+            ("issue_wait", issue_wait - 1),
+            ("execute", complete_c[pos] - issue_c[pos]),
+            ("commit_wait", now - complete_c[pos]),
+        )
+        buckets = [self.stats.residency_all]
+        if pos in self.critical:
+            buckets.append(self.stats.residency_critical)
+        if pos in self.chain:
+            buckets.append(self.stats.residency_chain)
+        for bucket in buckets:
+            bucket.instructions += 1
+            for stage, cycles in stages:
+                if cycles > 0:
+                    bucket.add(stage, cycles)
+
+    def _finalize_memory_stats(self) -> None:
+        stats = self.stats
+        mem = self.memory
+        stats.icache_accesses = mem.icache.stats.accesses
+        stats.icache_misses = mem.icache.stats.misses
+        stats.dcache_accesses = mem.dcache.stats.accesses
+        stats.dcache_misses = mem.dcache.stats.misses
+        stats.l2_accesses = mem.l2.stats.accesses
+        stats.l2_misses = mem.l2.stats.misses
+        stats.dram_reads = mem.dram.reads
+        stats.branch_mispredicts += self.bpu.stats.cond_mispredicts
+
+
+def simulate(
+    trace: Trace,
+    config: CpuConfig = GOOGLE_TABLET,
+    critical_positions: Optional[Set[int]] = None,
+    chain_positions: Optional[Set[int]] = None,
+    max_cycles: Optional[int] = None,
+    warm: bool = True,
+) -> SimStats:
+    """Convenience wrapper: build a Simulator and run it."""
+    sim = Simulator(
+        trace, config,
+        critical_positions=critical_positions,
+        chain_positions=chain_positions,
+        warm=warm,
+    )
+    return sim.run(max_cycles=max_cycles)

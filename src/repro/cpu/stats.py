@@ -1,0 +1,133 @@
+"""Simulation statistics: cycle accounting and per-stage residency.
+
+The fetch-stall taxonomy follows the paper (Fig 3b):
+
+* **F.StallForI** — the fetch stage cannot *supply* instructions: i-cache
+  miss outstanding, branch redirect pending, or a format-switch bubble.
+* **F.StallForR+D** — the fetch stage cannot *drain*: the fetch queue is
+  full because decode-to-commit is backed up (resources/dependences).
+
+Per-instruction stage residencies (Fig 3a) are accumulated for the whole
+stream and for the *critical* subset (high-fanout instructions).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+#: Stage keys for residency breakdowns, in pipeline order.
+STAGES = ("fetch", "decode", "dispatch", "issue_wait", "execute",
+          "commit_wait")
+
+
+@dataclass
+class FetchStalls:
+    """Per-cycle classification of the fetch stage."""
+
+    active: int = 0
+    stall_icache: int = 0
+    stall_branch: int = 0
+    stall_switch: int = 0
+    stall_backpressure: int = 0
+    drained: int = 0  # nothing left to fetch
+
+    @property
+    def stall_for_i(self) -> int:
+        """Supply-side stalls (paper's F.StallForI)."""
+        return self.stall_icache + self.stall_branch + self.stall_switch
+
+    @property
+    def stall_for_rd(self) -> int:
+        """Drain-side stalls (paper's F.StallForR+D)."""
+        return self.stall_backpressure
+
+
+@dataclass
+class StageResidency:
+    """Summed per-stage cycles for one instruction class."""
+
+    instructions: int = 0
+    totals: Dict[str, int] = field(
+        default_factory=lambda: {stage: 0 for stage in STAGES}
+    )
+
+    def add(self, stage: str, cycles: int) -> None:
+        self.totals[stage] += cycles
+
+    def fractions(self) -> Dict[str, float]:
+        """Share of each stage in the class's total pipeline time."""
+        total = sum(self.totals.values())
+        if total == 0:
+            return {stage: 0.0 for stage in STAGES}
+        return {stage: v / total for stage, v in self.totals.items()}
+
+    def mean(self, stage: str) -> float:
+        if not self.instructions:
+            return 0.0
+        return self.totals[stage] / self.instructions
+
+
+@dataclass
+class SimStats:
+    """Everything a simulation run reports."""
+
+    name: str = ""
+    cycles: int = 0
+    instructions: int = 0
+    fetch: FetchStalls = field(default_factory=FetchStalls)
+    fetch_critical: FetchStalls = field(default_factory=FetchStalls)
+    residency_all: StageResidency = field(default_factory=StageResidency)
+    residency_critical: StageResidency = field(default_factory=StageResidency)
+    residency_chain: StageResidency = field(default_factory=StageResidency)
+
+    # event counters (feed the energy model)
+    icache_accesses: int = 0
+    icache_misses: int = 0
+    dcache_accesses: int = 0
+    dcache_misses: int = 0
+    l2_accesses: int = 0
+    l2_misses: int = 0
+    dram_reads: int = 0
+    branch_mispredicts: int = 0
+    cdp_decoded: int = 0
+    prefetches_issued: int = 0
+
+    # occupancy telemetry
+    iq_occupancy_sum: int = 0
+    iq_full_cycles: int = 0
+    rob_occupancy_sum: int = 0
+
+    @property
+    def iq_avg_occupancy(self) -> float:
+        return self.iq_occupancy_sum / self.cycles if self.cycles else 0.0
+
+    @property
+    def rob_avg_occupancy(self) -> float:
+        return self.rob_occupancy_sum / self.cycles if self.cycles else 0.0
+
+    @property
+    def ipc(self) -> float:
+        return self.instructions / self.cycles if self.cycles else 0.0
+
+    def fetch_stall_fractions(self) -> Dict[str, float]:
+        """Fractions of total execution cycles (Fig 3b / Fig 10b)."""
+        if not self.cycles:
+            return {"stall_for_i": 0.0, "stall_for_rd": 0.0, "active": 0.0}
+        return {
+            "stall_for_i": self.fetch.stall_for_i / self.cycles,
+            "stall_for_rd": self.fetch.stall_for_rd / self.cycles,
+            "active": self.fetch.active / self.cycles,
+        }
+
+
+def speedup(baseline: SimStats, optimized: SimStats) -> float:
+    """Relative speedup of ``optimized`` over ``baseline`` (1.0 = equal).
+
+    Both runs must execute the same logical work (same walk); cycle ratio
+    is then the honest speedup metric even when the optimized stream has a
+    different dynamic instruction count (CDPs added, etc.).
+    """
+    if optimized.cycles == 0:
+        return 0.0
+    return baseline.cycles / optimized.cycles

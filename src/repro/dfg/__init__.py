@@ -1,0 +1,55 @@
+"""Dynamic DFG construction, fanout criticality, and Instruction Chains."""
+
+from repro.dfg.chains import (
+    CRITIC_AVG_FANOUT_THRESHOLD,
+    Chain,
+    ChainStats,
+    DEFAULT_MAX_CHAIN_LEN,
+    best_subchains,
+    find_critics,
+    iter_maximal_chains,
+    iter_maximal_paths,
+    make_chain,
+)
+from repro.dfg.fanout import (
+    HIGH_FANOUT_THRESHOLD,
+    NO_DEPENDENT,
+    critical_fraction,
+    critical_mask,
+    gap_histogram,
+    mean_fanout,
+)
+from repro.dfg.graph import Dfg
+from repro.dfg.metrics import (
+    METRICS,
+    average_fanout,
+    geometric_mean_fanout,
+    get_metric,
+    total_fanout,
+    variance_penalized_fanout,
+)
+
+__all__ = [
+    "CRITIC_AVG_FANOUT_THRESHOLD",
+    "Chain",
+    "ChainStats",
+    "DEFAULT_MAX_CHAIN_LEN",
+    "Dfg",
+    "HIGH_FANOUT_THRESHOLD",
+    "METRICS",
+    "NO_DEPENDENT",
+    "average_fanout",
+    "best_subchains",
+    "critical_fraction",
+    "critical_mask",
+    "find_critics",
+    "gap_histogram",
+    "geometric_mean_fanout",
+    "get_metric",
+    "iter_maximal_chains",
+    "iter_maximal_paths",
+    "make_chain",
+    "mean_fanout",
+    "total_fanout",
+    "variance_penalized_fanout",
+]

@@ -1,0 +1,81 @@
+"""Dynamic Data Flow Graph over a trace window.
+
+Nodes are positions in the trace window; edges run producer -> consumer.
+This is the structure the paper's criticality analysis operates on: fanout
+(out-degree) marks critical instructions, and chains of sole-producer edges
+are the Instruction Chains (ICs) of Sec. III-A.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro.trace.dependence import compute_consumers, compute_producers
+from repro.trace.dynamic import Trace, TraceEntry
+
+
+class Dfg:
+    """Dependence graph of one trace window.
+
+    Attributes:
+        trace: the underlying trace window.
+        producers: per-position tuple of producer positions.
+        consumers: per-position list of direct consumer positions.
+        fanouts: per-position direct fanout (len of consumers).
+    """
+
+    def __init__(self, trace: Trace):
+        self.trace = trace
+        self.producers: List[Tuple[int, ...]] = compute_producers(trace)
+        self.consumers: List[List[int]] = compute_consumers(self.producers)
+        self.fanouts: List[int] = [len(c) for c in self.consumers]
+
+    def __len__(self) -> int:
+        return len(self.trace)
+
+    def entry(self, pos: int) -> TraceEntry:
+        """Trace entry at window position ``pos``."""
+        return self.trace.entries[pos]
+
+    # -- sole-producer structure (the IC skeleton) --------------------------
+
+    def sole_producer_children(self, pos: int) -> List[int]:
+        """Consumers of ``pos`` whose *only* in-window producer is ``pos``.
+
+        A kept edge ``u -> v`` means v becomes schedulable the moment u
+        completes — the definition of chain membership for an IC: the path
+        through kept edges is independently schedulable (paper Sec. III-A1).
+        """
+        return [
+            v for v in self.consumers[pos] if self.producers[v] == (pos,)
+        ]
+
+    def has_sole_producer(self, pos: int) -> bool:
+        """True if ``pos`` has exactly one in-window producer."""
+        return len(self.producers[pos]) == 1
+
+    def chain_roots(self) -> List[int]:
+        """Positions at which a maximal IC can start.
+
+        A node is a root of the sole-producer forest iff it does not itself
+        hang off a single producer (it has zero or multiple in-window
+        producers), so no kept edge enters it.
+        """
+        return [
+            pos for pos in range(len(self.producers))
+            if len(self.producers[pos]) != 1
+        ]
+
+    def is_self_contained_path(self, path: Sequence[int]) -> bool:
+        """Check the IC condition for an explicit path of positions.
+
+        Every non-head member must have the previous member as its only
+        in-window producer (paper's example: ``I0,I1,I21`` fails because
+        ``I21`` also depends on ``I11`` outside the path).
+        """
+        if not path:
+            return False
+        for prev, cur in zip(path, path[1:]):
+            if self.producers[cur] != (prev,):
+                return False
+        return True

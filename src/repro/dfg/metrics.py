@@ -1,0 +1,76 @@
+"""Alternative chain-criticality metrics (paper Sec. III-A future work).
+
+The paper uses the simple *average fanout per instruction* and notes that
+"one could consider higher order representations for capturing such
+variances in future work".  We implement the paper's metric plus three
+variance-aware alternatives and a comparison harness
+(``benchmarks/test_ext_metric_comparison.py``) as an extension.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Dict, Sequence
+
+MetricFn = Callable[[Sequence[int]], float]
+
+
+def average_fanout(fanouts: Sequence[int]) -> float:
+    """The paper's metric: mean fanout per chain member."""
+    if not fanouts:
+        return 0.0
+    return sum(fanouts) / len(fanouts)
+
+
+def total_fanout(fanouts: Sequence[int]) -> float:
+    """Cumulative fanout — the naive alternative the paper argues against
+    (a single huge-fanout head can dominate)."""
+    return float(sum(fanouts))
+
+
+def variance_penalized_fanout(fanouts: Sequence[int]) -> float:
+    """Mean fanout minus one standard deviation.
+
+    Penalizes chains whose criticality is concentrated in one member — a
+    "higher order representation" in the paper's sense.
+    """
+    if not fanouts:
+        return 0.0
+    mean = sum(fanouts) / len(fanouts)
+    var = sum((f - mean) ** 2 for f in fanouts) / len(fanouts)
+    return mean - math.sqrt(var)
+
+
+def geometric_mean_fanout(fanouts: Sequence[int]) -> float:
+    """Geometric mean of (1 + fanout), minus 1.
+
+    Low-fanout members drag the score down multiplicatively, so uniformly
+    critical chains outrank spiky ones.
+    """
+    if not fanouts:
+        return 0.0
+    log_sum = sum(math.log1p(f) for f in fanouts)
+    return math.expm1(log_sum / len(fanouts))
+
+
+#: Registry of chain-criticality metrics by name.
+METRICS: Dict[str, MetricFn] = {
+    "average": average_fanout,
+    "total": total_fanout,
+    "variance_penalized": variance_penalized_fanout,
+    "geometric": geometric_mean_fanout,
+}
+
+
+def get_metric(name: str) -> MetricFn:
+    """Look up a metric by name.
+
+    Raises:
+        KeyError: for unknown metric names (message lists valid ones).
+    """
+    try:
+        return METRICS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown metric {name!r}; choose from {sorted(METRICS)}"
+        ) from None

@@ -1,0 +1,25 @@
+"""Event-based SoC energy model (Fig 10c) and CDP hardware-cost constants."""
+
+from repro.energy.model import (
+    CDP_LOGIC_AREA_UM2,
+    CDP_LOGIC_DELAY_PS,
+    CDP_LOGIC_DYNAMIC_W,
+    CDP_LOGIC_LEAKAGE_W,
+    EnergyBreakdown,
+    EnergyParams,
+    EnergySavings,
+    energy_of,
+    savings,
+)
+
+__all__ = [
+    "CDP_LOGIC_AREA_UM2",
+    "CDP_LOGIC_DELAY_PS",
+    "CDP_LOGIC_DYNAMIC_W",
+    "CDP_LOGIC_LEAKAGE_W",
+    "EnergyBreakdown",
+    "EnergyParams",
+    "EnergySavings",
+    "energy_of",
+    "savings",
+]

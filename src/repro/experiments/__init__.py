@@ -1,0 +1,45 @@
+"""Experiment harness: one module per paper figure/table.
+
+Each ``figNN`` module exposes ``run(...)`` returning structured results and
+a ``format_*`` helper that renders the same rows/series the paper reports.
+``repro.cpu.config.format_table1`` and ``repro.workloads.format_table2``
+cover Tables I and II.
+"""
+
+from repro.experiments import (  # noqa: F401
+    fig01,
+    fig03,
+    fig05,
+    fig08,
+    fig10,
+    fig11,
+    fig12,
+    fig13,
+)
+from repro.experiments.runner import (
+    AppContext,
+    DEFAULT_WALK_BLOCKS,
+    SCHEMES,
+    app_context,
+    clear_cache,
+    format_table,
+    geometric_mean,
+)
+
+__all__ = [
+    "AppContext",
+    "DEFAULT_WALK_BLOCKS",
+    "SCHEMES",
+    "app_context",
+    "clear_cache",
+    "fig01",
+    "fig03",
+    "fig05",
+    "fig08",
+    "fig10",
+    "fig11",
+    "fig12",
+    "fig13",
+    "format_table",
+    "geometric_mean",
+]

@@ -1,0 +1,102 @@
+"""Fig 3 — where critical instructions spend their time.
+
+(a) Fetch-to-commit stage breakdown of high-fanout (critical) instructions
+    for SPEC vs Android: the bottleneck shifts from the back end
+    (execute / ROB residency) to the front end (fetch) in mobile apps.
+(b) Fetch-cycle split into F.StallForI (instruction supply: i-cache,
+    branch redirect) and F.StallForR+D (back-pressure), per group.
+(c) Fraction of high-fanout instructions that are long-latency — much
+    smaller for mobile.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.cpu.stats import STAGES
+from repro.dfg import Dfg, critical_mask
+from repro.experiments.fig01 import GROUPS, _group_names
+from repro.experiments.runner import app_context, format_table
+from repro.isa import is_long_latency
+
+
+@dataclass
+class Fig03Group:
+    group: str
+    #: Fig 3a: stage -> fraction of critical-instruction pipeline time
+    stage_fractions: Dict[str, float]
+    #: Fig 3b: fractions of total cycles
+    stall_for_i: float
+    stall_for_rd: float
+    fetch_active: float
+    #: Fig 3c: long-latency fraction among criticals
+    long_latency_frac: float
+
+
+def run(per_group: Optional[int] = None,
+        walk_blocks: Optional[int] = None) -> List[Fig03Group]:
+    """Reproduce Fig 3 for all three workload groups."""
+    results: List[Fig03Group] = []
+    for group in GROUPS:
+        stage_acc = {stage: 0.0 for stage in STAGES}
+        stall_i = stall_rd = active = 0.0
+        long_lat = 0.0
+        names = _group_names(group, per_group)
+        for name in names:
+            ctx = app_context(name, walk_blocks)
+            stats = ctx.stats("baseline")
+            for stage, frac in stats.residency_critical.fractions().items():
+                stage_acc[stage] += frac
+            fractions = stats.fetch_stall_fractions()
+            stall_i += fractions["stall_for_i"]
+            stall_rd += fractions["stall_for_rd"]
+            active += fractions["active"]
+
+            trace = ctx.trace()
+            dfg = Dfg(trace)
+            mask = critical_mask(dfg.fanouts)
+            criticals = [
+                trace.entries[i].instr for i, c in enumerate(mask) if c
+            ]
+            if criticals:
+                long_lat += sum(
+                    1 for instr in criticals
+                    if is_long_latency(instr.opcode)
+                ) / len(criticals)
+        count = len(names)
+        results.append(Fig03Group(
+            group=group,
+            stage_fractions={s: v / count for s, v in stage_acc.items()},
+            stall_for_i=stall_i / count,
+            stall_for_rd=stall_rd / count,
+            fetch_active=active / count,
+            long_latency_frac=long_lat / count,
+        ))
+    return results
+
+
+def format_result(groups: List[Fig03Group]) -> str:
+    table_a = format_table(
+        ["group"] + list(STAGES),
+        [[g.group] + [f"{g.stage_fractions[s] * 100:.0f}%" for s in STAGES]
+         for g in groups],
+    )
+    table_b = format_table(
+        ["group", "F.StallForI", "F.StallForR+D", "fetch-active"],
+        [[g.group, f"{g.stall_for_i * 100:.1f}%",
+          f"{g.stall_for_rd * 100:.1f}%", f"{g.fetch_active * 100:.1f}%"]
+         for g in groups],
+    )
+    table_c = format_table(
+        ["group", "long-latency criticals"],
+        [[g.group, f"{g.long_latency_frac * 100:.1f}%"] for g in groups],
+    )
+    return (
+        "Fig 3a: stage residency of critical instructions\n"
+        f"{table_a}\n\n"
+        "Fig 3b: fetch-cycle breakdown (fraction of all cycles)\n"
+        f"{table_b}\n\n"
+        "Fig 3c: long-latency share among critical instructions\n"
+        f"{table_c}"
+    )

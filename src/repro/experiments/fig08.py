@@ -1,0 +1,74 @@
+"""Fig 8 — Approach 1: format switching with branches on stock hardware.
+
+The branch-pair switch (a 32-bit branch-to-next entering Thumb mode, a
+16-bit branch-to-next leaving it) needs no new hardware but pays two extra
+instructions and a fetch bubble per chain — for typical length-5 chains the
+overhead eats most of the benefit.  The "lost potential" series is the same
+chains optimized with the free CDP switch (Approach 2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.cpu import speedup
+from repro.experiments.fig01 import _group_names
+from repro.experiments.runner import (
+    app_context,
+    format_table,
+    geometric_mean,
+)
+
+
+@dataclass
+class Fig08Row:
+    app: str
+    branch_switch_pct: float   # Approach 1 (achievable on stock hardware)
+    cdp_switch_pct: float      # the potential (Approach 2)
+
+    @property
+    def lost_potential_pct(self) -> float:
+        return self.cdp_switch_pct - self.branch_switch_pct
+
+
+@dataclass
+class Fig08Result:
+    rows: List[Fig08Row]
+    mean_branch_pct: float
+    mean_cdp_pct: float
+
+
+def run(apps: Optional[int] = None,
+        walk_blocks: Optional[int] = None) -> Fig08Result:
+    rows: List[Fig08Row] = []
+    for name in _group_names("mobile", apps):
+        ctx = app_context(name, walk_blocks)
+        base = ctx.stats("baseline")
+        branch = ctx.stats("branch")
+        cdp = ctx.stats("critic")
+        rows.append(Fig08Row(
+            app=name,
+            branch_switch_pct=100 * (speedup(base, branch) - 1),
+            cdp_switch_pct=100 * (speedup(base, cdp) - 1),
+        ))
+    mean = lambda vals: 100 * (geometric_mean(
+        [1 + v / 100 for v in vals]) - 1)
+    return Fig08Result(
+        rows=rows,
+        mean_branch_pct=mean([r.branch_switch_pct for r in rows]),
+        mean_cdp_pct=mean([r.cdp_switch_pct for r in rows]),
+    )
+
+
+def format_result(result: Fig08Result) -> str:
+    table = format_table(
+        ["app", "branch-switch (HW today)", "CDP switch", "lost potential"],
+        [[r.app, f"{r.branch_switch_pct:+.1f}%",
+          f"{r.cdp_switch_pct:+.1f}%", f"{r.lost_potential_pct:+.1f}%"]
+         for r in result.rows]
+        + [["MEAN", f"{result.mean_branch_pct:+.1f}%",
+            f"{result.mean_cdp_pct:+.1f}%",
+            f"{result.mean_cdp_pct - result.mean_branch_pct:+.1f}%"]],
+    )
+    return "Fig 8: Approach-1 branch switching vs the CDP potential\n" + table

@@ -1,0 +1,135 @@
+"""Fig 10 — the headline CritIC evaluation.
+
+(a) Per-app CPU speedup for Hoist (aggregation only), CritIC (hoist +
+    16-bit conversion via CDP), and CritIC.Ideal (all chains, no length or
+    encodability limits).
+(b) Fetch-stall savings: F.StallForI and F.StallForR+D, baseline vs CritIC.
+(c) System-wide energy savings decomposed into CPU, i-cache, and memory
+    contributions, plus the CPU-cluster-only saving.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.cpu import speedup
+from repro.energy import energy_of, savings
+from repro.experiments.fig01 import _group_names
+from repro.experiments.runner import (
+    app_context,
+    format_table,
+    geometric_mean,
+)
+
+
+@dataclass
+class Fig10Row:
+    app: str
+    hoist_pct: float
+    critic_pct: float
+    critic_ideal_pct: float
+    # Fig 10b (fractions of cycles)
+    base_stall_i: float
+    base_stall_rd: float
+    critic_stall_i: float
+    critic_stall_rd: float
+    # Fig 10c (percent of baseline SoC energy)
+    energy_cpu_pct: float
+    energy_icache_pct: float
+    energy_memory_pct: float
+    energy_total_pct: float
+    energy_cpu_only_pct: float
+
+
+@dataclass
+class Fig10Result:
+    rows: List[Fig10Row]
+    mean_hoist_pct: float
+    mean_critic_pct: float
+    mean_critic_ideal_pct: float
+    mean_energy_total_pct: float
+    mean_energy_cpu_only_pct: float
+
+
+def run(apps: Optional[int] = None,
+        walk_blocks: Optional[int] = None) -> Fig10Result:
+    """Reproduce Fig 10 over the mobile suite."""
+    rows: List[Fig10Row] = []
+    for name in _group_names("mobile", apps):
+        ctx = app_context(name, walk_blocks)
+        base = ctx.stats("baseline")
+        hoist = ctx.stats("hoist")
+        critic = ctx.stats("critic")
+        ideal = ctx.stats("critic_ideal")
+
+        base_f = base.fetch_stall_fractions()
+        critic_f = critic.fetch_stall_fractions()
+        base_e = energy_of(base)
+        critic_e = energy_of(critic)
+        saving = savings(base_e, critic_e)
+
+        rows.append(Fig10Row(
+            app=name,
+            hoist_pct=100 * (speedup(base, hoist) - 1),
+            critic_pct=100 * (speedup(base, critic) - 1),
+            critic_ideal_pct=100 * (speedup(base, ideal) - 1),
+            base_stall_i=base_f["stall_for_i"],
+            base_stall_rd=base_f["stall_for_rd"],
+            critic_stall_i=critic_f["stall_for_i"],
+            critic_stall_rd=critic_f["stall_for_rd"],
+            energy_cpu_pct=saving.cpu_pct_of_soc,
+            energy_icache_pct=saving.icache_pct_of_soc,
+            energy_memory_pct=saving.memory_pct_of_soc,
+            energy_total_pct=saving.total_pct_of_soc,
+            energy_cpu_only_pct=saving.cpu_only_pct,
+        ))
+
+    def mean_pct(values: List[float]) -> float:
+        ratios = [1 + v / 100 for v in values]
+        return 100 * (geometric_mean(ratios) - 1)
+
+    return Fig10Result(
+        rows=rows,
+        mean_hoist_pct=mean_pct([r.hoist_pct for r in rows]),
+        mean_critic_pct=mean_pct([r.critic_pct for r in rows]),
+        mean_critic_ideal_pct=mean_pct([r.critic_ideal_pct for r in rows]),
+        mean_energy_total_pct=sum(r.energy_total_pct for r in rows)
+        / len(rows),
+        mean_energy_cpu_only_pct=sum(r.energy_cpu_only_pct for r in rows)
+        / len(rows),
+    )
+
+
+def format_result(result: Fig10Result) -> str:
+    table_a = format_table(
+        ["app", "Hoist", "CritIC", "CritIC.Ideal"],
+        [[r.app, f"{r.hoist_pct:+.1f}%", f"{r.critic_pct:+.1f}%",
+          f"{r.critic_ideal_pct:+.1f}%"] for r in result.rows]
+        + [["MEAN", f"{result.mean_hoist_pct:+.1f}%",
+            f"{result.mean_critic_pct:+.1f}%",
+            f"{result.mean_critic_ideal_pct:+.1f}%"]],
+    )
+    table_b = format_table(
+        ["app", "base F.StallForI", "base F.StallForR+D",
+         "critic F.StallForI", "critic F.StallForR+D"],
+        [[r.app, f"{r.base_stall_i * 100:.1f}%",
+          f"{r.base_stall_rd * 100:.1f}%",
+          f"{r.critic_stall_i * 100:.1f}%",
+          f"{r.critic_stall_rd * 100:.1f}%"] for r in result.rows],
+    )
+    table_c = format_table(
+        ["app", "CPU", "i-cache", "memory", "SoC total", "CPU-only"],
+        [[r.app, f"{r.energy_cpu_pct:+.2f}%",
+          f"{r.energy_icache_pct:+.2f}%", f"{r.energy_memory_pct:+.2f}%",
+          f"{r.energy_total_pct:+.2f}%", f"{r.energy_cpu_only_pct:+.2f}%"]
+         for r in result.rows],
+    )
+    return (
+        "Fig 10a: speedup over baseline\n"
+        f"{table_a}\n\n"
+        "Fig 10b: fetch-stall fractions, baseline vs CritIC\n"
+        f"{table_b}\n\n"
+        "Fig 10c: energy savings (% of baseline SoC energy)\n"
+        f"{table_c}"
+    )

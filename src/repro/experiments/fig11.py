@@ -1,0 +1,124 @@
+"""Fig 11 — CritIC vs (and with) conventional hardware fetch mechanisms.
+
+Hardware variants: 2xFD (doubled fetch/decode bandwidth), 4x i-cache,
+EFetch instruction prefetching, PerfectBr (oracle branch prediction),
+BackendPrio (critical-instruction back-end prioritization), and AllHW
+(everything combined).  Each is evaluated alone and with the CritIC
+software transformation on top; (b) reports which fetch-stall component
+each mechanism moves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.cpu import (
+    CpuConfig,
+    GOOGLE_TABLET,
+    config_2xfd,
+    config_4x_icache,
+    config_all_hw,
+    config_backend_prio,
+    config_efetch,
+    config_perfect_br,
+    speedup,
+)
+from repro.experiments.fig01 import _group_names
+from repro.experiments.runner import (
+    app_context,
+    format_table,
+    geometric_mean,
+)
+
+#: The evaluated hardware mechanisms, in the paper's order.
+MECHANISMS: Tuple[Tuple[str, Callable[[], CpuConfig]], ...] = (
+    ("2xFD", config_2xfd),
+    ("4xI$", config_4x_icache),
+    ("EFetch", config_efetch),
+    ("PerfectBr", config_perfect_br),
+    ("BackendPrio", config_backend_prio),
+    ("AllHW", config_all_hw),
+)
+
+
+@dataclass
+class Fig11Row:
+    mechanism: str
+    hw_only_pct: float
+    with_critic_pct: float
+    #: Fig 11b (mean fractions of cycles under the HW mechanism alone)
+    stall_for_i: float
+    stall_for_rd: float
+
+
+@dataclass
+class Fig11Result:
+    critic_only_pct: float
+    baseline_stall_i: float
+    baseline_stall_rd: float
+    rows: List[Fig11Row]
+
+
+def run(apps: Optional[int] = None,
+        walk_blocks: Optional[int] = None) -> Fig11Result:
+    names = _group_names("mobile", apps)
+
+    def mean_speedup(scheme: str, config: CpuConfig) -> float:
+        ratios = []
+        for name in names:
+            ctx = app_context(name, walk_blocks)
+            base = ctx.stats("baseline", GOOGLE_TABLET)
+            ratios.append(speedup(base, ctx.stats(scheme, config)))
+        return 100 * (geometric_mean(ratios) - 1)
+
+    def mean_stalls(scheme: str, config: CpuConfig) -> Tuple[float, float]:
+        stall_i = stall_rd = 0.0
+        for name in names:
+            ctx = app_context(name, walk_blocks)
+            fractions = ctx.stats(scheme, config).fetch_stall_fractions()
+            stall_i += fractions["stall_for_i"]
+            stall_rd += fractions["stall_for_rd"]
+        return stall_i / len(names), stall_rd / len(names)
+
+    base_i, base_rd = mean_stalls("baseline", GOOGLE_TABLET)
+    rows: List[Fig11Row] = []
+    for label, make_config in MECHANISMS:
+        config = make_config()
+        stall_i, stall_rd = mean_stalls("baseline", config)
+        rows.append(Fig11Row(
+            mechanism=label,
+            hw_only_pct=mean_speedup("baseline", config),
+            with_critic_pct=mean_speedup("critic", config),
+            stall_for_i=stall_i,
+            stall_for_rd=stall_rd,
+        ))
+
+    return Fig11Result(
+        critic_only_pct=mean_speedup("critic", GOOGLE_TABLET),
+        baseline_stall_i=base_i,
+        baseline_stall_rd=base_rd,
+        rows=rows,
+    )
+
+
+def format_result(result: Fig11Result) -> str:
+    table_a = format_table(
+        ["mechanism", "HW alone", "HW + CritIC"],
+        [["CritIC (sw only)", f"{result.critic_only_pct:+.1f}%", "-"]]
+        + [[r.mechanism, f"{r.hw_only_pct:+.1f}%",
+            f"{r.with_critic_pct:+.1f}%"] for r in result.rows],
+    )
+    table_b = format_table(
+        ["config", "F.StallForI", "F.StallForR+D"],
+        [["baseline", f"{result.baseline_stall_i * 100:.1f}%",
+          f"{result.baseline_stall_rd * 100:.1f}%"]]
+        + [[r.mechanism, f"{r.stall_for_i * 100:.1f}%",
+            f"{r.stall_for_rd * 100:.1f}%"] for r in result.rows],
+    )
+    return (
+        "Fig 11a: hardware mechanisms vs CritIC (mean speedup, mobile)\n"
+        f"{table_a}\n\n"
+        "Fig 11b: fetch-stall components under each mechanism\n"
+        f"{table_b}"
+    )

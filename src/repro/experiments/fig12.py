@@ -1,0 +1,118 @@
+"""Fig 12 — sensitivity studies.
+
+(a) Exact-length CritICs: fetch-cost savings grow with length n, but the
+    probability of finding all-convertible chains of exactly length n
+    drops, so speedup peaks at a small n (the paper: n = 5).
+(b) Profile coverage: speedup as a function of how much of the execution
+    the offline profiler observed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.compiler import CriticPass, PassManager, region_oracle
+from repro.cpu import simulate, speedup
+from repro.experiments.fig01 import _group_names
+from repro.experiments.runner import (
+    app_context,
+    format_table,
+    geometric_mean,
+)
+from repro.profiler import FinderConfig, find_critic_profile
+
+
+@dataclass
+class Fig12aRow:
+    length: int
+    speedup_pct: float
+    fetch_stall_frac: float   # remaining F.StallForI+R+D fraction
+    chains_converted: int
+
+
+@dataclass
+class Fig12bRow:
+    profiled_fraction: float
+    speedup_pct: float
+
+
+def run_length_sensitivity(
+    lengths: Sequence[int] = (2, 3, 4, 5, 7, 9),
+    apps: Optional[int] = 3,
+    walk_blocks: Optional[int] = None,
+) -> List[Fig12aRow]:
+    """Fig 12a: evaluate CritICs of exactly length n, per n."""
+    names = _group_names("mobile", apps)
+    rows: List[Fig12aRow] = []
+    for length in lengths:
+        ratios: List[float] = []
+        stall = 0.0
+        chains = 0
+        for name in names:
+            ctx = app_context(name, walk_blocks)
+            base = ctx.stats("baseline")
+            config = FinderConfig(max_length=length)
+            profile = find_critic_profile(
+                ctx.trace(), ctx.workload.program, config,
+                app_name=name,
+            )
+            records = [
+                r for r in profile.select_for_compiler(max_length=length)
+                if r.length == length
+            ]
+            result = PassManager([
+                CriticPass(records, mode="cdp",
+                           may_alias=region_oracle(ctx.workload.memory))
+            ]).run(ctx.workload.program)
+            chains += result.ctx.get("critic", "chains")
+            stats = simulate(ctx.workload.trace_for(result.program))
+            ratios.append(speedup(base, stats))
+            fractions = stats.fetch_stall_fractions()
+            stall += fractions["stall_for_i"] + fractions["stall_for_rd"]
+        rows.append(Fig12aRow(
+            length=length,
+            speedup_pct=100 * (geometric_mean(ratios) - 1),
+            fetch_stall_frac=stall / len(names),
+            chains_converted=chains,
+        ))
+    return rows
+
+
+def run_profile_sensitivity(
+    fractions: Sequence[float] = (0.1, 0.33, 0.72, 1.0),
+    apps: Optional[int] = 3,
+    walk_blocks: Optional[int] = None,
+) -> List[Fig12bRow]:
+    """Fig 12b: speedup vs profiled fraction of the execution."""
+    names = _group_names("mobile", apps)
+    rows: List[Fig12bRow] = []
+    for fraction in fractions:
+        ratios: List[float] = []
+        for name in names:
+            ctx = app_context(name, walk_blocks)
+            base = ctx.stats("baseline")
+            stats = ctx.stats("critic", profiled_fraction=fraction)
+            ratios.append(speedup(base, stats))
+        rows.append(Fig12bRow(
+            profiled_fraction=fraction,
+            speedup_pct=100 * (geometric_mean(ratios) - 1),
+        ))
+    return rows
+
+
+def format_length(rows: List[Fig12aRow]) -> str:
+    return "Fig 12a: sensitivity to exact CritIC length\n" + format_table(
+        ["length", "speedup", "fetch-stall frac", "chains"],
+        [[str(r.length), f"{r.speedup_pct:+.2f}%",
+          f"{r.fetch_stall_frac * 100:.1f}%", str(r.chains_converted)]
+         for r in rows],
+    )
+
+
+def format_profile(rows: List[Fig12bRow]) -> str:
+    return "Fig 12b: sensitivity to profile coverage\n" + format_table(
+        ["profiled", "speedup"],
+        [[f"{r.profiled_fraction * 100:.0f}%", f"{r.speedup_pct:+.2f}%"]
+         for r in rows],
+    )

@@ -1,0 +1,89 @@
+"""Fig 13 — why bother with criticality? (opportunistic Thumb baselines)
+
+(a) Speedup of OPP16 (convert any amenable run of >= 3), Compress
+    (Krishnaswamy-Gupta fine-grained conversion), CritIC, and
+    OPP16+CritIC stacked.
+(b) The fraction of dynamic instructions each scheme converts to 16-bit:
+    CritIC converts far fewer while (in the paper) gaining more —
+    criticality selects the conversions that matter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.cpu import speedup
+from repro.experiments.fig01 import _group_names
+from repro.experiments.runner import (
+    app_context,
+    format_table,
+    geometric_mean,
+)
+
+SCHEMES = ("opp16", "compress", "critic", "opp16_critic")
+
+
+@dataclass
+class Fig13Row:
+    app: str
+    speedups_pct: List[float]      # per SCHEMES
+    converted_frac: List[float]    # per SCHEMES
+
+
+@dataclass
+class Fig13Result:
+    rows: List[Fig13Row]
+    mean_speedups_pct: List[float]
+    mean_converted_frac: List[float]
+
+
+def run(apps: Optional[int] = None,
+        walk_blocks: Optional[int] = None) -> Fig13Result:
+    rows: List[Fig13Row] = []
+    for name in _group_names("mobile", apps):
+        ctx = app_context(name, walk_blocks)
+        base = ctx.stats("baseline")
+        speedups: List[float] = []
+        converted: List[float] = []
+        for scheme in SCHEMES:
+            stats = ctx.stats(scheme)
+            speedups.append(100 * (speedup(base, stats) - 1))
+            trace = ctx.scheme_trace(scheme)
+            converted.append(trace.count_thumb() / len(trace))
+        rows.append(Fig13Row(app=name, speedups_pct=speedups,
+                             converted_frac=converted))
+
+    mean_speedups = [
+        100 * (geometric_mean(
+            [1 + r.speedups_pct[i] / 100 for r in rows]) - 1)
+        for i in range(len(SCHEMES))
+    ]
+    mean_converted = [
+        sum(r.converted_frac[i] for r in rows) / len(rows)
+        for i in range(len(SCHEMES))
+    ]
+    return Fig13Result(rows=rows, mean_speedups_pct=mean_speedups,
+                       mean_converted_frac=mean_converted)
+
+
+def format_result(result: Fig13Result) -> str:
+    table_a = format_table(
+        ["app"] + list(SCHEMES),
+        [[r.app] + [f"{v:+.1f}%" for v in r.speedups_pct]
+         for r in result.rows]
+        + [["MEAN"] + [f"{v:+.1f}%" for v in result.mean_speedups_pct]],
+    )
+    table_b = format_table(
+        ["app"] + [f"{s}-converted" for s in SCHEMES],
+        [[r.app] + [f"{v * 100:.1f}%" for v in r.converted_frac]
+         for r in result.rows]
+        + [["MEAN"] + [f"{v * 100:.1f}%"
+                       for v in result.mean_converted_frac]],
+    )
+    return (
+        "Fig 13a: opportunistic Thumb conversion vs CritIC (speedup)\n"
+        f"{table_a}\n\n"
+        "Fig 13b: dynamic instructions converted to 16-bit format\n"
+        f"{table_b}"
+    )

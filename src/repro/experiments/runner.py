@@ -1,0 +1,179 @@
+"""Experiment runner: app x scheme x hardware-config simulations.
+
+Central plumbing for every figure/table reproduction:
+
+* workloads, traces, profiles, and transformed programs are generated once
+  per app and memoized (figures share them);
+* the evaluated *schemes* (baseline / Hoist / CritIC / CritIC.Ideal /
+  Approach-1 branch switching / OPP16 / Compress / OPP16+CritIC) are
+  expressed as compiler pipelines over the same program + walk;
+* trace length is controlled by ``REPRO_WALK_BLOCKS`` (default 700 dynamic
+  blocks, ~25-60k instructions per app) so benches run at laptop scale;
+  the paper's full-scale methodology (100 x 500k-instruction samples) is
+  structurally identical, just larger.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.compiler import (
+    CompressPass,
+    CriticPass,
+    Opp16Pass,
+    PassManager,
+    region_oracle,
+)
+from repro.cpu import CpuConfig, GOOGLE_TABLET, SimStats, simulate
+from repro.profiler import CriticProfile, FinderConfig, find_critic_profile
+from repro.trace.dynamic import Trace
+from repro.workloads import Workload, generate, get_profile
+
+#: Dynamic block budget for generated walks (env-overridable).
+DEFAULT_WALK_BLOCKS = int(os.environ.get("REPRO_WALK_BLOCKS", "700"))
+
+#: Scheme names accepted by :func:`scheme_trace`.
+SCHEMES = (
+    "baseline", "hoist", "critic", "critic_ideal", "branch",
+    "opp16", "compress", "opp16_critic",
+)
+
+_workloads: Dict[Tuple[str, int], "AppContext"] = {}
+
+
+@dataclass
+class AppContext:
+    """Everything derived from one app at one scale, lazily materialized."""
+
+    workload: Workload
+    profile: Optional[CriticProfile] = None
+    _traces: Dict[str, Trace] = field(default_factory=dict)
+    _stats: Dict[Tuple[str, str], SimStats] = field(default_factory=dict)
+
+    @property
+    def name(self) -> str:
+        return self.workload.name
+
+    def trace(self) -> Trace:
+        return self.workload.trace()
+
+    def critic_profile(self, profiled_fraction: float = 1.0,
+                       max_length: Optional[int] = None) -> CriticProfile:
+        """The offline profiler's output (cached for the default config)."""
+        default = profiled_fraction >= 1.0 and max_length is None
+        if default and self.profile is not None:
+            return self.profile
+        config = FinderConfig(
+            profiled_fraction=profiled_fraction,
+            max_length=max_length,
+        )
+        profile = find_critic_profile(
+            self.trace(), self.workload.program, config,
+            app_name=self.name,
+        )
+        if default:
+            self.profile = profile
+        return profile
+
+    # -- schemes ---------------------------------------------------------------
+
+    def _passes(self, scheme: str, max_length: int = 5,
+                profiled_fraction: float = 1.0):
+        oracle = region_oracle(self.workload.memory)
+        profile = self.critic_profile(profiled_fraction=profiled_fraction)
+        records = profile.select_for_compiler(max_length=max_length)
+        if scheme == "hoist":
+            return [CriticPass(records, mode="hoist", may_alias=oracle)]
+        if scheme == "critic":
+            return [CriticPass(records, mode="cdp", may_alias=oracle)]
+        if scheme == "branch":
+            return [CriticPass(records, mode="branch", may_alias=oracle)]
+        if scheme == "critic_ideal":
+            ideal_profile = self.critic_profile(max_length=20)
+            ideal_records = ideal_profile.select_for_compiler(
+                max_length=None, require_thumb=False,
+            )
+            return [CriticPass(ideal_records, mode="cdp", ideal=True,
+                               may_alias=oracle)]
+        if scheme == "opp16":
+            return [Opp16Pass()]
+        if scheme == "compress":
+            return [CompressPass()]
+        if scheme == "opp16_critic":
+            return [CriticPass(records, mode="cdp", may_alias=oracle),
+                    Opp16Pass()]
+        raise ValueError(f"unknown scheme {scheme!r}; one of {SCHEMES}")
+
+    def scheme_trace(self, scheme: str, max_length: int = 5,
+                     profiled_fraction: float = 1.0) -> Trace:
+        """The dynamic trace under ``scheme`` (cached for defaults)."""
+        default = max_length == 5 and profiled_fraction >= 1.0
+        if default and scheme in self._traces:
+            return self._traces[scheme]
+        if scheme == "baseline":
+            trace = self.trace()
+        else:
+            result = PassManager(
+                self._passes(scheme, max_length, profiled_fraction)
+            ).run(self.workload.program)
+            trace = self.workload.trace_for(result.program)
+        if default:
+            self._traces[scheme] = trace
+        return trace
+
+    def stats(self, scheme: str = "baseline",
+              config: CpuConfig = GOOGLE_TABLET,
+              max_length: int = 5,
+              profiled_fraction: float = 1.0) -> SimStats:
+        """Simulate ``scheme`` on ``config`` (cached for defaults)."""
+        default = max_length == 5 and profiled_fraction >= 1.0
+        key = (scheme, config.name)
+        if default and key in self._stats:
+            return self._stats[key]
+        trace = self.scheme_trace(scheme, max_length, profiled_fraction)
+        stats = simulate(trace, config)
+        if default:
+            self._stats[key] = stats
+        return stats
+
+
+def app_context(name: str,
+                walk_blocks: Optional[int] = None) -> AppContext:
+    """Get (and cache) the :class:`AppContext` for one app/benchmark."""
+    blocks = walk_blocks if walk_blocks is not None else DEFAULT_WALK_BLOCKS
+    key = (name, blocks)
+    if key not in _workloads:
+        _workloads[key] = AppContext(
+            workload=generate(get_profile(name), walk_blocks=blocks)
+        )
+    return _workloads[key]
+
+
+def clear_cache() -> None:
+    """Drop all memoized workloads/stats (tests use this)."""
+    _workloads.clear()
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    """Geometric mean (speedups are ratios)."""
+    if not values:
+        return 0.0
+    product = 1.0
+    for value in values:
+        product *= value
+    return product ** (1.0 / len(values))
+
+
+def format_table(headers: List[str], rows: List[List[str]]) -> str:
+    """Minimal fixed-width table renderer used by every figure module."""
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    def fmt(cells):
+        return "  ".join(c.ljust(widths[i]) for i, c in enumerate(cells))
+    lines = [fmt(headers), fmt(["-" * w for w in widths])]
+    lines.extend(fmt(row) for row in rows)
+    return "\n".join(lines)

@@ -1,0 +1,98 @@
+"""ARM-like ISA model: registers, opcodes, instructions, Thumb encodability.
+
+This package models just enough of the ARM ISA for the CritIC study:
+the 32-bit format, the 16-bit Thumb format and its operand restrictions
+(no predication, 11 registers, 8-bit immediates), and the repurposed
+``CDP`` format-switch command of the paper's Approach 2.
+"""
+
+from repro.isa.assembly import (
+    AsmError,
+    dest_count,
+    format_program,
+    parse_line,
+    parse_program_text,
+)
+from repro.isa.condition import Cond, PREDICATED_CONDS
+from repro.isa.encoding import (
+    THUMB_IMM_MAX,
+    chain_thumb_encodable,
+    code_bytes,
+    convert_chain_to_thumb,
+    convert_to_thumb,
+    is_thumb_encodable,
+    thumb_rejection_reason,
+)
+from repro.isa.instruction import Encoding, Instruction, MAX_CDP_COVER
+from repro.isa.opcodes import (
+    ALU_OPCODES,
+    BRANCH_OPCODES,
+    FP_OPCODES,
+    LOAD_OPCODES,
+    LONG_LATENCY_THRESHOLD,
+    STORE_OPCODES,
+    InstrKind,
+    Opcode,
+    OpcodeInfo,
+    has_thumb_form,
+    is_long_latency,
+    kind_of,
+    latency_of,
+    opcode_info,
+)
+from repro.isa.registers import (
+    LR,
+    NUM_REGISTERS,
+    NUM_THUMB_REGISTERS,
+    PC,
+    SP,
+    THUMB_REGISTERS,
+    all_thumb_registers,
+    is_thumb_register,
+    register_name,
+    validate_register,
+)
+
+__all__ = [
+    "AsmError",
+    "ALU_OPCODES",
+    "BRANCH_OPCODES",
+    "Cond",
+    "Encoding",
+    "FP_OPCODES",
+    "Instruction",
+    "InstrKind",
+    "LOAD_OPCODES",
+    "LONG_LATENCY_THRESHOLD",
+    "LR",
+    "MAX_CDP_COVER",
+    "NUM_REGISTERS",
+    "NUM_THUMB_REGISTERS",
+    "Opcode",
+    "OpcodeInfo",
+    "PC",
+    "PREDICATED_CONDS",
+    "SP",
+    "STORE_OPCODES",
+    "THUMB_IMM_MAX",
+    "THUMB_REGISTERS",
+    "all_thumb_registers",
+    "chain_thumb_encodable",
+    "code_bytes",
+    "convert_chain_to_thumb",
+    "convert_to_thumb",
+    "dest_count",
+    "format_program",
+    "has_thumb_form",
+    "is_long_latency",
+    "is_thumb_encodable",
+    "is_thumb_register",
+    "kind_of",
+    "latency_of",
+    "opcode_info",
+    "parse_line",
+    "parse_program_text",
+    "register_name",
+    "thumb_rejection_reason",
+    "validate_register",
+]

@@ -1,0 +1,151 @@
+"""Tiny assembler: render and parse the textual instruction form.
+
+``Instruction.to_text()`` produces lines like::
+
+    ADDEQ R1, R2, R3
+    LDR R4, R5, #12
+    B @17
+    CDP <5>
+    MOV R0, R1  ; .thumb
+
+This module parses those lines back into :class:`Instruction` objects, which
+gives the test-suite a round-trip property and the examples a readable dump
+format.  The destination-register count is a function of the opcode (e.g.
+``CMP``/stores/branches write no register), which makes the flat operand list
+unambiguous.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional, Tuple
+
+from repro.isa.condition import Cond
+from repro.isa.instruction import Encoding, Instruction
+from repro.isa.opcodes import Opcode, opcode_info
+
+#: Opcodes that write no destination register.  BL is not here: it writes
+#: the link register (and renders it as its destination operand).
+_ZERO_DEST = {
+    Opcode.CMP,
+    Opcode.TST,
+    Opcode.STR,
+    Opcode.STRB,
+    Opcode.STRH,
+    Opcode.VSTR,
+    Opcode.B,
+    Opcode.BX,
+    Opcode.NOP,
+    Opcode.CDP,
+}
+
+
+def dest_count(opcode: Opcode) -> int:
+    """Number of destination registers ``opcode`` writes."""
+    return 0 if opcode in _ZERO_DEST else 1
+
+
+_REG_RE = re.compile(r"^(R(\d+)|SP|LR|PC)$")
+_SPECIAL = {"SP": 13, "LR": 14, "PC": 15}
+
+# Longest-first so e.g. "LDRB" is not parsed as "LDR" + cond "B…".
+_MNEMONICS = sorted((op.value for op in Opcode), key=len, reverse=True)
+_CONDS = {c.value for c in Cond if c is not Cond.AL}
+
+
+class AsmError(ValueError):
+    """Raised when a line cannot be parsed as an instruction."""
+
+
+def _parse_register(token: str) -> Optional[int]:
+    match = _REG_RE.match(token)
+    if not match:
+        return None
+    if token in _SPECIAL:
+        return _SPECIAL[token]
+    return int(match.group(2))
+
+
+def _split_mnemonic(word: str) -> Tuple[Opcode, Cond]:
+    for mnemonic in _MNEMONICS:
+        if word == mnemonic:
+            return Opcode(mnemonic), Cond.AL
+        if word.startswith(mnemonic):
+            suffix = word[len(mnemonic):]
+            if suffix in _CONDS:
+                return Opcode(mnemonic), Cond(suffix)
+    raise AsmError(f"unknown mnemonic {word!r}")
+
+
+def parse_line(line: str) -> Instruction:
+    """Parse one assembler line into an :class:`Instruction`.
+
+    Raises:
+        AsmError: on any syntax problem.
+    """
+    text = line.strip()
+    encoding = Encoding.ARM32
+    if ";" in text:
+        text, comment = text.split(";", 1)
+        if ".thumb" in comment:
+            encoding = Encoding.THUMB16
+        text = text.strip()
+    if not text:
+        raise AsmError("empty line")
+
+    parts = text.split(None, 1)
+    opcode, cond = _split_mnemonic(parts[0])
+    operands = [t.strip() for t in parts[1].split(",")] if len(parts) > 1 else []
+
+    regs: List[int] = []
+    imm: Optional[int] = None
+    target: Optional[int] = None
+    cdp_cover: Optional[int] = None
+    for token in operands:
+        if not token:
+            raise AsmError(f"empty operand in {line!r}")
+        reg = _parse_register(token)
+        if reg is not None:
+            regs.append(reg)
+        elif token.startswith("#"):
+            imm = int(token[1:])
+        elif token.startswith("@"):
+            target = int(token[1:])
+        elif token.startswith("<") and token.endswith(">"):
+            cdp_cover = int(token[1:-1])
+        else:
+            raise AsmError(f"bad operand {token!r} in {line!r}")
+
+    # Branches-with-link may omit the implicit LR operand; everything else
+    # must carry its destination.
+    n_dest = min(dest_count(opcode), len(regs)) \
+        if opcode is Opcode.BL else dest_count(opcode)
+    if len(regs) < n_dest:
+        raise AsmError(f"{opcode.value} needs {n_dest} destination register(s)")
+    instr = Instruction(
+        opcode=opcode,
+        dests=tuple(regs[:n_dest]),
+        srcs=tuple(regs[n_dest:]),
+        imm=imm,
+        cond=cond,
+        target=target,
+        encoding=encoding,
+        cdp_cover=cdp_cover,
+    )
+    return instr
+
+
+def parse_program_text(text: str) -> List[Instruction]:
+    """Parse a multi-line assembler listing, skipping blanks and comments."""
+    instrs = []
+    for raw in text.splitlines():
+        stripped = raw.strip()
+        if not stripped or stripped.startswith(";"):
+            continue
+        instrs.append(parse_line(raw))
+    return instrs
+
+
+def format_program(instrs: List[Instruction]) -> str:
+    """Render instructions one per line (inverse of parse_program_text)."""
+    return "\n".join(i.to_text() for i in instrs)

@@ -1,0 +1,34 @@
+"""Condition codes (predication) for the ARM-like ISA.
+
+ARM 32-bit instructions can be predicated on a condition code; the 16-bit
+Thumb format cannot (paper Sec. III-B: the Thumb format "cannot have
+predicated executions").  We model the usual condition-code suffixes; ``AL``
+(always) means the instruction is unpredicated.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class Cond(enum.Enum):
+    """ARM condition-code suffixes."""
+
+    AL = "AL"  # always (unpredicated)
+    EQ = "EQ"
+    NE = "NE"
+    GT = "GT"
+    LT = "LT"
+    GE = "GE"
+    LE = "LE"
+    CS = "CS"
+    CC = "CC"
+
+    @property
+    def is_predicated(self) -> bool:
+        """True if this condition makes the instruction predicated."""
+        return self is not Cond.AL
+
+
+#: Conditions other than AL, i.e. the predicated forms.
+PREDICATED_CONDS = tuple(c for c in Cond if c.is_predicated)

@@ -1,0 +1,85 @@
+"""Thumb (16-bit) encodability rules and chain-level conversion checks.
+
+The paper (Sec. III-B and footnote 1) gives the constraints under which an
+instruction can be represented in the 16-bit Thumb format *without any
+change*:
+
+1. the mnemonic must have a Thumb form at all (no FP/co-processor ops),
+2. no predication (condition code must be ``AL``),
+3. every register operand must be one of the low 11 registers (R0..R10),
+4. immediates must fit the Thumb 8-bit field.
+
+A CritIC sequence is converted **all-or-nothing**: if any member fails these
+checks the entire chain is left in 32-bit format.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+from repro.isa.instruction import Encoding, Instruction
+from repro.isa.opcodes import Opcode, has_thumb_form
+from repro.isa.registers import all_thumb_registers
+
+#: Largest unsigned immediate representable in the Thumb 8-bit field.
+THUMB_IMM_MAX = 255
+
+
+def thumb_rejection_reason(instr: Instruction) -> Optional[str]:
+    """Return why ``instr`` cannot be Thumb-encoded, or None if it can.
+
+    The returned string is a stable machine-checkable tag (useful in tests
+    and profiler reports): one of ``"no-thumb-form"``, ``"predicated"``,
+    ``"high-register"``, ``"immediate-range"``.
+    """
+    if instr.opcode is Opcode.CDP:
+        # The CDP switch command is laid out as a 16-bit half-word but is not
+        # itself subject to conversion; callers never ask about it.
+        return "no-thumb-form"
+    if not has_thumb_form(instr.opcode):
+        return "no-thumb-form"
+    if instr.is_predicated:
+        return "predicated"
+    if not all_thumb_registers(instr.dests + instr.srcs):
+        return "high-register"
+    if instr.imm is not None and not 0 <= instr.imm <= THUMB_IMM_MAX:
+        return "immediate-range"
+    return None
+
+
+def is_thumb_encodable(instr: Instruction) -> bool:
+    """Return True if ``instr`` can be represented in 16-bit Thumb as-is."""
+    return thumb_rejection_reason(instr) is None
+
+
+def chain_thumb_encodable(instrs: Iterable[Instruction]) -> bool:
+    """All-or-nothing check for a CritIC sequence (paper footnote 1)."""
+    return all(is_thumb_encodable(i) for i in instrs)
+
+
+def convert_to_thumb(instr: Instruction) -> Instruction:
+    """Return a THUMB16-encoded copy of ``instr``.
+
+    Raises:
+        ValueError: if the instruction is not Thumb-encodable.
+    """
+    reason = thumb_rejection_reason(instr)
+    if reason is not None:
+        raise ValueError(
+            f"cannot Thumb-encode {instr.to_text()!r}: {reason}"
+        )
+    return instr.with_encoding(Encoding.THUMB16)
+
+
+def convert_chain_to_thumb(
+    instrs: Sequence[Instruction],
+) -> Optional[List[Instruction]]:
+    """Convert a whole chain to Thumb, or return None (all-or-nothing)."""
+    if not chain_thumb_encodable(instrs):
+        return None
+    return [convert_to_thumb(i) for i in instrs]
+
+
+def code_bytes(instrs: Iterable[Instruction]) -> int:
+    """Total encoded byte size of ``instrs`` under current encodings."""
+    return sum(i.size_bytes for i in instrs)

@@ -1,0 +1,192 @@
+"""Opcode definitions for the ARM-like ISA.
+
+Each opcode carries:
+
+* an :class:`InstrKind` describing which functional unit executes it,
+* a base execute latency in cycles (used by ``repro.cpu.execute``),
+* whether a 16-bit Thumb form of the mnemonic exists at all.
+
+The latencies follow the usual embedded in-order/out-of-order ARM folklore the
+paper relies on: single-cycle integer ALU ops, a few-cycle multiply, long
+latency divide and floating point, and loads whose total latency is dominated
+by the cache hierarchy (the 1-cycle figure here is the *execute-stage*
+occupancy; memory time is added by ``repro.memory``).
+
+``CDP`` is singled out: the paper repurposes the co-processor data-processing
+mnemonic as the Thumb-format switch for CritIC sequences (Sec. IV-B).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+
+class InstrKind(enum.Enum):
+    """Functional class of an instruction (selects FU and latency class)."""
+
+    ALU = "alu"
+    MUL = "mul"
+    DIV = "div"
+    LOAD = "load"
+    STORE = "store"
+    BRANCH = "branch"
+    FP = "fp"
+    SYSTEM = "system"
+
+
+@dataclass(frozen=True)
+class OpcodeInfo:
+    """Static properties of one opcode mnemonic."""
+
+    mnemonic: str
+    kind: InstrKind
+    latency: int
+    has_thumb_form: bool
+    reads_memory: bool = False
+    writes_memory: bool = False
+
+    def __post_init__(self) -> None:
+        if self.latency < 1:
+            raise ValueError(f"{self.mnemonic}: latency must be >= 1")
+
+
+class Opcode(enum.Enum):
+    """Mnemonics of the modeled ISA subset."""
+
+    # Integer ALU
+    MOV = "MOV"
+    MVN = "MVN"
+    ADD = "ADD"
+    SUB = "SUB"
+    RSB = "RSB"
+    AND = "AND"
+    ORR = "ORR"
+    EOR = "EOR"
+    BIC = "BIC"
+    LSL = "LSL"
+    LSR = "LSR"
+    ASR = "ASR"
+    CMP = "CMP"
+    TST = "TST"
+    # Multiply / divide
+    MUL = "MUL"
+    MLA = "MLA"
+    SDIV = "SDIV"
+    UDIV = "UDIV"
+    # Memory
+    LDR = "LDR"
+    LDRB = "LDRB"
+    LDRH = "LDRH"
+    STR = "STR"
+    STRB = "STRB"
+    STRH = "STRH"
+    # Control flow
+    B = "B"
+    BL = "BL"
+    BX = "BX"
+    # Floating point (VFP-ish; no basic Thumb forms)
+    VADD = "VADD"
+    VSUB = "VSUB"
+    VMUL = "VMUL"
+    VDIV = "VDIV"
+    VSQRT = "VSQRT"
+    VLDR = "VLDR"
+    VSTR = "VSTR"
+    # System
+    NOP = "NOP"
+    CDP = "CDP"
+
+
+_INFO: Dict[Opcode, OpcodeInfo] = {
+    Opcode.MOV: OpcodeInfo("MOV", InstrKind.ALU, 1, True),
+    Opcode.MVN: OpcodeInfo("MVN", InstrKind.ALU, 1, True),
+    Opcode.ADD: OpcodeInfo("ADD", InstrKind.ALU, 1, True),
+    Opcode.SUB: OpcodeInfo("SUB", InstrKind.ALU, 1, True),
+    Opcode.RSB: OpcodeInfo("RSB", InstrKind.ALU, 1, False),
+    Opcode.AND: OpcodeInfo("AND", InstrKind.ALU, 1, True),
+    Opcode.ORR: OpcodeInfo("ORR", InstrKind.ALU, 1, True),
+    Opcode.EOR: OpcodeInfo("EOR", InstrKind.ALU, 1, True),
+    Opcode.BIC: OpcodeInfo("BIC", InstrKind.ALU, 1, True),
+    Opcode.LSL: OpcodeInfo("LSL", InstrKind.ALU, 1, True),
+    Opcode.LSR: OpcodeInfo("LSR", InstrKind.ALU, 1, True),
+    Opcode.ASR: OpcodeInfo("ASR", InstrKind.ALU, 1, True),
+    Opcode.CMP: OpcodeInfo("CMP", InstrKind.ALU, 1, True),
+    Opcode.TST: OpcodeInfo("TST", InstrKind.ALU, 1, True),
+    Opcode.MUL: OpcodeInfo("MUL", InstrKind.MUL, 4, True),
+    Opcode.MLA: OpcodeInfo("MLA", InstrKind.MUL, 4, False),
+    Opcode.SDIV: OpcodeInfo("SDIV", InstrKind.DIV, 12, False),
+    Opcode.UDIV: OpcodeInfo("UDIV", InstrKind.DIV, 12, False),
+    Opcode.LDR: OpcodeInfo("LDR", InstrKind.LOAD, 1, True, reads_memory=True),
+    Opcode.LDRB: OpcodeInfo("LDRB", InstrKind.LOAD, 1, True, reads_memory=True),
+    Opcode.LDRH: OpcodeInfo("LDRH", InstrKind.LOAD, 1, True, reads_memory=True),
+    Opcode.STR: OpcodeInfo("STR", InstrKind.STORE, 1, True, writes_memory=True),
+    Opcode.STRB: OpcodeInfo(
+        "STRB", InstrKind.STORE, 1, True, writes_memory=True
+    ),
+    Opcode.STRH: OpcodeInfo(
+        "STRH", InstrKind.STORE, 1, True, writes_memory=True
+    ),
+    Opcode.B: OpcodeInfo("B", InstrKind.BRANCH, 1, True),
+    Opcode.BL: OpcodeInfo("BL", InstrKind.BRANCH, 1, True),
+    Opcode.BX: OpcodeInfo("BX", InstrKind.BRANCH, 1, True),
+    Opcode.VADD: OpcodeInfo("VADD", InstrKind.FP, 4, False),
+    Opcode.VSUB: OpcodeInfo("VSUB", InstrKind.FP, 4, False),
+    Opcode.VMUL: OpcodeInfo("VMUL", InstrKind.FP, 5, False),
+    Opcode.VDIV: OpcodeInfo("VDIV", InstrKind.FP, 18, False),
+    Opcode.VSQRT: OpcodeInfo("VSQRT", InstrKind.FP, 18, False),
+    Opcode.VLDR: OpcodeInfo("VLDR", InstrKind.FP, 2, False, reads_memory=True),
+    Opcode.VSTR: OpcodeInfo(
+        "VSTR", InstrKind.FP, 2, False, writes_memory=True
+    ),
+    Opcode.NOP: OpcodeInfo("NOP", InstrKind.SYSTEM, 1, True),
+    Opcode.CDP: OpcodeInfo("CDP", InstrKind.SYSTEM, 1, False),
+}
+
+
+def opcode_info(opcode: Opcode) -> OpcodeInfo:
+    """Return the static :class:`OpcodeInfo` for ``opcode``."""
+    return _INFO[opcode]
+
+
+def kind_of(opcode: Opcode) -> InstrKind:
+    """Return the functional class of ``opcode``."""
+    return _INFO[opcode].kind
+
+
+def latency_of(opcode: Opcode) -> int:
+    """Return the execute-stage latency (cycles) of ``opcode``."""
+    return _INFO[opcode].latency
+
+
+def has_thumb_form(opcode: Opcode) -> bool:
+    """Return True if a 16-bit Thumb encoding of ``opcode`` exists."""
+    return _INFO[opcode].has_thumb_form
+
+
+#: Execute latency above which an instruction counts as "long latency" in the
+#: paper's Fig. 3(c) characterization.
+LONG_LATENCY_THRESHOLD = 4
+
+
+def is_long_latency(opcode: Opcode) -> bool:
+    """Return True if ``opcode`` is a long-latency instruction (Fig. 3c)."""
+    return _INFO[opcode].latency >= LONG_LATENCY_THRESHOLD
+
+
+ALU_OPCODES: Tuple[Opcode, ...] = tuple(
+    op for op, info in _INFO.items() if info.kind is InstrKind.ALU
+)
+LOAD_OPCODES: Tuple[Opcode, ...] = tuple(
+    op for op, info in _INFO.items() if info.reads_memory
+)
+STORE_OPCODES: Tuple[Opcode, ...] = tuple(
+    op for op, info in _INFO.items() if info.writes_memory
+)
+BRANCH_OPCODES: Tuple[Opcode, ...] = tuple(
+    op for op, info in _INFO.items() if info.kind is InstrKind.BRANCH
+)
+FP_OPCODES: Tuple[Opcode, ...] = tuple(
+    op for op, info in _INFO.items() if info.kind is InstrKind.FP
+)

@@ -1,0 +1,17 @@
+"""Memory subsystem: caches, DRAM, prefetchers, and the hierarchy."""
+
+from repro.memory.cache import Cache, CacheStats
+from repro.memory.dram import Dram, DramTimings
+from repro.memory.hierarchy import MemoryConfig, MemorySystem
+from repro.memory.prefetch import CriticalLoadPrefetcher, EFetchPrefetcher
+
+__all__ = [
+    "Cache",
+    "CacheStats",
+    "CriticalLoadPrefetcher",
+    "Dram",
+    "DramTimings",
+    "EFetchPrefetcher",
+    "MemoryConfig",
+    "MemorySystem",
+]

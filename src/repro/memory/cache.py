@@ -1,0 +1,97 @@
+"""Set-associative cache model with LRU replacement.
+
+Latency-oriented (no port contention or MSHR occupancy): each access
+reports hit/miss and the hierarchy composes miss latencies.  Counters feed
+both the performance statistics and the energy model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+
+@dataclass
+class CacheStats:
+    """Access counters for one cache."""
+
+    accesses: int = 0
+    misses: int = 0
+    writebacks: int = 0
+
+    @property
+    def hits(self) -> int:
+        return self.accesses - self.misses
+
+    @property
+    def miss_rate(self) -> float:
+        return self.misses / self.accesses if self.accesses else 0.0
+
+
+class Cache:
+    """A size/assoc/line-size parameterized LRU cache.
+
+    Args:
+        name: label used in stats dumps.
+        size_bytes: total capacity.
+        assoc: ways per set.
+        line_bytes: cache-line size.
+        hit_latency: cycles for a hit.
+    """
+
+    def __init__(self, name: str, size_bytes: int, assoc: int,
+                 line_bytes: int, hit_latency: int):
+        if size_bytes % (assoc * line_bytes) != 0:
+            raise ValueError(
+                f"{name}: size {size_bytes} not divisible by "
+                f"assoc*line ({assoc}*{line_bytes})"
+            )
+        self.name = name
+        self.size_bytes = size_bytes
+        self.assoc = assoc
+        self.line_bytes = line_bytes
+        self.hit_latency = hit_latency
+        self.num_sets = size_bytes // (assoc * line_bytes)
+        self.stats = CacheStats()
+        # per-set LRU list of tags (index 0 = MRU)
+        self._sets: List[List[int]] = [[] for _ in range(self.num_sets)]
+
+    def _locate(self, addr: int):
+        line = addr // self.line_bytes
+        return line % self.num_sets, line // self.num_sets
+
+    def lookup(self, addr: int) -> bool:
+        """Access the cache; returns True on hit.  Updates LRU and fills
+        the line on miss (allocate-on-miss)."""
+        set_idx, tag = self._locate(addr)
+        ways = self._sets[set_idx]
+        self.stats.accesses += 1
+        if tag in ways:
+            ways.remove(tag)
+            ways.insert(0, tag)
+            return True
+        self.stats.misses += 1
+        ways.insert(0, tag)
+        if len(ways) > self.assoc:
+            ways.pop()
+            self.stats.writebacks += 1
+        return False
+
+    def probe(self, addr: int) -> bool:
+        """Check residency without touching LRU or counters."""
+        set_idx, tag = self._locate(addr)
+        return tag in self._sets[set_idx]
+
+    def fill(self, addr: int) -> None:
+        """Install a line (prefetch path): no access/miss counters."""
+        set_idx, tag = self._locate(addr)
+        ways = self._sets[set_idx]
+        if tag in ways:
+            ways.remove(tag)
+        ways.insert(0, tag)
+        if len(ways) > self.assoc:
+            ways.pop()
+
+    def line_of(self, addr: int) -> int:
+        """Line index of an address (for crossing detection)."""
+        return addr // self.line_bytes

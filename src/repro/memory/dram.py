@@ -1,0 +1,60 @@
+"""LPDDR3 DRAM timing model (DRAMSim2 stand-in).
+
+Open-page policy over channels/ranks/banks (Table I: 1 channel, 2 ranks,
+8 banks/rank, tCL = tRP = tRCD = 13 ns).  Latencies are returned in CPU
+cycles; the address decoding is row:bank:column-ish, which combined with the
+generator's strided patterns yields realistic row-buffer behaviour (streams
+hit open rows, hashed accesses mostly miss them).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+
+@dataclass(frozen=True)
+class DramTimings:
+    """Core timing parameters, already converted to CPU cycles."""
+
+    t_cl: int = 20    # 13 ns @ ~1.5 GHz
+    t_rcd: int = 20
+    t_rp: int = 20
+    t_burst: int = 6
+    #: fixed controller + interconnect overhead per request
+    t_overhead: int = 18
+
+
+class Dram:
+    """Bank-state DRAM model: row hits vs row conflicts."""
+
+    ROW_BYTES = 4096
+    NUM_RANKS = 2
+    BANKS_PER_RANK = 8
+
+    def __init__(self, timings: DramTimings = DramTimings()):
+        self.timings = timings
+        self._open_rows: Dict[int, int] = {}
+        self.reads = 0
+        self.row_hits = 0
+
+    def _bank_and_row(self, addr: int):
+        row = addr // self.ROW_BYTES
+        bank = row % (self.NUM_RANKS * self.BANKS_PER_RANK)
+        return bank, row
+
+    def access(self, addr: int) -> int:
+        """Issue one request; returns its latency in CPU cycles."""
+        self.reads += 1
+        bank, row = self._bank_and_row(addr)
+        timings = self.timings
+        if self._open_rows.get(bank) == row:
+            self.row_hits += 1
+            return timings.t_overhead + timings.t_cl + timings.t_burst
+        self._open_rows[bank] = row
+        return (timings.t_overhead + timings.t_rp + timings.t_rcd
+                + timings.t_cl + timings.t_burst)
+
+    @property
+    def row_hit_rate(self) -> float:
+        return self.row_hits / self.reads if self.reads else 0.0

@@ -1,0 +1,149 @@
+"""The memory system: I$/D$ + shared L2 + LPDDR3 DRAM.
+
+Composes per-level latencies (Table I: 2-way 32KB i-cache, 64KB d-cache,
+2-cycle hits; 8-way 2MB L2, 10-cycle hits; LPDDR3 behind it).  Prefetch
+fills install lines without perturbing demand-access counters, so cache
+statistics cleanly separate demand behaviour from prefetcher help.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.memory.cache import Cache
+from repro.memory.dram import Dram, DramTimings
+
+
+@dataclass
+class MemoryConfig:
+    """Capacity/latency knobs for the hierarchy (Table I defaults)."""
+
+    icache_bytes: int = 32 * 1024
+    icache_assoc: int = 2
+    icache_hit: int = 2
+    dcache_bytes: int = 64 * 1024
+    dcache_assoc: int = 4
+    dcache_hit: int = 2
+    l2_bytes: int = 2 * 1024 * 1024
+    l2_assoc: int = 8
+    l2_hit: int = 10
+    line_bytes: int = 64
+    #: degree of the stock next-line instruction prefetcher (all ARM
+    #: application cores have one): sequential-stream i-misses are hidden,
+    #: leaving branch/call-target misses as the front-end's real cost.
+    next_line_prefetch: int = 2
+
+    def scaled_icache(self, factor: int) -> "MemoryConfig":
+        """Copy with the i-cache scaled (the 4x i-cache study, Fig 11)."""
+        from dataclasses import replace
+        return replace(self, icache_bytes=self.icache_bytes * factor)
+
+
+class MemorySystem:
+    """Two-level hierarchy with a DRAM backend."""
+
+    def __init__(self, config: Optional[MemoryConfig] = None):
+        self.config = config or MemoryConfig()
+        c = self.config
+        self.icache = Cache("icache", c.icache_bytes, c.icache_assoc,
+                            c.line_bytes, c.icache_hit)
+        self.dcache = Cache("dcache", c.dcache_bytes, c.dcache_assoc,
+                            c.line_bytes, c.dcache_hit)
+        self.l2 = Cache("l2", c.l2_bytes, c.l2_assoc, c.line_bytes, c.l2_hit)
+        self.dram = Dram(DramTimings())
+        #: next-line prefetches in flight: line index -> ready cycle
+        self._inflight_ilines: dict = {}
+        #: L2 reads performed by the next-line instruction prefetcher
+        self.iprefetch_l2_reads = 0
+
+    # -- demand paths ----------------------------------------------------------
+
+    def ifetch(self, addr: int, now: int = 0) -> int:
+        """Instruction-line fetch; returns total latency in cycles.
+
+        The stock next-line prefetcher launches fills for the following
+        lines on every demand access, but fills take L2 time to arrive:
+        a fast-moving fetch stream (32-bit code at 4 instructions/line-
+        quarter) still exposes part of each line's latency, while a slow
+        or compressed stream (16-bit code packs twice the instructions
+        per line) hides it completely.  Branch/call-target misses are
+        never covered.  ``now`` is the current cycle, used to account
+        in-flight prefetch timeliness.
+        """
+        line_bytes = self.config.line_bytes
+        line = addr // line_bytes
+        for k in range(1, self.config.next_line_prefetch + 1):
+            target = line + k
+            if target not in self._inflight_ilines \
+                    and not self.icache.probe(target * line_bytes):
+                self._inflight_ilines[target] = now + self.config.l2_hit
+                self.iprefetch_l2_reads += 1
+
+        if self.icache.lookup(addr):
+            self._inflight_ilines.pop(line, None)
+            return self.icache.hit_latency
+
+        ready = self._inflight_ilines.pop(line, None)
+        if ready is not None:
+            # Prefetch in flight: pay only the residual.
+            residual = max(0, ready - now)
+            return self.icache.hit_latency + residual
+
+        latency = self.icache.hit_latency
+        if self.l2.lookup(addr):
+            return latency + self.l2.hit_latency
+        return latency + self.l2.hit_latency + self.dram.access(addr)
+
+    def load(self, addr: int) -> int:
+        """Data load; returns total latency in cycles."""
+        if self.dcache.lookup(addr):
+            return self.dcache.hit_latency
+        latency = self.dcache.hit_latency
+        if self.l2.lookup(addr):
+            return latency + self.l2.hit_latency
+        return latency + self.l2.hit_latency + self.dram.access(addr)
+
+    def store(self, addr: int) -> int:
+        """Data store (write-allocate; store buffer hides most latency)."""
+        if self.dcache.lookup(addr):
+            return self.dcache.hit_latency
+        # Allocation happens off the critical path via the store buffer.
+        self.l2.lookup(addr)
+        return self.dcache.hit_latency
+
+    # -- warmup -------------------------------------------------------------------
+
+    def warm(self, trace) -> None:
+        """Functionally warm the hierarchy with one pass over a trace.
+
+        Standard sampled-simulation practice (the paper measures 100
+        windows out of long executions, so caches are never cold): install
+        every touched instruction and data line without counting accesses,
+        leaving the LRU state the measured run would have seen.
+        """
+        line = self.config.line_bytes
+        last_iline = -1
+        for entry in trace:
+            iline = entry.pc // line
+            if iline != last_iline:
+                addr = iline * line
+                self.l2.fill(addr)
+                self.icache.fill(addr)
+                last_iline = iline
+            if entry.mem_addr is not None:
+                self.l2.fill(entry.mem_addr)
+                self.dcache.fill(entry.mem_addr)
+
+    # -- prefetch paths ---------------------------------------------------------
+
+    def prefetch_data(self, addr: int) -> None:
+        """Install a data line into L2 and D$ (CLPT prefetcher fills)."""
+        self.l2.fill(addr)
+        self.dcache.fill(addr)
+
+    def prefetch_instruction_line(self, line: int) -> None:
+        """Install an instruction line (EFetch fills), by line index."""
+        addr = line * self.config.line_bytes
+        self.l2.fill(addr)
+        self.icache.fill(addr)

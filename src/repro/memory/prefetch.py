@@ -1,0 +1,98 @@
+"""Prefetchers: the CLPT critical-load prefetcher and EFetch.
+
+* :class:`CriticalLoadPrefetcher` — the paper's Fig 1a / Table I baseline
+  from Subramaniam et al. (HPCA'09): a PC-indexed table (1024 entries,
+  ~7 bits of state each) tracks per-load stride; loads flagged *critical*
+  (high fanout) issue a prefetch for their predicted next address.
+
+* :class:`EFetchPrefetcher` — Chadha et al. (PACT'14): for user-event
+  driven code, a call-history-indexed table predicts the next function and
+  prefetches the head of its instruction footprint (paper Sec. IV-G,
+  39KB lookup state).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+
+class CriticalLoadPrefetcher:
+    """Stride prefetcher gated on load criticality.
+
+    ``observe(pc, addr, critical)`` is called at every executed load;
+    returns the prefetch address to issue (or None).  The table is finite
+    (LRU over PCs) per the paper's 1024x7bit configuration.
+    """
+
+    def __init__(self, entries: int = 1024, degree: int = 4,
+                 confidence_needed: int = 2):
+        self.entries = entries
+        self.degree = degree
+        self.confidence_needed = confidence_needed
+        #: pc -> (last_addr, stride, confidence)
+        self._table: "OrderedDict[int, Tuple[int, int, int]]" = OrderedDict()
+        self.issued = 0
+
+    def observe(self, pc: int, addr: int,
+                critical: bool) -> List[int]:
+        """Update stride state; return prefetch addresses for critical loads."""
+        state = self._table.pop(pc, None)
+        if state is None:
+            self._table[pc] = (addr, 0, 0)
+            self._evict()
+            return []
+        last_addr, stride, confidence = state
+        new_stride = addr - last_addr
+        if new_stride == stride:
+            confidence = min(confidence + 1, 3)
+        else:
+            confidence = 0
+            stride = new_stride
+        self._table[pc] = (addr, stride, confidence)
+        self._evict()
+        if (critical and stride != 0
+                and confidence >= self.confidence_needed):
+            self.issued += self.degree
+            return [addr + stride * (k + 1) for k in range(self.degree)]
+        return []
+
+    def _evict(self) -> None:
+        while len(self._table) > self.entries:
+            self._table.popitem(last=False)
+
+
+class EFetchPrefetcher:
+    """Call-history-driven instruction prefetcher.
+
+    Keyed by the two most recent call targets; predicts the next call
+    target's first cache lines and prefetches them.  Trains on every
+    observed call.
+    """
+
+    def __init__(self, entries: int = 512, lines_per_target: int = 8):
+        self.entries = entries
+        self.lines_per_target = lines_per_target
+        #: (prev_target, cur_target) -> next_target first line
+        self._table: "OrderedDict[Tuple[int, int], int]" = OrderedDict()
+        self._history: Tuple[int, int] = (0, 0)
+        self.issued = 0
+
+    def observe_call(self, target_line: int) -> List[int]:
+        """Record a call to ``target_line``; return lines to prefetch for
+        the *predicted next* call."""
+        key = self._history
+        prefetches: List[int] = []
+        predicted = self._table.get(key)
+        if predicted is not None:
+            self.issued += self.lines_per_target
+            prefetches = [predicted + k for k in range(self.lines_per_target)]
+        # Train: the call we just saw is the successor of the previous
+        # history window.
+        self._table.pop(key, None)
+        self._table[key] = target_line
+        while len(self._table) > self.entries:
+            self._table.popitem(last=False)
+        self._history = (self._history[1], target_line)
+        return prefetches

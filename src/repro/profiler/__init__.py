@@ -1,0 +1,23 @@
+"""Offline profiler: CritIC discovery, aggregation, and the profile table."""
+
+from repro.profiler.finder import (
+    DEFAULT_WINDOW,
+    FinderConfig,
+    chains_per_window,
+    find_critic_profile,
+)
+from repro.profiler.profile_table import (
+    CriticProfile,
+    CriticRecord,
+    annotate_block,
+)
+
+__all__ = [
+    "CriticProfile",
+    "CriticRecord",
+    "DEFAULT_WINDOW",
+    "FinderConfig",
+    "annotate_block",
+    "chains_per_window",
+    "find_critic_profile",
+]

@@ -1,0 +1,180 @@
+"""The CritIC profile: the artifact the offline profiler hands the compiler.
+
+The paper's flow (Sec. III-C) dumps all independently schedulable ICs from
+the gem5 run, aggregates them with a Spark hash-table, and keeps the top
+CritICs by dynamic coverage — a table "relatively concise (~10KB) to account
+for ~30% of dynamic coverage".  :class:`CriticProfile` is that table: unique
+static chains (keyed by their member uid sequence) with occurrence counts,
+coverage, encodability, and hoistability annotations for the compiler.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.trace.program import Program
+
+
+@dataclass(frozen=True)
+class CriticRecord:
+    """One unique CritIC (a static chain) aggregated over its occurrences.
+
+    Attributes:
+        uids: member static-instruction uids, in dependence order.
+        occurrences: dynamic occurrence count in the profiled stream.
+        mean_avg_fanout: mean (over occurrences) of the chain criticality.
+        thumb_encodable: all-or-nothing 16-bit representability.
+        block_id: containing basic block if all members share one
+            (hoistable by the compiler pass), else ``None``.
+    """
+
+    uids: Tuple[int, ...]
+    occurrences: int
+    mean_avg_fanout: float
+    thumb_encodable: bool
+    block_id: Optional[int]
+
+    @property
+    def length(self) -> int:
+        return len(self.uids)
+
+    @property
+    def dynamic_instructions(self) -> int:
+        """Dynamic instruction count covered by this chain."""
+        return self.occurrences * self.length
+
+    @property
+    def hoistable(self) -> bool:
+        """True if the compiler pass can rewrite this chain in place."""
+        return self.block_id is not None
+
+    #: Rough table-entry size: 2 bytes per member uid + 4 bytes of header,
+    #: mirroring the paper's "~10KB of CritICs" size accounting.
+    def table_bytes(self) -> int:
+        return 4 + 2 * self.length
+
+
+class CriticProfile:
+    """Ranked table of unique CritICs for one app."""
+
+    def __init__(self, records: Sequence[CriticRecord],
+                 profiled_instructions: int, app_name: str = ""):
+        self.records: List[CriticRecord] = sorted(
+            records, key=lambda r: (-r.dynamic_instructions, r.uids)
+        )
+        self.profiled_instructions = profiled_instructions
+        self.app_name = app_name
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self):
+        return iter(self.records)
+
+    # -- selection -----------------------------------------------------------
+
+    def coverage(self, record: CriticRecord) -> float:
+        """Dynamic-stream fraction covered by ``record``."""
+        if self.profiled_instructions == 0:
+            return 0.0
+        return record.dynamic_instructions / self.profiled_instructions
+
+    def total_coverage(self, encodable_only: bool = False) -> float:
+        """Total dynamic coverage of the table (Fig 5b's right edge)."""
+        records = self.records
+        if encodable_only:
+            records = [r for r in records if r.thumb_encodable]
+        if self.profiled_instructions == 0:
+            return 0.0
+        return sum(r.dynamic_instructions for r in records) \
+            / self.profiled_instructions
+
+    def coverage_cdf(self, encodable_only: bool = False) -> List[float]:
+        """Cumulative coverage by unique chains, best-first (Fig 5b)."""
+        cdf: List[float] = []
+        acc = 0.0
+        for record in self.records:
+            if encodable_only and not record.thumb_encodable:
+                cdf.append(acc)
+                continue
+            acc += self.coverage(record)
+            cdf.append(acc)
+        return cdf
+
+    def select_for_compiler(
+        self,
+        max_length: Optional[int] = None,
+        require_thumb: bool = True,
+        max_table_bytes: Optional[int] = None,
+    ) -> List[CriticRecord]:
+        """Choose the chains the compiler pass will transform.
+
+        Mirrors the paper's practical constraints: hoistable (single block),
+        Thumb-encodable (unless ``CritIC.Ideal``), and optionally capped at
+        ``max_length`` members and a total table budget.
+        """
+        chosen: List[CriticRecord] = []
+        budget = max_table_bytes if max_table_bytes is not None else 1 << 62
+        for record in self.records:
+            if not record.hoistable:
+                continue
+            if require_thumb and not record.thumb_encodable:
+                continue
+            if max_length is not None and record.length > max_length:
+                continue
+            cost = record.table_bytes()
+            if cost > budget:
+                break
+            budget -= cost
+            chosen.append(record)
+        return chosen
+
+    def table_bytes(self) -> int:
+        """Size estimate of the whole table."""
+        return sum(r.table_bytes() for r in self.records)
+
+    # -- serialization ---------------------------------------------------------
+
+    def to_json(self) -> str:
+        """Serialize the profile (order-preserving)."""
+        payload = {
+            "app_name": self.app_name,
+            "profiled_instructions": self.profiled_instructions,
+            "records": [
+                {**asdict(r), "uids": list(r.uids)} for r in self.records
+            ],
+        }
+        return json.dumps(payload, indent=1)
+
+    @classmethod
+    def from_json(cls, text: str) -> "CriticProfile":
+        """Deserialize a profile produced by :meth:`to_json`."""
+        payload = json.loads(text)
+        records = [
+            CriticRecord(
+                uids=tuple(r["uids"]),
+                occurrences=r["occurrences"],
+                mean_avg_fanout=r["mean_avg_fanout"],
+                thumb_encodable=r["thumb_encodable"],
+                block_id=r["block_id"],
+            )
+            for r in payload["records"]
+        ]
+        return cls(records, payload["profiled_instructions"],
+                   payload["app_name"])
+
+
+def annotate_block(program: Program, uids: Sequence[int]) -> Optional[int]:
+    """Return the containing block id if all ``uids`` live in one block."""
+    block_ids = set()
+    for uid in uids:
+        try:
+            block_id, _pos = program.locate(uid)
+        except KeyError:
+            return None
+        block_ids.add(block_id)
+    if len(block_ids) == 1:
+        return block_ids.pop()
+    return None

@@ -1,0 +1,98 @@
+"""Dynamic dependence analysis over a trace.
+
+Produces, for each dynamic instruction, the sequence numbers of its direct
+producers: register producers (last writer of each source register), flag
+producers (``CMP``/``TST`` feed conditional branches and predicated
+instructions), and memory producers (last store to the same word feeds a
+load from it).  This is the edge set of the dynamic Data Flow Graph the
+paper's criticality machinery operates on (Sec. II-A, III-A).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import Opcode
+from repro.trace.dynamic import Trace, TraceEntry
+
+#: Opcodes that set the condition flags.
+FLAG_WRITERS = (Opcode.CMP, Opcode.TST)
+
+#: Word granularity used to match store->load memory dependences.
+_WORD_MASK = ~0x3
+
+
+def writes_flags(instr: Instruction) -> bool:
+    """True if ``instr`` sets the condition flags."""
+    return instr.opcode in FLAG_WRITERS
+
+
+def reads_flags(instr: Instruction) -> bool:
+    """True if ``instr`` consumes the condition flags."""
+    if instr.is_predicated:
+        return True
+    return instr.is_branch and instr.cond.is_predicated
+
+
+def compute_producers(trace: Trace) -> List[Tuple[int, ...]]:
+    """Return producer seq-number tuples, one per trace entry.
+
+    Producer seqs are *positions within the trace window* (0-based), which is
+    what the DFG, the chain finder, and the simulator's wake-up logic all
+    index by.
+    """
+    last_reg_writer: Dict[int, int] = {}
+    last_flag_writer = -1
+    last_store_to: Dict[int, int] = {}
+    producers: List[Tuple[int, ...]] = []
+
+    for pos, entry in enumerate(trace.entries):
+        instr = entry.instr
+        found: List[int] = []
+        for reg in instr.srcs:
+            writer = last_reg_writer.get(reg, -1)
+            if writer >= 0:
+                found.append(writer)
+        if reads_flags(instr) and last_flag_writer >= 0:
+            found.append(last_flag_writer)
+        if instr.is_load and entry.mem_addr is not None:
+            word = entry.mem_addr & _WORD_MASK
+            store = last_store_to.get(word, -1)
+            if store >= 0:
+                found.append(store)
+
+        # Deduplicate while preserving order.
+        seen = set()
+        unique = tuple(p for p in found if not (p in seen or seen.add(p)))
+        producers.append(unique)
+
+        for reg in instr.dests:
+            last_reg_writer[reg] = pos
+        if writes_flags(instr):
+            last_flag_writer = pos
+        if instr.is_store and entry.mem_addr is not None:
+            last_store_to[entry.mem_addr & _WORD_MASK] = pos
+
+    return producers
+
+
+def compute_consumers(
+    producers: Sequence[Tuple[int, ...]],
+) -> List[List[int]]:
+    """Invert a producer map into per-entry direct consumer lists."""
+    consumers: List[List[int]] = [[] for _ in producers]
+    for pos, prods in enumerate(producers):
+        for p in prods:
+            consumers[p].append(pos)
+    return consumers
+
+
+def compute_fanouts(trace: Trace) -> List[int]:
+    """Direct dynamic fanout (number of consumers) of every entry."""
+    producers = compute_producers(trace)
+    fanouts = [0] * len(producers)
+    for prods in producers:
+        for p in prods:
+            fanouts[p] += 1
+    return fanouts

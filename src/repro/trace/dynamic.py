@@ -1,0 +1,74 @@
+"""Dynamic trace containers.
+
+A :class:`Trace` is the dynamic instruction stream of one app execution —
+the analogue of the paper's QEMU-disassembler dump (Sec. III-C "Trace
+Collection").  Each :class:`TraceEntry` records the static instruction
+executed, its PC (from the program layout), the effective memory address for
+loads/stores, and the actual branch outcome.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Sequence
+
+from repro.isa.instruction import Instruction
+
+
+@dataclass(frozen=True)
+class TraceEntry:
+    """One executed dynamic instruction."""
+
+    seq: int
+    instr: Instruction
+    pc: int
+    mem_addr: Optional[int] = None
+    taken: Optional[bool] = None
+
+    @property
+    def uid(self) -> int:
+        """Uid of the static instruction this entry executes."""
+        return self.instr.uid
+
+
+class Trace:
+    """A dynamic instruction stream plus provenance metadata."""
+
+    def __init__(
+        self,
+        entries: Sequence[TraceEntry],
+        name: str = "trace",
+        program_name: str = "",
+    ):
+        self.entries: List[TraceEntry] = list(entries)
+        self.name = name
+        self.program_name = program_name
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __iter__(self) -> Iterator[TraceEntry]:
+        return iter(self.entries)
+
+    def __getitem__(self, index):
+        return self.entries[index]
+
+    def window(self, start: int, length: int) -> "Trace":
+        """Return a sub-trace of ``length`` entries starting at ``start``."""
+        return Trace(
+            self.entries[start:start + length],
+            name=f"{self.name}[{start}:{start + length}]",
+            program_name=self.program_name,
+        )
+
+    def dynamic_bytes(self) -> int:
+        """Total fetched bytes along the dynamic stream (encoding-aware)."""
+        return sum(e.instr.size_bytes for e in self.entries)
+
+    def count_thumb(self) -> int:
+        """Number of dynamic instructions in 16-bit encoding."""
+        from repro.isa.instruction import Encoding
+
+        return sum(
+            1 for e in self.entries if e.instr.encoding is Encoding.THUMB16
+        )

@@ -1,0 +1,176 @@
+"""Static program representation: basic blocks of instructions.
+
+A :class:`Program` is an ordered collection of :class:`BasicBlock`s.  The
+synthetic workload generator (``repro.workloads``) produces programs plus a
+*walk* (a sequence of block executions); materializing the walk over the
+program yields the dynamic trace the simulator consumes.  Compiler passes
+rewrite blocks in place (producing new Program instances), after which the
+same walk re-materializes into the transformed dynamic stream — giving an
+apples-to-apples before/after comparison, exactly like recompiling an app and
+re-running the same input script (paper Sec. III-C uses recorded user inputs
+the same way).
+
+Byte addresses are assigned by :meth:`Program.layout`, which packs each
+block's instructions back-to-back honoring each instruction's encoding size
+(4 bytes for ARM32, 2 for Thumb16).  Blocks start at word-aligned addresses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.isa.instruction import Instruction
+
+#: Default base address for program text (arbitrary but nonzero).
+TEXT_BASE = 0x1_0000
+
+#: Alignment of basic-block start addresses, in bytes.
+BLOCK_ALIGN = 4
+
+
+@dataclass
+class BasicBlock:
+    """A straight-line sequence of instructions with a stable id."""
+
+    block_id: int
+    instructions: List[Instruction] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    def __iter__(self) -> Iterator[Instruction]:
+        return iter(self.instructions)
+
+    def byte_size(self) -> int:
+        """Encoded size of the block, padded to BLOCK_ALIGN."""
+        raw = sum(i.size_bytes for i in self.instructions)
+        pad = (-raw) % BLOCK_ALIGN
+        return raw + pad
+
+
+class Program:
+    """An ordered set of basic blocks with uid-stamped instructions.
+
+    Instruction ``uid``s are globally unique within the program and survive
+    compiler rewrites of *other* instructions, so profiles (keyed by uid) stay
+    valid across passes that only re-encode or reorder.
+    """
+
+    def __init__(self, blocks: Sequence[BasicBlock], name: str = "program"):
+        self.name = name
+        self.blocks: List[BasicBlock] = list(blocks)
+        self._by_block: Dict[int, BasicBlock] = {}
+        self._by_uid: Dict[int, Tuple[int, int]] = {}
+        self._next_uid = 0
+        for block in self.blocks:
+            if block.block_id in self._by_block:
+                raise ValueError(f"duplicate block id {block.block_id}")
+            self._by_block[block.block_id] = block
+        self._stamp_uids()
+
+    def _stamp_uids(self) -> None:
+        """Assign uids to any instruction that lacks one; index positions."""
+        taken = set()
+        for block in self.blocks:
+            for instr in block.instructions:
+                if instr.uid >= 0:
+                    if instr.uid in taken:
+                        raise ValueError(f"duplicate uid {instr.uid}")
+                    taken.add(instr.uid)
+        next_uid = max(taken) + 1 if taken else 0
+        for block in self.blocks:
+            for pos, instr in enumerate(block.instructions):
+                if instr.uid < 0:
+                    while next_uid in taken:
+                        next_uid += 1
+                    block.instructions[pos] = instr.with_uid(next_uid)
+                    taken.add(next_uid)
+                    next_uid += 1
+        self._reindex()
+
+    def reindex(self) -> None:
+        """Refresh the uid index after in-place edits to block lists.
+
+        Compiler passes that mutate ``block.instructions`` directly must
+        call this before the program is used for lookups or layout.
+        """
+        self._reindex()
+
+    def _reindex(self) -> None:
+        self._by_uid.clear()
+        for block in self.blocks:
+            for pos, instr in enumerate(block.instructions):
+                self._by_uid[instr.uid] = (block.block_id, pos)
+        self._next_uid = 1 + max(self._by_uid, default=-1)
+
+    # -- lookups -----------------------------------------------------------
+
+    def block(self, block_id: int) -> BasicBlock:
+        """Return the block with ``block_id``."""
+        return self._by_block[block_id]
+
+    def find(self, uid: int) -> Instruction:
+        """Return the instruction with the given uid."""
+        block_id, pos = self._by_uid[uid]
+        return self._by_block[block_id].instructions[pos]
+
+    def locate(self, uid: int) -> Tuple[int, int]:
+        """Return (block_id, position) of the instruction with ``uid``."""
+        return self._by_uid[uid]
+
+    def fresh_uid(self) -> int:
+        """Reserve and return a new unused uid (for inserted instructions)."""
+        uid = self._next_uid
+        self._next_uid += 1
+        return uid
+
+    def __iter__(self) -> Iterator[Instruction]:
+        for block in self.blocks:
+            yield from block.instructions
+
+    def instruction_count(self) -> int:
+        """Total static instruction count."""
+        return sum(len(b) for b in self.blocks)
+
+    # -- mutation (used by compiler passes) ---------------------------------
+
+    def replace_block(self, block_id: int, instrs: Iterable[Instruction]) -> None:
+        """Replace a block's instruction list and refresh the uid index."""
+        block = self._by_block[block_id]
+        block.instructions = list(instrs)
+        self._stamp_uids()
+
+    def copy(self) -> "Program":
+        """Deep-enough copy: new blocks/lists, shared immutable instructions."""
+        blocks = [
+            BasicBlock(b.block_id, list(b.instructions)) for b in self.blocks
+        ]
+        return Program(blocks, name=self.name)
+
+    # -- layout -------------------------------------------------------------
+
+    def layout(self, base: int = TEXT_BASE) -> Dict[int, int]:
+        """Assign a byte address to every instruction (keyed by uid).
+
+        Blocks are laid out in order, each starting word-aligned; within a
+        block instructions pack back-to-back at their encoded size.  Returns
+        a dict uid -> address.
+        """
+        addresses: Dict[int, int] = {}
+        cursor = base
+        for block in self.blocks:
+            pad = (-cursor) % BLOCK_ALIGN
+            cursor += pad
+            for instr in block.instructions:
+                addresses[instr.uid] = cursor
+                cursor += instr.size_bytes
+        return addresses
+
+    def code_bytes(self, base: int = TEXT_BASE) -> int:
+        """Total laid-out code size in bytes (including alignment padding)."""
+        cursor = base
+        for block in self.blocks:
+            cursor += (-cursor) % BLOCK_ALIGN
+            cursor += sum(i.size_bytes for i in block.instructions)
+        return cursor - base

@@ -1,0 +1,98 @@
+"""Trace serialization: dump/load dynamic streams as text.
+
+The paper's profiling flow instruments the QEMU disassembler to "output the
+trace of instructions executed and data accessed" for offline analysis
+(Sec. III-C).  This module is that interchange format: one tab-separated
+line per dynamic instruction —
+
+    seq <TAB> uid <TAB> pc-hex <TAB> mem-hex|- <TAB> taken|-|T|N <TAB> asm
+
+The assembly column round-trips through :mod:`repro.isa.assembly`, so a
+dumped trace reloads without needing the generating program.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, TextIO, Union
+
+from repro.isa.assembly import parse_line
+from repro.trace.dynamic import Trace, TraceEntry
+
+#: Format marker written as the first line.
+HEADER = "# repro-trace v1"
+
+
+def dump_trace(trace: Trace, stream: TextIO) -> int:
+    """Write ``trace`` to ``stream``; returns the number of entries."""
+    stream.write(HEADER + "\n")
+    stream.write(f"# name={trace.name}\n")
+    stream.write(f"# program={trace.program_name}\n")
+    count = 0
+    for entry in trace:
+        mem = f"{entry.mem_addr:#x}" if entry.mem_addr is not None else "-"
+        if entry.taken is None:
+            taken = "-"
+        else:
+            taken = "T" if entry.taken else "N"
+        stream.write(
+            f"{entry.seq}\t{entry.uid}\t{entry.pc:#x}\t{mem}\t{taken}\t"
+            f"{entry.instr.to_text()}\n"
+        )
+        count += 1
+    return count
+
+
+def dump_trace_to_path(trace: Trace, path: str) -> int:
+    """Write ``trace`` to a file path."""
+    with open(path, "w") as handle:
+        return dump_trace(trace, handle)
+
+
+class TraceFormatError(ValueError):
+    """Raised when a trace file is malformed."""
+
+
+def load_trace(stream: TextIO) -> Trace:
+    """Parse a trace previously written by :func:`dump_trace`."""
+    first = stream.readline().rstrip("\n")
+    if first != HEADER:
+        raise TraceFormatError(f"bad header {first!r}; expected {HEADER!r}")
+    name = "trace"
+    program_name = ""
+    entries: List[TraceEntry] = []
+    for lineno, raw in enumerate(stream, start=2):
+        line = raw.rstrip("\n")
+        if not line:
+            continue
+        if line.startswith("#"):
+            body = line[1:].strip()
+            if body.startswith("name="):
+                name = body[len("name="):]
+            elif body.startswith("program="):
+                program_name = body[len("program="):]
+            continue
+        fields = line.split("\t")
+        if len(fields) != 6:
+            raise TraceFormatError(
+                f"line {lineno}: expected 6 tab-separated fields, "
+                f"got {len(fields)}"
+            )
+        seq_s, uid_s, pc_s, mem_s, taken_s, asm = fields
+        try:
+            instr = parse_line(asm).with_uid(int(uid_s))
+            entries.append(TraceEntry(
+                seq=int(seq_s),
+                instr=instr,
+                pc=int(pc_s, 16),
+                mem_addr=None if mem_s == "-" else int(mem_s, 16),
+                taken=None if taken_s == "-" else taken_s == "T",
+            ))
+        except (ValueError, KeyError) as exc:
+            raise TraceFormatError(f"line {lineno}: {exc}") from exc
+    return Trace(entries, name=name, program_name=program_name)
+
+
+def load_trace_from_path(path: str) -> Trace:
+    """Load a trace from a file path."""
+    with open(path) as handle:
+        return load_trace(handle)

@@ -1,0 +1,73 @@
+"""Table II: the evaluated app and benchmark catalog.
+
+Mirrors the paper's Table II — ten popular Play-Store apps with the activity
+performed during profiling, plus the SPEC.int and SPEC.float suites used as
+the contrast class.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.workloads.profiles import (
+    MOBILE,
+    MOBILE_PROFILES,
+    SPEC_FLOAT,
+    SPEC_FLOAT_PROFILES,
+    SPEC_INT,
+    SPEC_INT_PROFILES,
+)
+
+
+@dataclass(frozen=True)
+class CatalogRow:
+    """One row of Table II."""
+
+    name: str
+    group: str
+    domain: str
+    activity: str
+
+
+def table2_rows() -> List[CatalogRow]:
+    """All Table II rows: mobile apps first, then SPEC suites."""
+    rows = [
+        CatalogRow(p.name, MOBILE, p.domain, p.activity)
+        for p in MOBILE_PROFILES.values()
+    ]
+    rows.extend(
+        CatalogRow(p.name, SPEC_INT, p.domain, p.activity)
+        for p in SPEC_INT_PROFILES.values()
+    )
+    rows.extend(
+        CatalogRow(p.name, SPEC_FLOAT, p.domain, p.activity)
+        for p in SPEC_FLOAT_PROFILES.values()
+    )
+    return rows
+
+
+def mobile_app_names() -> Tuple[str, ...]:
+    """The ten Play-Store app names of Table II."""
+    return tuple(MOBILE_PROFILES)
+
+
+def spec_int_names() -> Tuple[str, ...]:
+    return tuple(SPEC_INT_PROFILES)
+
+
+def spec_float_names() -> Tuple[str, ...]:
+    return tuple(SPEC_FLOAT_PROFILES)
+
+
+def format_table2() -> str:
+    """Render Table II as fixed-width text (used by the bench harness)."""
+    lines = [
+        f"{'App':<14} {'Group':<11} {'Domain':<22} Activity",
+        "-" * 72,
+    ]
+    for row in table2_rows():
+        lines.append(
+            f"{row.name:<14} {row.group:<11} {row.domain:<22} {row.activity}"
+        )
+    return "\n".join(lines)

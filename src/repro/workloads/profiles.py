@@ -1,0 +1,327 @@
+"""Workload profiles: the knobs that shape each synthetic app.
+
+The paper's argument rests on measured *characteristics* of mobile vs SPEC
+dynamic instruction streams (Figs 1b, 3c, 5a).  Since we cannot run Play
+Store apps in QEMU here, each workload is a seeded synthetic program whose
+generator is parameterized to match those characteristics:
+
+====================  =======================  =========================
+characteristic        mobile apps              SPEC
+====================  =======================  =========================
+IC length / spread    short (≤ ~20 / ≤ ~540)   long (≤ ~1.3K / ≤ ~6.3K)
+crit-to-crit gaps     1..5 low-fanout between  mostly none or 0 (direct)
+long-latency instrs   few                      many (DIV / FP)
+code footprint        large (many functions)   small hot loops
+d-cache behaviour     small hot regions        large strided arrays
+====================  =======================  =========================
+
+Every number here is a *generator parameter*, not a measured claim; the
+resulting streams are then measured by the same analyses the paper runs
+(see ``benchmarks/``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, Tuple
+
+#: Workload group tags.
+MOBILE = "mobile"
+SPEC_INT = "spec_int"
+SPEC_FLOAT = "spec_float"
+
+
+@dataclass(frozen=True)
+class WorkloadProfile:
+    """Full parameterization of one synthetic workload.
+
+    Attributes are grouped by the subsystem they influence; see the module
+    docstring for how they map to the paper's measured characteristics.
+    """
+
+    name: str
+    group: str
+    domain: str = ""
+    activity: str = ""
+    seed: int = 1
+
+    # --- program shape (code footprint -> i-cache pressure) ---
+    num_functions: int = 120
+    blocks_per_function: Tuple[int, int] = (3, 5)
+    block_instructions: Tuple[int, int] = (22, 44)
+
+    # --- chain structure ---
+    #: probability a body block contains a critical-chain motif
+    chain_motif_prob: float = 0.72
+    #: chain member count (criticals + gap members), sampled uniformly
+    chain_length: Tuple[int, int] = (5, 14)
+    #: distribution of low-fanout gap sizes between successive criticals
+    gap_weights: Dict[int, float] = field(
+        default_factory=lambda: {0: 0.04, 1: 0.34, 2: 0.24, 3: 0.18,
+                                 4: 0.12, 5: 0.08}
+    )
+    #: consumers attached to each critical member (its fanout driver)
+    fanout_high: Tuple[int, int] = (15, 21)
+    #: filler/consumer instructions emitted between chain members (spread)
+    chain_spacing: Tuple[int, int] = (2, 4)
+    #: fraction of chains that start with a load (pointer chase style)
+    chain_load_head_frac: float = 0.5
+    #: fraction of non-head chain members that are pointer-chase loads
+    chain_load_frac: float = 0.35
+    #: fraction of chains containing a member that is NOT Thumb-encodable
+    #: (high register or wide immediate); paper Fig 5b: ~4.5 %
+    chain_hostile_frac: float = 0.05
+    #: carry the chain across loop iterations (SPEC recurrences)
+    chain_recurrent: bool = False
+    #: independent high-fanout producer motifs (SPEC style, 2-src consumers)
+    indep_critical_prob: float = 0.015
+    #: consumers per independent critical producer
+    indep_fanout: Tuple[int, int] = (10, 24)
+    #: fraction of independent-critical producers that chain directly
+    #: (0-gap) into a second high-fanout producer (SPEC.int behaviour)
+    indep_chained_frac: float = 0.0
+
+    # --- instruction mix (filler) ---
+    long_latency_frac: float = 0.015  # MUL/DIV among filler ALU ops
+    fp_frac: float = 0.01
+    load_frac: float = 0.18
+    store_frac: float = 0.08
+    #: fraction of filler instructions using high registers (not Thumb-able)
+    filler_high_reg_frac: float = 0.42
+    #: fraction of filler instructions that are predicated
+    filler_predicated_frac: float = 0.10
+    #: fraction of filler ALU immediates too wide for the Thumb 8-bit field
+    filler_wide_imm_frac: float = 0.18
+
+    # --- memory behaviour ---
+    hot_region_bytes: int = 12 * 1024
+    #: footprint of the pointer-chase structures chain loads walk
+    chase_region_bytes: int = 48 * 1024
+    big_region_bytes: int = 4 * 1024 * 1024
+    big_region_load_frac: float = 0.04
+    strided_frac: float = 0.5  # of big-region loads, strided vs hashed
+
+    # --- control flow / walk ---
+    call_frac: float = 0.35          # body blocks ending in BL
+    skip_branch_frac: float = 0.15   # body blocks ending in a skip branch
+    hard_branch_frac: float = 0.12   # of skip branches, near-random outcome
+    loop_iterations: Tuple[int, int] = (2, 6)
+    max_call_depth: int = 3
+    walk_blocks: int = 2200          # approximate dynamic block count
+
+    def __post_init__(self) -> None:
+        if self.group not in (MOBILE, SPEC_INT, SPEC_FLOAT):
+            raise ValueError(f"unknown group {self.group!r}")
+        total = sum(self.gap_weights.values())
+        if total <= 0:
+            raise ValueError("gap_weights must have positive mass")
+        for frac_name in (
+            "chain_motif_prob", "chain_load_head_frac", "chain_load_frac",
+            "chain_hostile_frac",
+            "indep_critical_prob", "long_latency_frac", "fp_frac",
+            "load_frac", "store_frac", "filler_high_reg_frac",
+            "filler_predicated_frac", "filler_wide_imm_frac",
+            "big_region_load_frac", "strided_frac",
+            "call_frac", "skip_branch_frac", "hard_branch_frac",
+            "indep_chained_frac",
+        ):
+            value = getattr(self, frac_name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{frac_name} must be in [0, 1], got {value}")
+
+    def with_seed(self, seed: int) -> "WorkloadProfile":
+        """Return a copy with a different generation seed."""
+        return replace(self, seed=seed)
+
+    def scaled(self, factor: float) -> "WorkloadProfile":
+        """Return a copy with the dynamic walk scaled by ``factor``.
+
+        Used by tests/benches to trade fidelity for runtime.
+        """
+        return replace(
+            self, walk_blocks=max(50, int(self.walk_blocks * factor))
+        )
+
+
+def _mobile(name: str, domain: str, activity: str, seed: int,
+            **overrides) -> WorkloadProfile:
+    return WorkloadProfile(
+        name=name, group=MOBILE, domain=domain, activity=activity,
+        seed=seed, **overrides,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Table II: ten Play-Store apps.  Per-app overrides differentiate the apps
+# the way the paper's measurements do: e.g. Maps/Youtube are the most
+# F.StallForR+D-bound (Sec. IV-E), Music benefits least, Acrobat most,
+# Browser has the largest code footprint.
+# ---------------------------------------------------------------------------
+
+MOBILE_PROFILES: Dict[str, WorkloadProfile] = {
+    p.name: p for p in (
+        _mobile(
+            "Acrobat", "Document readers", "View, add comment", seed=11,
+            chain_motif_prob=0.88, fanout_high=(16, 22),
+            chain_length=(7, 16),
+        ),
+        _mobile(
+            "Angrybirds", "Physics games", "1 Level of game", seed=12,
+            chain_motif_prob=0.75, fp_frac=0.04, long_latency_frac=0.03,
+        ),
+        _mobile(
+            "Browser", "Web interfaces", "Search and load pages", seed=13,
+            num_functions=160, call_frac=0.45, chain_motif_prob=0.65,
+            chain_spacing=(2, 3),
+        ),
+        _mobile(
+            "Facebook", "Instant messengers", "RT-texting", seed=14,
+            chain_motif_prob=0.74, call_frac=0.40,
+        ),
+        _mobile(
+            "Email", "Email clients", "Send,receive mail", seed=15,
+            chain_motif_prob=0.70, call_frac=0.38, load_frac=0.20,
+        ),
+        _mobile(
+            "Maps", "Navigation", "Search directions", seed=16,
+            chain_motif_prob=0.80, fanout_high=(16, 23),
+            chain_spacing=(2, 4), load_frac=0.22,
+        ),
+        _mobile(
+            "Music", "Music/audio players", "2 minutes song", seed=17,
+            chain_motif_prob=0.55, fanout_high=(14, 20),
+            call_frac=0.28, chain_length=(4, 9),
+        ),
+        _mobile(
+            "Office", "Interactive displays", "Slide edit, present", seed=18,
+            chain_motif_prob=0.78, chain_length=(6, 14),
+        ),
+        _mobile(
+            "Photogallery", "Image browsing", "Browse Images", seed=19,
+            chain_motif_prob=0.75, chain_spacing=(2, 3),
+            load_frac=0.24, big_region_load_frac=0.08,
+        ),
+        _mobile(
+            "Youtube", "Video streaming", "HQ video stream", seed=20,
+            chain_motif_prob=0.80, fanout_high=(16, 23),
+            chain_spacing=(2, 4), fp_frac=0.03,
+        ),
+    )
+}
+
+
+def _spec_int(name: str, seed: int, **overrides) -> WorkloadProfile:
+    base = dict(
+        group=SPEC_INT,
+        domain="SPEC CPU int",
+        activity="reference input (synthetic)",
+        num_functions=6,
+        blocks_per_function=(3, 5),
+        block_instructions=(40, 72),
+        chain_motif_prob=0.0,
+        chain_recurrent=True,
+        indep_critical_prob=0.50,
+        indep_fanout=(10, 26),
+        indep_chained_frac=0.68,
+        long_latency_frac=0.10,
+        fp_frac=0.0,
+        load_frac=0.24,
+        store_frac=0.10,
+        filler_high_reg_frac=0.35,
+        filler_predicated_frac=0.12,
+        big_region_load_frac=0.35,
+        strided_frac=0.8,
+        call_frac=0.06,
+        skip_branch_frac=0.25,
+        hard_branch_frac=0.45,
+        loop_iterations=(12, 40),
+        walk_blocks=2200,
+    )
+    base.update(overrides)
+    return WorkloadProfile(name=name, seed=seed, **base)
+
+
+def _spec_float(name: str, seed: int, **overrides) -> WorkloadProfile:
+    base = dict(
+        group=SPEC_FLOAT,
+        domain="SPEC CPU float",
+        activity="reference input (synthetic)",
+        num_functions=5,
+        blocks_per_function=(3, 4),
+        block_instructions=(48, 80),
+        chain_motif_prob=0.0,
+        chain_recurrent=True,
+        indep_critical_prob=0.50,
+        indep_fanout=(12, 30),
+        indep_chained_frac=0.42,
+        long_latency_frac=0.16,
+        fp_frac=0.30,
+        load_frac=0.26,
+        store_frac=0.10,
+        filler_high_reg_frac=0.40,
+        filler_predicated_frac=0.06,
+        big_region_load_frac=0.40,
+        strided_frac=0.9,
+        call_frac=0.03,
+        skip_branch_frac=0.12,
+        hard_branch_frac=0.15,
+        loop_iterations=(16, 56),
+        walk_blocks=2200,
+    )
+    base.update(overrides)
+    return WorkloadProfile(name=name, seed=seed, **base)
+
+
+SPEC_INT_PROFILES: Dict[str, WorkloadProfile] = {
+    p.name: p for p in (
+        _spec_int("bzip2", seed=31),
+        _spec_int("hmmer", seed=32, indep_critical_prob=0.58),
+        _spec_int("libquantum", seed=33, big_region_load_frac=0.45),
+        _spec_int("mcf", seed=34, strided_frac=0.4,
+                  big_region_load_frac=0.55),
+        _spec_int("gcc", seed=35, num_functions=10, call_frac=0.12),
+        _spec_int("gobmk", seed=36, hard_branch_frac=0.55),
+        _spec_int("sjeng", seed=37, hard_branch_frac=0.50),
+        _spec_int("h264ref", seed=38, long_latency_frac=0.14),
+    )
+}
+
+SPEC_FLOAT_PROFILES: Dict[str, WorkloadProfile] = {
+    p.name: p for p in (
+        _spec_float("sperand", seed=41),
+        _spec_float("namd", seed=42, fp_frac=0.36),
+        _spec_float("gromacs", seed=43),
+        _spec_float("calculix", seed=44, long_latency_frac=0.20),
+        _spec_float("lbm", seed=45, big_region_load_frac=0.50),
+        _spec_float("milc", seed=46, strided_frac=0.95),
+        _spec_float("dealII", seed=47, num_functions=8),
+        _spec_float("leslie3d", seed=48, fp_frac=0.34),
+    )
+}
+
+ALL_PROFILES: Dict[str, WorkloadProfile] = {}
+ALL_PROFILES.update(MOBILE_PROFILES)
+ALL_PROFILES.update(SPEC_INT_PROFILES)
+ALL_PROFILES.update(SPEC_FLOAT_PROFILES)
+
+
+def get_profile(name: str) -> WorkloadProfile:
+    """Look up a workload profile by app/benchmark name.
+
+    Raises:
+        KeyError: with the list of known names.
+    """
+    try:
+        return ALL_PROFILES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown workload {name!r}; known: {sorted(ALL_PROFILES)}"
+        ) from None
+
+
+def profiles_in_group(group: str) -> Dict[str, WorkloadProfile]:
+    """All profiles belonging to ``group`` (mobile/spec_int/spec_float)."""
+    return {
+        name: prof for name, prof in ALL_PROFILES.items()
+        if prof.group == group
+    }

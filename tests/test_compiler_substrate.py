@@ -1,0 +1,142 @@
+"""Tests for the ART-style substrate passes."""
+
+import pytest
+
+from repro.compiler import (
+    ConstantFoldingPass,
+    DeadCodePass,
+    PassManager,
+    SimplifierPass,
+)
+from repro.isa import Cond, Instruction, Opcode
+from repro.trace import BasicBlock, Program
+
+
+def prog(instrs):
+    return Program([BasicBlock(0, list(instrs))])
+
+
+class TestConstantFolding:
+    def test_folds_mov_add(self):
+        result = PassManager([ConstantFoldingPass()]).run(prog([
+            Instruction(Opcode.MOV, dests=(0,), imm=5),
+            Instruction(Opcode.ADD, dests=(1,), srcs=(0,), imm=3),
+        ]))
+        folded = result.program.block(0).instructions[1]
+        assert folded.opcode is Opcode.MOV
+        assert folded.imm == 8
+        assert result.ctx.get("constant-folding", "folded") == 1
+
+    def test_folds_shift(self):
+        result = PassManager([ConstantFoldingPass()]).run(prog([
+            Instruction(Opcode.MOV, dests=(0,), imm=3),
+            Instruction(Opcode.LSL, dests=(1,), srcs=(0,), imm=2),
+        ]))
+        assert result.program.block(0).instructions[1].imm == 12
+
+    def test_does_not_fold_same_register(self):
+        result = PassManager([ConstantFoldingPass()]).run(prog([
+            Instruction(Opcode.MOV, dests=(0,), imm=5),
+            Instruction(Opcode.ADD, dests=(0,), srcs=(0,), imm=3),
+        ]))
+        assert result.program.block(0).instructions[1].opcode is Opcode.ADD
+
+    def test_does_not_fold_predicated(self):
+        result = PassManager([ConstantFoldingPass()]).run(prog([
+            Instruction(Opcode.MOV, dests=(0,), imm=5),
+            Instruction(Opcode.ADD, dests=(1,), srcs=(0,), imm=3,
+                        cond=Cond.EQ),
+        ]))
+        assert result.program.block(0).instructions[1].opcode is Opcode.ADD
+
+    def test_input_not_mutated(self):
+        program = prog([
+            Instruction(Opcode.MOV, dests=(0,), imm=5),
+            Instruction(Opcode.ADD, dests=(1,), srcs=(0,), imm=3),
+        ])
+        before = list(program)
+        PassManager([ConstantFoldingPass()]).run(program)
+        assert list(program) == before
+
+
+class TestSimplifier:
+    def test_add_zero_becomes_mov(self):
+        result = PassManager([SimplifierPass()]).run(prog([
+            Instruction(Opcode.ADD, dests=(1,), srcs=(0,), imm=0),
+        ]))
+        out = result.program.block(0).instructions[0]
+        assert out.opcode is Opcode.MOV
+        assert out.srcs == (0,)
+        assert out.imm is None
+
+    def test_nonzero_untouched(self):
+        result = PassManager([SimplifierPass()]).run(prog([
+            Instruction(Opcode.ADD, dests=(1,), srcs=(0,), imm=4),
+        ]))
+        assert result.program.block(0).instructions[0].opcode is Opcode.ADD
+
+    def test_and_zero_not_identity(self):
+        # AND Rd, Rs, #0 is NOT a move; the simplifier must leave it.
+        result = PassManager([SimplifierPass()]).run(prog([
+            Instruction(Opcode.AND, dests=(1,), srcs=(0,), imm=0),
+        ]))
+        assert result.program.block(0).instructions[0].opcode is Opcode.AND
+
+
+class TestDeadCode:
+    def test_removes_overwritten_value(self):
+        result = PassManager([DeadCodePass()]).run(prog([
+            Instruction(Opcode.MOV, dests=(0,), imm=1),   # dead
+            Instruction(Opcode.MOV, dests=(0,), imm=2),
+            Instruction(Opcode.ADD, dests=(1,), srcs=(0,)),
+        ]))
+        assert len(result.program.block(0)) == 2
+        assert result.ctx.get("dead-code", "removed") == 1
+
+    def test_keeps_read_value(self):
+        result = PassManager([DeadCodePass()]).run(prog([
+            Instruction(Opcode.MOV, dests=(0,), imm=1),
+            Instruction(Opcode.ADD, dests=(1,), srcs=(0,)),
+            Instruction(Opcode.MOV, dests=(0,), imm=2),
+        ]))
+        assert len(result.program.block(0)) == 3
+
+    def test_keeps_possibly_live_out(self):
+        result = PassManager([DeadCodePass()]).run(prog([
+            Instruction(Opcode.MOV, dests=(0,), imm=1),
+        ]))
+        assert len(result.program.block(0)) == 1
+
+    def test_never_removes_stores_or_branches(self):
+        result = PassManager([DeadCodePass()]).run(prog([
+            Instruction(Opcode.STR, srcs=(0, 1)),
+            Instruction(Opcode.CMP, srcs=(0, 1)),
+            Instruction(Opcode.B, cond=Cond.EQ, target=0),
+        ]))
+        assert len(result.program.block(0)) == 3
+
+    def test_predicated_write_not_a_kill(self):
+        result = PassManager([DeadCodePass()]).run(prog([
+            Instruction(Opcode.MOV, dests=(0,), imm=1),
+            Instruction(Opcode.MOV, dests=(0,), imm=2, cond=Cond.EQ),
+            Instruction(Opcode.ADD, dests=(1,), srcs=(0,)),
+        ]))
+        # The conditional MOV may not execute: the first MOV stays live.
+        assert len(result.program.block(0)) == 3
+
+
+class TestPipelineComposition:
+    def test_fold_then_dce(self):
+        result = PassManager([
+            ConstantFoldingPass(), DeadCodePass(),
+        ]).run(prog([
+            Instruction(Opcode.MOV, dests=(0,), imm=5),
+            Instruction(Opcode.ADD, dests=(1,), srcs=(0,), imm=3),
+            Instruction(Opcode.MOV, dests=(0,), imm=9),
+            Instruction(Opcode.SUB, dests=(2,), srcs=(1,)),
+            Instruction(Opcode.SUB, dests=(3,), srcs=(0,)),
+        ]))
+        # Folding turns the ADD into MOV R1,#8 -> the first MOV is dead.
+        assert len(result.program.block(0)) == 4
+        assert result.ctx.get("constant-folding", "folded") == 1
+        assert result.ctx.get("dead-code", "removed") == 1

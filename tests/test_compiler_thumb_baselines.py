@@ -1,0 +1,110 @@
+"""Tests for OPP16 and Compress (the criticality-agnostic baselines)."""
+
+import pytest
+
+from repro.compiler import CompressPass, Opp16Pass, PassManager
+from repro.isa import Cond, Encoding, Instruction, MAX_CDP_COVER, Opcode
+from repro.trace import BasicBlock, Program
+
+
+def alu(dest=0, src=1, imm=1, cond=Cond.AL):
+    return Instruction(Opcode.ADD, dests=(dest,), srcs=(src,), imm=imm,
+                       cond=cond)
+
+
+def prog(instrs):
+    return Program([BasicBlock(0, list(instrs))])
+
+
+class TestOpp16:
+    def test_run_of_three_converted(self):
+        result = PassManager([Opp16Pass()]).run(prog([alu()] * 3))
+        out = result.program.block(0).instructions
+        assert out[0].opcode is Opcode.CDP
+        assert out[0].cdp_cover == 3
+        assert all(i.encoding is Encoding.THUMB16 for i in out[1:])
+
+    def test_run_of_two_not_converted(self):
+        result = PassManager([Opp16Pass()]).run(prog([alu()] * 2))
+        out = result.program.block(0).instructions
+        assert all(i.encoding is Encoding.ARM32 for i in out)
+        assert result.ctx.get("opp16", "cdp-commands") == 0
+
+    def test_inconvertible_breaks_run_without_reordering(self):
+        """The paper's rule: OPP16 never moves instructions around."""
+        blocker = alu(dest=12)  # high register
+        result = PassManager([Opp16Pass()]).run(
+            prog([alu()] * 2 + [blocker] + [alu()] * 2)
+        )
+        out = result.program.block(0).instructions
+        # No CDP anywhere: both runs are below the min length.
+        assert all(i.opcode is not Opcode.CDP for i in out)
+        # Order unchanged.
+        assert [i.uid for i in out] == sorted(i.uid for i in out)
+
+    def test_long_run_split_across_cdps(self):
+        result = PassManager([Opp16Pass()]).run(prog([alu()] * 12))
+        out = result.program.block(0).instructions
+        cdps = [i for i in out if i.opcode is Opcode.CDP]
+        assert [c.cdp_cover for c in cdps] == [MAX_CDP_COVER, 3]
+
+    def test_predicated_instruction_breaks_run(self):
+        result = PassManager([Opp16Pass()]).run(
+            prog([alu(), alu(), alu(cond=Cond.EQ), alu(), alu()])
+        )
+        assert result.ctx.get("opp16", "thumbed") == 0
+
+    def test_already_thumb_not_reconverted(self):
+        thumb = alu().with_encoding(Encoding.THUMB16)
+        result = PassManager([Opp16Pass()]).run(prog([thumb] * 5))
+        assert result.ctx.get("opp16", "thumbed") == 0
+
+
+class TestCompress:
+    def test_min_run_two(self):
+        result = PassManager([CompressPass()]).run(prog([alu()] * 2))
+        assert result.ctx.get("compress", "thumbed") == 2
+
+    def test_slow_thumb_reverted(self):
+        """Long-latency ops stay 32-bit (the fine-grained heuristic)."""
+        mul = Instruction(Opcode.MUL, dests=(0,), srcs=(1, 2))
+        result = PassManager([CompressPass()]).run(
+            prog([alu(), alu(), mul, alu(), alu()])
+        )
+        out = result.program.block(0).instructions
+        muls = [i for i in out if i.opcode is Opcode.MUL]
+        assert muls[0].encoding is Encoding.ARM32
+
+    def test_compress_converts_at_least_opp16(self):
+        instrs = [alu(dest=k % 6) for k in range(7)] \
+            + [alu(dest=12)] + [alu(), alu()]
+        opp = PassManager([Opp16Pass()]).run(prog(list(instrs)))
+        comp = PassManager([CompressPass()]).run(prog(list(instrs)))
+        assert comp.ctx.get("compress", "thumbed") \
+            >= opp.ctx.get("opp16", "thumbed")
+
+
+class TestStacking:
+    def test_opp16_after_critic_skips_cdp_regions(self):
+        from repro.compiler import CriticPass
+        from repro.profiler import CriticRecord
+
+        chain = [
+            Instruction(Opcode.ADD, dests=(0,), srcs=(6, 7), uid=0),
+            Instruction(Opcode.ADD, dests=(1,), srcs=(0,), imm=1, uid=1),
+            Instruction(Opcode.ADD, dests=(2,), srcs=(1,), imm=1, uid=2),
+        ]
+        fillers = [alu(dest=8, src=9) for _ in range(4)]
+        program = Program([BasicBlock(0, chain + fillers)])
+        record = CriticRecord(uids=(0, 1, 2), occurrences=3,
+                              mean_avg_fanout=10.0, thumb_encodable=True,
+                              block_id=0)
+        result = PassManager([
+            CriticPass([record], mode="cdp"), Opp16Pass()
+        ]).run(program)
+        out = result.program.block(0).instructions
+        # Chain converted by CritIC, fillers by OPP16; exactly 2 CDPs.
+        assert sum(1 for i in out if i.opcode is Opcode.CDP) == 2
+        arm = [i for i in out
+               if i.encoding is Encoding.ARM32]
+        assert not arm  # everything convertible here ends up Thumb

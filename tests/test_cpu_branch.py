@@ -1,0 +1,68 @@
+"""Tests for branch prediction structures."""
+
+from repro.cpu import ReturnAddressStack, TwoLevelPredictor
+
+
+class TestTwoLevelPredictor:
+    def test_learns_constant_direction(self):
+        bpu = TwoLevelPredictor()
+        correct = [bpu.predict_conditional(0x100, True)
+                   for _ in range(20)]
+        assert all(correct[2:])
+
+    def test_learns_loop_pattern(self):
+        """Fixed-trip-count loops (TTTN repeating) become predictable."""
+        bpu = TwoLevelPredictor()
+        pattern = [True, True, True, False] * 40
+        correct = [bpu.predict_conditional(0x200, t) for t in pattern]
+        assert sum(correct[-40:]) >= 32  # >=80% on the trained tail
+
+    def test_random_pattern_mispredicts(self):
+        import random
+        rng = random.Random(42)
+        bpu = TwoLevelPredictor()
+        outcomes = [rng.random() < 0.5 for _ in range(400)]
+        correct = sum(bpu.predict_conditional(0x300, t) for t in outcomes)
+        assert correct < 300  # can't learn noise
+
+    def test_perfect_mode(self):
+        bpu = TwoLevelPredictor(perfect=True)
+        import random
+        rng = random.Random(1)
+        assert all(bpu.predict_conditional(0x400, rng.random() < 0.5)
+                   for _ in range(100))
+        assert bpu.stats.cond_mispredicts == 0
+
+    def test_stats_counted(self):
+        bpu = TwoLevelPredictor()
+        for _ in range(10):
+            bpu.predict_conditional(0x500, True)
+        assert bpu.stats.conditional == 10
+        assert 0.0 <= bpu.stats.cond_accuracy <= 1.0
+
+
+class TestReturnAddressStack:
+    def test_balanced_calls_predict(self):
+        ras = ReturnAddressStack()
+        for addr in (0x10, 0x20, 0x30):
+            ras.push(addr)
+        assert ras.predict_return()
+        assert ras.predict_return()
+        assert ras.predict_return()
+        assert ras.stats.return_mispredicts == 0
+
+    def test_underflow_mispredicts(self):
+        ras = ReturnAddressStack()
+        assert not ras.predict_return()
+        assert ras.stats.return_mispredicts == 1
+
+    def test_overflow_drops_oldest(self):
+        ras = ReturnAddressStack(depth=2)
+        for addr in (1, 2, 3):
+            ras.push(addr)
+        assert len(ras._stack) == 2
+
+    def test_perfect_mode_never_mispredicts(self):
+        ras = ReturnAddressStack(perfect=True)
+        assert ras.predict_return()
+        assert ras.stats.return_mispredicts == 0

@@ -1,0 +1,79 @@
+"""Tests for CPU configurations (Table I + Fig 11 variants)."""
+
+from repro.cpu import (
+    GOOGLE_TABLET,
+    HARDWARE_VARIANTS,
+    config_2xfd,
+    config_4x_icache,
+    config_all_hw,
+    config_backend_prio,
+    config_critical_prefetch,
+    config_efetch,
+    config_perfect_br,
+    format_table1,
+)
+
+
+class TestBaseline:
+    def test_table1_values(self):
+        cfg = GOOGLE_TABLET
+        assert cfg.decode_width == 4
+        assert cfg.rob_entries == 128
+        assert cfg.bpu_entries == 4096
+        assert cfg.memory.icache_bytes == 32 * 1024
+        assert cfg.memory.icache_assoc == 2
+        assert cfg.memory.dcache_bytes == 64 * 1024
+        assert cfg.memory.icache_hit == 2
+        assert cfg.memory.l2_bytes == 2 * 1024 * 1024
+        assert cfg.memory.l2_assoc == 8
+
+    def test_baseline_has_no_optimizations(self):
+        cfg = GOOGLE_TABLET
+        assert not cfg.critical_load_prefetch
+        assert not cfg.backend_priority
+        assert not cfg.efetch
+        assert not cfg.perfect_branch
+
+    def test_with_name(self):
+        assert GOOGLE_TABLET.with_name("x").name == "x"
+
+
+class TestVariants:
+    def test_2xfd(self):
+        cfg = config_2xfd()
+        assert cfg.fetch_bytes_per_cycle \
+            == 2 * GOOGLE_TABLET.fetch_bytes_per_cycle
+        assert cfg.decode_width == 2 * GOOGLE_TABLET.decode_width
+        assert cfg.memory.icache_hit == GOOGLE_TABLET.memory.icache_hit // 2
+
+    def test_4x_icache(self):
+        assert config_4x_icache().memory.icache_bytes == 128 * 1024
+
+    def test_single_feature_flags(self):
+        assert config_efetch().efetch
+        assert config_perfect_br().perfect_branch
+        assert config_backend_prio().backend_priority
+        assert config_critical_prefetch().critical_load_prefetch
+
+    def test_all_hw_combines(self):
+        cfg = config_all_hw()
+        assert cfg.memory.icache_bytes == 128 * 1024
+        assert cfg.efetch and cfg.perfect_branch and cfg.backend_priority
+
+    def test_variants_registry(self):
+        assert set(HARDWARE_VARIANTS) == {
+            "2xFD", "4xI$", "EFetch", "PerfectBr", "BackendPrio", "AllHW"}
+        for name, make in HARDWARE_VARIANTS.items():
+            assert make().name == name
+
+    def test_variants_leave_baseline_untouched(self):
+        config_all_hw()
+        assert GOOGLE_TABLET.memory.icache_bytes == 32 * 1024
+
+
+class TestRendering:
+    def test_format_table1(self):
+        text = format_table1()
+        assert "128-entry ROB" in text
+        assert "LPDDR3" in text
+        assert "2MB 8-way" in text

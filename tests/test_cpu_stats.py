@@ -1,0 +1,73 @@
+"""Tests for simulation statistics containers."""
+
+import pytest
+
+from repro.cpu import FetchStalls, STAGES, SimStats, StageResidency, speedup
+
+
+class TestFetchStalls:
+    def test_stall_grouping(self):
+        stalls = FetchStalls(active=10, stall_icache=3, stall_branch=2,
+                             stall_switch=1, stall_backpressure=4)
+        assert stalls.stall_for_i == 6
+        assert stalls.stall_for_rd == 4
+
+
+class TestStageResidency:
+    def test_fractions_normalize(self):
+        res = StageResidency()
+        res.instructions = 2
+        res.add("fetch", 30)
+        res.add("execute", 70)
+        fractions = res.fractions()
+        assert fractions["fetch"] == pytest.approx(0.3)
+        assert fractions["execute"] == pytest.approx(0.7)
+        assert sum(fractions.values()) == pytest.approx(1.0)
+
+    def test_empty_fractions_zero(self):
+        fractions = StageResidency().fractions()
+        assert all(v == 0.0 for v in fractions.values())
+        assert set(fractions) == set(STAGES)
+
+    def test_mean(self):
+        res = StageResidency()
+        res.instructions = 4
+        res.add("fetch", 8)
+        assert res.mean("fetch") == 2.0
+        assert StageResidency().mean("fetch") == 0.0
+
+
+class TestSimStats:
+    def test_ipc(self):
+        stats = SimStats(cycles=50, instructions=100)
+        assert stats.ipc == 2.0
+        assert SimStats().ipc == 0.0
+
+    def test_fetch_stall_fractions(self):
+        stats = SimStats(cycles=100)
+        stats.fetch.stall_icache = 10
+        stats.fetch.stall_backpressure = 20
+        stats.fetch.active = 70
+        fractions = stats.fetch_stall_fractions()
+        assert fractions["stall_for_i"] == pytest.approx(0.10)
+        assert fractions["stall_for_rd"] == pytest.approx(0.20)
+        assert fractions["active"] == pytest.approx(0.70)
+
+    def test_occupancy_means(self):
+        stats = SimStats(cycles=10)
+        stats.iq_occupancy_sum = 50
+        stats.rob_occupancy_sum = 200
+        assert stats.iq_avg_occupancy == 5.0
+        assert stats.rob_avg_occupancy == 20.0
+
+
+class TestSpeedup:
+    def test_ratio(self):
+        base = SimStats(cycles=120)
+        opt = SimStats(cycles=100)
+        assert speedup(base, opt) == pytest.approx(1.2)
+
+    def test_slowdown_below_one(self):
+        base = SimStats(cycles=100)
+        worse = SimStats(cycles=125)
+        assert speedup(base, worse) == pytest.approx(0.8)

@@ -1,0 +1,151 @@
+"""Unit tests for IC / CritIC identification — including the paper's own
+Fig. 2 worked example."""
+
+import pytest
+
+from repro.dfg import (
+    Chain,
+    Dfg,
+    best_subchains,
+    find_critics,
+    iter_maximal_paths,
+    make_chain,
+)
+from repro.isa import Instruction, Opcode
+from repro.trace import Trace, TraceEntry
+
+
+def alu(dest, *srcs):
+    return Instruction(Opcode.ADD, dests=(dest,), srcs=srcs)
+
+
+def trace_of(instrs):
+    return Trace([
+        TraceEntry(seq=i, instr=ins.with_uid(i), pc=0x1000 + 4 * i)
+        for i, ins in enumerate(instrs)
+    ])
+
+
+def paper_fig2_dfg():
+    """The paper's Fig 2 example, scaled to our register file.
+
+    I0 produces a value consumed by I1..I10 (fanout 10); I10 similarly
+    triggers I11..I20; I20 feeds I22 (high fanout).  The path
+    I0 -> I10 -> I20 -> I22 is an IC; I0 -> I1 -> I21 is NOT because I21
+    also depends on I11.
+    """
+    instrs = [alu(0, 6, 7)]                       # I0 (root, two producers)
+    # I1..I9 consume I0 (single-source)  -> they are sole-dependents
+    instrs += [alu(2, 0) for _ in range(9)]       # I1..I9
+    instrs += [alu(1, 0)]                         # I10 reads I0
+    instrs += [alu(3, 1)]                         # I11 reads I10
+    instrs += [alu(4, 1) for _ in range(8)]       # I12..I19 read I10
+    instrs += [alu(5, 1)]                         # I20 reads I10
+    instrs += [alu(2, 0, 3)]                      # I21 reads I0?I11 (two)
+    instrs += [alu(3, 5)]                         # I22 reads I20
+    return Dfg(trace_of(instrs))
+
+
+class TestSelfContainedness:
+    def test_paper_ic_path_valid(self):
+        dfg = paper_fig2_dfg()
+        # I0 -> I10 -> I20 -> I22 (positions 0, 10, 20, 22)
+        assert dfg.is_self_contained_path([0, 10, 20, 22])
+
+    def test_paper_non_ic_path_invalid(self):
+        dfg = paper_fig2_dfg()
+        # I0 -> I1 -> I21 fails: I21 also depends on I11.
+        assert not dfg.is_self_contained_path([0, 1, 21])
+
+    def test_subpath_of_ic_is_ic(self):
+        dfg = paper_fig2_dfg()
+        assert dfg.is_self_contained_path([10, 20])
+        assert dfg.is_self_contained_path([0, 10])
+
+    def test_empty_path_invalid(self):
+        dfg = paper_fig2_dfg()
+        assert not dfg.is_self_contained_path([])
+
+    def test_non_adjacent_members_invalid(self):
+        dfg = paper_fig2_dfg()
+        assert not dfg.is_self_contained_path([0, 20])
+
+
+class TestMakeChain:
+    def test_chain_record_fields(self):
+        dfg = paper_fig2_dfg()
+        chain = make_chain(dfg, [0, 10, 20, 22])
+        assert chain.length == 4
+        assert chain.spread == 22
+        assert chain.uids == (0, 10, 20, 22)
+        # I0 fanout 11 (I1..I9 + I10 + I21), I10 fanout 10, I20 1, I22 0
+        assert chain.avg_fanout == pytest.approx((11 + 10 + 1 + 0) / 4)
+        assert chain.thumb_encodable
+
+    def test_invalid_path_rejected(self):
+        dfg = paper_fig2_dfg()
+        with pytest.raises(ValueError):
+            make_chain(dfg, [0, 1, 21])
+
+    def test_is_critical_threshold(self):
+        dfg = paper_fig2_dfg()
+        chain = make_chain(dfg, [0, 10])
+        assert chain.avg_fanout == pytest.approx(10.5)
+        assert chain.is_critical(8.0)
+        assert not chain.is_critical(10.5)
+
+
+class TestMaximalPaths:
+    def test_paths_start_at_roots(self):
+        dfg = paper_fig2_dfg()
+        for path in iter_maximal_paths(dfg):
+            assert len(dfg.producers[path[0]]) != 1
+
+    def test_paths_are_self_contained(self):
+        dfg = paper_fig2_dfg()
+        for path in iter_maximal_paths(dfg):
+            assert dfg.is_self_contained_path(path)
+
+    def test_deep_path_found(self):
+        dfg = paper_fig2_dfg()
+        paths = list(iter_maximal_paths(dfg))
+        assert any(set([0, 10, 20, 22]).issubset(set(p)) for p in paths)
+
+
+class TestFindCritics:
+    def test_non_overlapping(self):
+        dfg = paper_fig2_dfg()
+        chains = find_critics(dfg, threshold=3.0, max_len=5)
+        used = set()
+        for chain in chains:
+            assert not used & set(chain.positions)
+            used.update(chain.positions)
+
+    def test_threshold_respected(self):
+        dfg = paper_fig2_dfg()
+        for chain in find_critics(dfg, threshold=5.0):
+            assert chain.avg_fanout > 5.0
+
+    def test_max_len_respected(self):
+        dfg = paper_fig2_dfg()
+        for chain in find_critics(dfg, threshold=1.0, max_len=3):
+            assert chain.length <= 3
+
+    def test_exact_len(self):
+        dfg = paper_fig2_dfg()
+        for chain in find_critics(dfg, threshold=1.0, exact_len=2):
+            assert chain.length == 2
+
+    def test_high_threshold_finds_nothing(self):
+        dfg = paper_fig2_dfg()
+        assert find_critics(dfg, threshold=1000.0) == []
+
+
+class TestBestSubchains:
+    def test_longest_qualifying_window_preferred(self):
+        dfg = paper_fig2_dfg()
+        paths = [p for p in iter_maximal_paths(dfg)
+                 if set([0, 10, 20, 22]).issubset(set(p))]
+        chains = best_subchains(dfg, paths[0], threshold=3.0, max_len=4)
+        assert chains
+        assert max(c.length for c in chains) >= 3

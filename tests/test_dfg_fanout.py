@@ -1,0 +1,77 @@
+"""Unit tests for fanout criticality and the gap histogram (Fig 1b)."""
+
+import pytest
+
+from repro.dfg import (
+    Dfg,
+    NO_DEPENDENT,
+    critical_fraction,
+    critical_mask,
+    gap_histogram,
+    mean_fanout,
+)
+from repro.isa import Instruction, Opcode
+from repro.trace import Trace, TraceEntry
+
+
+def alu(dest, *srcs):
+    return Instruction(Opcode.ADD, dests=(dest,), srcs=srcs)
+
+
+def trace_of(instrs):
+    return Trace([
+        TraceEntry(seq=i, instr=ins.with_uid(i), pc=0x1000 + 4 * i)
+        for i, ins in enumerate(instrs)
+    ])
+
+
+def chain_with_gap(gap):
+    """Critical A -> gap low-fanout members -> critical B, with consumers."""
+    instrs = [alu(0, 6, 7)]                        # A at 0
+    consumers_a = [alu(3, 0) for _ in range(9)]    # give A fanout 9+1
+    instrs += consumers_a
+    prev = 0
+    for g in range(gap):                           # gap members, fanout 1
+        instrs.append(alu(1 + g % 2, prev))
+        prev = 1 + g % 2
+    instrs.append(alu(5, prev))                    # B
+    instrs += [alu(3, 5) for _ in range(9)]        # B's fanout
+    return Dfg(trace_of(instrs))
+
+
+class TestCriticalMask:
+    def test_threshold_boundary(self):
+        assert critical_mask([7, 8, 9], threshold=8) == [False, True, True]
+
+    def test_fraction(self):
+        assert critical_fraction([0, 0, 8, 10], threshold=8) == 0.5
+        assert critical_fraction([], threshold=8) == 0.0
+
+    def test_mean_fanout(self):
+        assert mean_fanout([1, 2, 3]) == 2.0
+        assert mean_fanout([]) == 0.0
+
+
+class TestGapHistogram:
+    @pytest.mark.parametrize("gap", [0, 1, 2, 3, 5])
+    def test_gap_measured_exactly(self, gap):
+        dfg = chain_with_gap(gap)
+        hist = gap_histogram(dfg, threshold=8)
+        assert hist[str(gap)] > 0.0
+        # A has the gap; B is terminal (no dependent critical).
+        assert hist[NO_DEPENDENT] > 0.0
+
+    def test_normalized(self):
+        dfg = chain_with_gap(2)
+        hist = gap_histogram(dfg, threshold=8)
+        assert sum(hist.values()) == pytest.approx(1.0)
+
+    def test_empty_when_no_criticals(self):
+        dfg = Dfg(trace_of([alu(0, 1), alu(2, 0)]))
+        hist = gap_histogram(dfg, threshold=8)
+        assert all(v == 0.0 for v in hist.values())
+
+    def test_gap_beyond_max_binned(self):
+        dfg = chain_with_gap(7)
+        hist = gap_histogram(dfg, threshold=8, max_gap=5)
+        assert hist[">5"] > 0.0

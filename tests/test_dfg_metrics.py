@@ -1,0 +1,64 @@
+"""Unit + property tests for chain-criticality metrics."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.dfg import (
+    METRICS,
+    average_fanout,
+    geometric_mean_fanout,
+    get_metric,
+    total_fanout,
+    variance_penalized_fanout,
+)
+
+
+class TestMetrics:
+    def test_average(self):
+        assert average_fanout([10, 2, 6]) == 6.0
+        assert average_fanout([]) == 0.0
+
+    def test_total(self):
+        assert total_fanout([10, 2, 6]) == 18.0
+
+    def test_variance_penalty_uniform_chain(self):
+        assert variance_penalized_fanout([5, 5, 5]) == pytest.approx(5.0)
+
+    def test_variance_penalty_spiky_chain(self):
+        uniform = variance_penalized_fanout([6, 6, 6])
+        spiky = variance_penalized_fanout([18, 0, 0])
+        assert spiky < uniform
+
+    def test_geometric_mean_bounds(self):
+        assert geometric_mean_fanout([3, 3, 3]) == pytest.approx(3.0)
+        assert geometric_mean_fanout([]) == 0.0
+
+    def test_registry_lookup(self):
+        assert get_metric("average") is average_fanout
+        with pytest.raises(KeyError, match="unknown metric"):
+            get_metric("nonsense")
+
+    def test_registry_complete(self):
+        assert set(METRICS) == {
+            "average", "total", "variance_penalized", "geometric"}
+
+
+@given(st.lists(st.integers(min_value=0, max_value=60),
+                min_size=1, max_size=20))
+def test_property_metric_relations(fanouts):
+    """Invariants: total >= average; variance-penalized <= average;
+    geometric <= average (AM-GM on 1+f)."""
+    avg = average_fanout(fanouts)
+    assert total_fanout(fanouts) >= avg - 1e-9
+    assert variance_penalized_fanout(fanouts) <= avg + 1e-9
+    assert geometric_mean_fanout(fanouts) <= avg + 1e-9
+
+
+@given(st.lists(st.integers(min_value=0, max_value=60),
+                min_size=1, max_size=20),
+       st.integers(min_value=1, max_value=5))
+def test_property_scale_monotone(fanouts, k):
+    """Raising every member's fanout raises every metric."""
+    bigger = [f + k for f in fanouts]
+    for name, metric in METRICS.items():
+        assert metric(bigger) >= metric(fanouts) - 1e-9, name

@@ -1,0 +1,84 @@
+"""Tests for the SoC energy model."""
+
+import pytest
+
+from repro.cpu import SimStats
+from repro.energy import (
+    CDP_LOGIC_AREA_UM2,
+    EnergyParams,
+    energy_of,
+    savings,
+)
+
+
+def stats(cycles=1000, instructions=2000, icache=500, dcache=400,
+          l2=50, dram=5, cdp=0):
+    s = SimStats(cycles=cycles, instructions=instructions)
+    s.icache_accesses = icache
+    s.dcache_accesses = dcache
+    s.l2_accesses = l2
+    s.dram_reads = dram
+    s.cdp_decoded = cdp
+    return s
+
+
+class TestBreakdown:
+    def test_components_positive(self):
+        e = energy_of(stats())
+        assert e.cpu_total > 0
+        assert e.memory_total > 0
+        assert e.soc_total > e.cpu_total + e.memory_total - 1
+
+    def test_soc_rest_dominates(self):
+        """Calibration: the non-CPU SoC is the majority of energy
+        (mobile reality; makes the paper's 15% CPU vs 4.6% SoC coherent)."""
+        e = energy_of(stats())
+        assert e.soc_rest > 0.5 * e.soc_total
+
+    def test_cdp_not_counted_as_work(self):
+        base = energy_of(stats())
+        with_cdp = energy_of(stats(instructions=2010, cdp=10))
+        assert with_cdp.soc_rest == base.soc_rest
+
+    def test_as_dict_complete(self):
+        e = energy_of(stats())
+        d = e.as_dict()
+        assert set(d) == {
+            "cpu_dynamic", "cpu_static", "icache", "dcache", "l2",
+            "dram", "mem_static", "soc_rest",
+        }
+
+
+class TestSavings:
+    def test_faster_run_saves_energy(self):
+        base = energy_of(stats(cycles=1000))
+        fast = energy_of(stats(cycles=880, icache=420))
+        result = savings(base, fast)
+        assert result.total_pct_of_soc > 0
+        assert result.cpu_pct_of_soc > 0
+        assert result.icache_pct_of_soc > 0
+        assert result.cpu_only_pct > result.total_pct_of_soc
+
+    def test_identical_runs_save_nothing(self):
+        base = energy_of(stats())
+        result = savings(base, energy_of(stats()))
+        assert result.total_pct_of_soc == pytest.approx(0.0)
+
+    def test_paper_shape_cpu_vs_soc(self):
+        """A ~12% cycle reduction yields a much larger CPU-% saving than
+        SoC-% saving (paper: 15% vs 4.6%)."""
+        base = energy_of(stats(cycles=1000, icache=500))
+        opt = energy_of(stats(cycles=880, icache=450))
+        result = savings(base, opt)
+        assert result.cpu_only_pct > 2 * result.total_pct_of_soc
+
+    def test_constants_recorded(self):
+        assert CDP_LOGIC_AREA_UM2 == 80.0
+
+
+class TestParams:
+    def test_custom_params_flow_through(self):
+        params = EnergyParams(pj_dram_access=0.0)
+        a = energy_of(stats(dram=100), params)
+        b = energy_of(stats(dram=0), params)
+        assert a.dram == b.dram == 0.0

@@ -1,0 +1,74 @@
+"""Wiring tests for the remaining figure modules (tiny scale)."""
+
+import pytest
+
+from repro.experiments import fig03, fig08, fig11, fig12, fig13
+
+WALK = 120
+
+
+class TestFig03:
+    def test_runs_and_formats(self):
+        groups = fig03.run(per_group=1, walk_blocks=WALK)
+        assert {g.group for g in groups} == {
+            "mobile", "spec_int", "spec_float"}
+        text = fig03.format_result(groups)
+        for header in ("Fig 3a", "Fig 3b", "Fig 3c"):
+            assert header in text
+
+    def test_stage_fractions_normalized(self):
+        for group in fig03.run(per_group=1, walk_blocks=WALK):
+            assert sum(group.stage_fractions.values()) \
+                == pytest.approx(1.0, abs=1e-6)
+
+
+class TestFig08:
+    def test_lost_potential_definition(self):
+        result = fig08.run(apps=2, walk_blocks=WALK)
+        for row in result.rows:
+            assert row.lost_potential_pct == pytest.approx(
+                row.cdp_switch_pct - row.branch_switch_pct)
+        assert "lost potential" in fig08.format_result(result)
+
+
+class TestFig11:
+    def test_all_mechanisms_present(self):
+        result = fig11.run(apps=1, walk_blocks=WALK)
+        assert [r.mechanism for r in result.rows] == [
+            "2xFD", "4xI$", "EFetch", "PerfectBr", "BackendPrio", "AllHW"]
+        text = fig11.format_result(result)
+        assert "Fig 11a" in text and "Fig 11b" in text
+
+    def test_stall_fractions_bounded(self):
+        result = fig11.run(apps=1, walk_blocks=WALK)
+        for row in result.rows:
+            assert 0.0 <= row.stall_for_i <= 1.0
+            assert 0.0 <= row.stall_for_rd <= 1.0
+
+
+class TestFig12:
+    def test_length_rows_cover_requested_lengths(self):
+        rows = fig12.run_length_sensitivity(
+            lengths=(2, 3), apps=1, walk_blocks=WALK)
+        assert [r.length for r in rows] == [2, 3]
+        assert "Fig 12a" in fig12.format_length(rows)
+
+    def test_profile_rows(self):
+        rows = fig12.run_profile_sensitivity(
+            fractions=(0.5, 1.0), apps=1, walk_blocks=WALK)
+        assert [r.profiled_fraction for r in rows] == [0.5, 1.0]
+        assert "Fig 12b" in fig12.format_profile(rows)
+
+
+class TestFig13:
+    def test_schemes_and_conversions(self):
+        result = fig13.run(apps=2, walk_blocks=WALK)
+        assert len(result.mean_speedups_pct) == len(fig13.SCHEMES)
+        for row in result.rows:
+            for frac in row.converted_frac:
+                assert 0.0 <= frac <= 1.0
+        critic = list(fig13.SCHEMES).index("critic")
+        opp16 = list(fig13.SCHEMES).index("opp16")
+        # CritIC always converts less than OPP16.
+        assert result.mean_converted_frac[critic] \
+            < result.mean_converted_frac[opp16]

@@ -1,0 +1,140 @@
+"""Unit + property tests for the tiny assembler (repro.isa.assembly)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.isa import (
+    AsmError,
+    Cond,
+    Encoding,
+    Instruction,
+    Opcode,
+    dest_count,
+    format_program,
+    parse_line,
+    parse_program_text,
+)
+
+
+class TestParse:
+    def test_basic_add(self):
+        instr = parse_line("ADD R1, R2, #4")
+        assert instr.opcode is Opcode.ADD
+        assert instr.dests == (1,)
+        assert instr.srcs == (2,)
+        assert instr.imm == 4
+
+    def test_predicated(self):
+        instr = parse_line("SUBNE R0, R1")
+        assert instr.opcode is Opcode.SUB
+        assert instr.cond is Cond.NE
+
+    def test_cmp_has_no_dest(self):
+        instr = parse_line("CMP R8, R9")
+        assert instr.dests == ()
+        assert instr.srcs == (8, 9)
+
+    def test_store_has_no_dest(self):
+        instr = parse_line("STR R0, R1, #8")
+        assert instr.dests == ()
+        assert instr.srcs == (0, 1)
+
+    def test_branch_with_target(self):
+        instr = parse_line("B @12")
+        assert instr.target == 12
+
+    def test_bl_is_not_b_plus_cond(self):
+        instr = parse_line("BL @3")
+        assert instr.opcode is Opcode.BL
+
+    def test_ble_is_b_with_le(self):
+        instr = parse_line("BLE @3")
+        assert instr.opcode is Opcode.B
+        assert instr.cond is Cond.LE
+
+    def test_ldrb_not_parsed_as_ldr(self):
+        instr = parse_line("LDRB R1, R2")
+        assert instr.opcode is Opcode.LDRB
+
+    def test_special_registers(self):
+        instr = parse_line("BX LR")
+        assert instr.srcs == (14,)
+
+    def test_thumb_comment(self):
+        instr = parse_line("MOV R0, #3  ; .thumb")
+        assert instr.encoding is Encoding.THUMB16
+
+    def test_cdp(self):
+        instr = parse_line("CDP <5>")
+        assert instr.cdp_cover == 5
+
+    def test_unknown_mnemonic(self):
+        with pytest.raises(AsmError):
+            parse_line("FROB R1")
+
+    def test_bad_operand(self):
+        with pytest.raises(AsmError):
+            parse_line("ADD R1, qux")
+
+    def test_empty_line(self):
+        with pytest.raises(AsmError):
+            parse_line("   ")
+
+
+class TestProgramText:
+    def test_round_trip_listing(self):
+        text = "\n".join([
+            "MOV R0, #1",
+            "; a comment line",
+            "",
+            "ADD R1, R0, #2",
+            "CMP R1, R0",
+            "BEQ @7",
+        ])
+        instrs = parse_program_text(text)
+        assert len(instrs) == 4
+        assert format_program(instrs).count("\n") == 3
+
+
+class TestDestCount:
+    def test_zero_dest_opcodes(self):
+        for op in (Opcode.CMP, Opcode.TST, Opcode.STR, Opcode.B,
+                   Opcode.BX, Opcode.NOP, Opcode.CDP):
+            assert dest_count(op) == 0
+
+    def test_bl_writes_link_register(self):
+        assert dest_count(Opcode.BL) == 1
+        instr = parse_line("BL LR, @3")
+        assert instr.dests == (14,)
+        assert parse_line("BL @3").dests == ()
+
+    def test_one_dest_opcodes(self):
+        for op in (Opcode.ADD, Opcode.LDR, Opcode.MUL, Opcode.MOV):
+            assert dest_count(op) == 1
+
+
+_PARSEABLE_OPCODES = [
+    op for op in Opcode
+    if op not in (Opcode.CDP, Opcode.B, Opcode.BL, Opcode.BX)
+]
+
+
+@given(
+    op=st.sampled_from(_PARSEABLE_OPCODES),
+    dest=st.integers(min_value=0, max_value=12),
+    srcs=st.lists(st.integers(min_value=0, max_value=12),
+                  min_size=1, max_size=2),
+    imm=st.one_of(st.none(), st.integers(min_value=0, max_value=4000)),
+    cond=st.sampled_from([Cond.AL, Cond.EQ, Cond.NE, Cond.GT]),
+)
+def test_property_roundtrip(op, dest, srcs, imm, cond):
+    """to_text -> parse_line preserves every instruction field."""
+    dests = (dest,) if dest_count(op) else ()
+    instr = Instruction(op, dests=dests, srcs=tuple(srcs), imm=imm,
+                        cond=cond)
+    parsed = parse_line(instr.to_text())
+    assert parsed.opcode is instr.opcode
+    assert parsed.dests == instr.dests
+    assert parsed.srcs == instr.srcs
+    assert parsed.imm == instr.imm
+    assert parsed.cond is instr.cond

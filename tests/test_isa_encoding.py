@@ -1,0 +1,122 @@
+"""Unit tests for Thumb encodability rules (repro.isa.encoding)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.isa import (
+    Cond,
+    Encoding,
+    Instruction,
+    Opcode,
+    THUMB_IMM_MAX,
+    chain_thumb_encodable,
+    code_bytes,
+    convert_chain_to_thumb,
+    convert_to_thumb,
+    is_thumb_encodable,
+    thumb_rejection_reason,
+)
+
+
+def alu(dest=0, src=1, imm=None, cond=Cond.AL):
+    return Instruction(Opcode.ADD, dests=(dest,), srcs=(src,), imm=imm,
+                       cond=cond)
+
+
+class TestRejectionReasons:
+    def test_clean_instruction_encodable(self):
+        assert thumb_rejection_reason(alu()) is None
+        assert is_thumb_encodable(alu())
+
+    def test_predicated_rejected(self):
+        assert thumb_rejection_reason(alu(cond=Cond.EQ)) == "predicated"
+
+    def test_high_register_rejected(self):
+        assert thumb_rejection_reason(alu(dest=12)) == "high-register"
+        assert thumb_rejection_reason(alu(src=11)) == "high-register"
+
+    def test_register_ten_is_fine(self):
+        assert is_thumb_encodable(alu(dest=10))
+
+    def test_wide_immediate_rejected(self):
+        assert thumb_rejection_reason(
+            alu(imm=THUMB_IMM_MAX + 1)) == "immediate-range"
+        assert is_thumb_encodable(alu(imm=THUMB_IMM_MAX))
+
+    def test_negative_immediate_rejected(self):
+        assert thumb_rejection_reason(alu(imm=-1)) == "immediate-range"
+
+    def test_fp_rejected(self):
+        fp = Instruction(Opcode.VADD, dests=(0,), srcs=(1, 2))
+        assert thumb_rejection_reason(fp) == "no-thumb-form"
+
+    def test_cdp_rejected(self):
+        cdp = Instruction(Opcode.CDP, cdp_cover=3)
+        assert thumb_rejection_reason(cdp) == "no-thumb-form"
+
+    def test_predication_checked_before_registers(self):
+        # Both problems present; "predicated" wins (documented ordering).
+        reason = thumb_rejection_reason(alu(dest=12, cond=Cond.NE))
+        assert reason == "predicated"
+
+
+class TestConversion:
+    def test_convert_sets_encoding(self):
+        thumb = convert_to_thumb(alu())
+        assert thumb.encoding is Encoding.THUMB16
+        assert thumb.size_bytes == 2
+
+    def test_convert_rejects_unencodable(self):
+        with pytest.raises(ValueError, match="high-register"):
+            convert_to_thumb(alu(dest=12))
+
+    def test_chain_all_or_nothing(self):
+        good = [alu(dest=d) for d in range(3)]
+        assert chain_thumb_encodable(good)
+        assert convert_chain_to_thumb(good) is not None
+
+        bad = good + [alu(dest=12)]
+        assert not chain_thumb_encodable(bad)
+        assert convert_chain_to_thumb(bad) is None
+
+    def test_empty_chain_converts(self):
+        assert convert_chain_to_thumb([]) == []
+
+
+class TestCodeBytes:
+    def test_mixed_sizes(self):
+        instrs = [alu(), convert_to_thumb(alu()), alu()]
+        assert code_bytes(instrs) == 4 + 2 + 4
+
+    def test_paper_example_five_to_three_words(self):
+        """Paper Sec. IV-F: 5 x 32-bit becomes 3 x 32-bit words
+        (CDP half-word + five 16-bit instructions)."""
+        chain = [alu(dest=d % 6) for d in range(5)]
+        assert code_bytes(chain) == 20
+        converted = convert_chain_to_thumb(chain)
+        cdp = Instruction(Opcode.CDP, cdp_cover=5,
+                          encoding=Encoding.THUMB16)
+        assert code_bytes([cdp] + converted) == 12  # 3 words
+
+
+@given(
+    dest=st.integers(min_value=0, max_value=15),
+    src=st.integers(min_value=0, max_value=15),
+    imm=st.one_of(st.none(), st.integers(min_value=-10, max_value=5000)),
+    predicated=st.booleans(),
+)
+def test_property_rejection_reason_consistency(dest, src, imm, predicated):
+    """is_thumb_encodable iff thumb_rejection_reason is None, and the
+    reason correctly describes a real property of the instruction."""
+    instr = alu(dest=dest, src=src, imm=imm,
+                cond=Cond.EQ if predicated else Cond.AL)
+    reason = thumb_rejection_reason(instr)
+    assert is_thumb_encodable(instr) == (reason is None)
+    if reason == "high-register":
+        assert dest > 10 or src > 10
+    if reason == "predicated":
+        assert predicated
+    if reason == "immediate-range":
+        assert imm is not None and not 0 <= imm <= THUMB_IMM_MAX
+    if reason is None:
+        assert convert_to_thumb(instr).size_bytes == 2

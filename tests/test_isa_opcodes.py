@@ -1,0 +1,83 @@
+"""Unit tests for repro.isa.opcodes."""
+
+import pytest
+
+from repro.isa import (
+    ALU_OPCODES,
+    BRANCH_OPCODES,
+    FP_OPCODES,
+    LOAD_OPCODES,
+    LONG_LATENCY_THRESHOLD,
+    STORE_OPCODES,
+    InstrKind,
+    Opcode,
+    has_thumb_form,
+    is_long_latency,
+    kind_of,
+    latency_of,
+    opcode_info,
+)
+
+
+class TestOpcodeInfo:
+    def test_every_opcode_has_info(self):
+        for op in Opcode:
+            info = opcode_info(op)
+            assert info.mnemonic == op.value
+            assert info.latency >= 1
+
+    def test_alu_are_single_cycle(self):
+        for op in ALU_OPCODES:
+            assert latency_of(op) == 1
+
+    def test_divide_is_long_latency(self):
+        assert latency_of(Opcode.SDIV) >= LONG_LATENCY_THRESHOLD
+        assert is_long_latency(Opcode.SDIV)
+        assert is_long_latency(Opcode.VDIV)
+
+    def test_simple_alu_is_not_long_latency(self):
+        assert not is_long_latency(Opcode.ADD)
+        assert not is_long_latency(Opcode.MOV)
+
+    def test_fp_has_no_thumb_form(self):
+        for op in FP_OPCODES:
+            assert not has_thumb_form(op)
+
+    def test_common_alu_has_thumb_form(self):
+        for op in (Opcode.ADD, Opcode.SUB, Opcode.MOV, Opcode.CMP,
+                   Opcode.LDR, Opcode.STR, Opcode.B):
+            assert has_thumb_form(op)
+
+    def test_cdp_has_no_thumb_form(self):
+        assert not has_thumb_form(Opcode.CDP)
+
+
+class TestClassification:
+    def test_kinds(self):
+        assert kind_of(Opcode.ADD) is InstrKind.ALU
+        assert kind_of(Opcode.MUL) is InstrKind.MUL
+        assert kind_of(Opcode.SDIV) is InstrKind.DIV
+        assert kind_of(Opcode.LDR) is InstrKind.LOAD
+        assert kind_of(Opcode.STR) is InstrKind.STORE
+        assert kind_of(Opcode.B) is InstrKind.BRANCH
+        assert kind_of(Opcode.VADD) is InstrKind.FP
+        assert kind_of(Opcode.CDP) is InstrKind.SYSTEM
+
+    def test_load_store_flags(self):
+        for op in LOAD_OPCODES:
+            assert opcode_info(op).reads_memory
+            assert not opcode_info(op).writes_memory
+        for op in STORE_OPCODES:
+            assert opcode_info(op).writes_memory
+            assert not opcode_info(op).reads_memory
+
+    def test_branch_list(self):
+        assert Opcode.B in BRANCH_OPCODES
+        assert Opcode.BL in BRANCH_OPCODES
+        assert Opcode.BX in BRANCH_OPCODES
+        assert len(BRANCH_OPCODES) == 3
+
+    def test_opcode_info_rejects_zero_latency(self):
+        from repro.isa.opcodes import OpcodeInfo
+        with pytest.raises(ValueError):
+            OpcodeInfo("BAD", InstrKind.ALU, 0, True)

@@ -1,0 +1,198 @@
+"""Tests for caches, DRAM, prefetchers, and the hierarchy."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.memory import (
+    Cache,
+    CriticalLoadPrefetcher,
+    Dram,
+    DramTimings,
+    EFetchPrefetcher,
+    MemoryConfig,
+    MemorySystem,
+)
+
+
+class TestCache:
+    def test_miss_then_hit(self):
+        cache = Cache("t", 1024, 2, 64, 1)
+        assert not cache.lookup(0x1000)
+        assert cache.lookup(0x1000)
+        assert cache.stats.accesses == 2
+        assert cache.stats.misses == 1
+
+    def test_same_line_same_entry(self):
+        cache = Cache("t", 1024, 2, 64, 1)
+        cache.lookup(0x1000)
+        assert cache.lookup(0x103F)  # same 64B line
+
+    def test_lru_eviction(self):
+        cache = Cache("t", 2 * 64, 2, 64, 1)  # 1 set, 2 ways
+        cache.lookup(0x0)
+        cache.lookup(0x1000)
+        cache.lookup(0x0)        # touch 0 -> 0x1000 becomes LRU
+        cache.lookup(0x2000)     # evicts 0x1000
+        assert cache.lookup(0x0)
+        assert not cache.lookup(0x1000)
+
+    def test_probe_does_not_count(self):
+        cache = Cache("t", 1024, 2, 64, 1)
+        cache.probe(0x1000)
+        assert cache.stats.accesses == 0
+
+    def test_fill_installs_silently(self):
+        cache = Cache("t", 1024, 2, 64, 1)
+        cache.fill(0x1000)
+        assert cache.stats.accesses == 0
+        assert cache.lookup(0x1000)
+
+    def test_bad_geometry_rejected(self):
+        with pytest.raises(ValueError):
+            Cache("t", 1000, 3, 64, 1)
+
+    def test_miss_rate(self):
+        cache = Cache("t", 1024, 2, 64, 1)
+        assert cache.stats.miss_rate == 0.0
+        cache.lookup(0)
+        assert cache.stats.miss_rate == 1.0
+
+    @given(st.lists(st.integers(min_value=0, max_value=1 << 20),
+                    min_size=1, max_size=200))
+    @settings(max_examples=25)
+    def test_property_repeat_access_hits(self, addrs):
+        """Accessing the same address twice in a row always hits."""
+        cache = Cache("t", 4096, 4, 64, 1)
+        for addr in addrs:
+            cache.lookup(addr)
+            assert cache.lookup(addr)
+
+    @given(st.lists(st.integers(min_value=0, max_value=1 << 16),
+                    min_size=1, max_size=300))
+    @settings(max_examples=25)
+    def test_property_occupancy_bounded(self, addrs):
+        cache = Cache("t", 2048, 2, 64, 1)
+        for addr in addrs:
+            cache.lookup(addr)
+        for ways in cache._sets:
+            assert len(ways) <= cache.assoc
+
+
+class TestDram:
+    def test_row_hit_cheaper(self):
+        dram = Dram()
+        first = dram.access(0x1000)
+        second = dram.access(0x1004)  # same row
+        assert second < first
+        assert dram.row_hits == 1
+
+    def test_row_conflict_costs_precharge(self):
+        timings = DramTimings()
+        dram = Dram(timings)
+        dram.access(0x0)
+        # Same bank, different row: banks stride with ROW_BYTES
+        conflict = dram.access(Dram.ROW_BYTES * Dram.NUM_RANKS
+                               * Dram.BANKS_PER_RANK)
+        assert conflict == (timings.t_overhead + timings.t_rp
+                            + timings.t_rcd + timings.t_cl
+                            + timings.t_burst)
+
+    def test_streaming_hits_open_rows(self):
+        dram = Dram()
+        for k in range(64):
+            dram.access(0x1000 + 64 * k)
+        assert dram.row_hit_rate > 0.9
+
+
+class TestCriticalLoadPrefetcher:
+    def test_prefetch_after_confidence(self):
+        pf = CriticalLoadPrefetcher(degree=1, confidence_needed=2)
+        addrs = []
+        for k in range(6):
+            addrs = pf.observe(pc=0x100, addr=0x8000 + 64 * k,
+                               critical=True)
+        assert addrs == [0x8000 + 64 * 6]
+
+    def test_non_critical_never_prefetches(self):
+        pf = CriticalLoadPrefetcher()
+        for k in range(8):
+            assert pf.observe(0x100, 0x8000 + 64 * k, critical=False) == []
+
+    def test_stride_change_resets_confidence(self):
+        pf = CriticalLoadPrefetcher(degree=1, confidence_needed=2)
+        for k in range(4):
+            pf.observe(0x100, 0x8000 + 64 * k, critical=True)
+        assert pf.observe(0x100, 0x9999 ^ 0x40, critical=True) == []
+
+    def test_table_capacity_lru(self):
+        pf = CriticalLoadPrefetcher(entries=4)
+        for pc in range(10):
+            pf.observe(pc, 0x8000, critical=True)
+        assert len(pf._table) == 4
+
+    def test_zero_stride_never_prefetches(self):
+        pf = CriticalLoadPrefetcher()
+        for _ in range(8):
+            out = pf.observe(0x100, 0x8000, critical=True)
+        assert out == []
+
+
+class TestEFetch:
+    def test_learns_repeating_call_pattern(self):
+        pf = EFetchPrefetcher(lines_per_target=2)
+        pattern = [100, 200, 300]
+        hits = 0
+        for _ in range(5):
+            for target in pattern:
+                lines = pf.observe_call(target)
+                if lines and lines[0] == target:
+                    hits += 1
+        assert hits >= 3  # predicts correctly once trained
+
+    def test_table_bounded(self):
+        pf = EFetchPrefetcher(entries=8)
+        for k in range(100):
+            pf.observe_call(k)
+        assert len(pf._table) <= 8
+
+
+class TestMemorySystem:
+    def test_load_hierarchy_latencies(self):
+        mem = MemorySystem()
+        cold = mem.load(0x8000)
+        warm = mem.load(0x8000)
+        assert warm == mem.config.dcache_hit
+        assert cold > warm
+
+    def test_ifetch_next_line_prefetch_hides_stream(self):
+        mem = MemorySystem()
+        line = mem.config.line_bytes
+        mem.ifetch(0x1000, now=0)
+        # The following lines were prefetched; with enough elapsed time
+        # they cost only the hit latency.
+        lat = mem.ifetch(0x1000 + line, now=100)
+        assert lat == mem.config.icache_hit
+
+    def test_ifetch_untimely_prefetch_pays_residual(self):
+        mem = MemorySystem()
+        line = mem.config.line_bytes
+        mem.ifetch(0x1000, now=0)
+        lat = mem.ifetch(0x1000 + line, now=1)
+        assert mem.config.icache_hit < lat \
+            <= mem.config.icache_hit + mem.config.l2_hit
+
+    def test_store_cheap(self):
+        mem = MemorySystem()
+        assert mem.store(0x9000) == mem.config.dcache_hit
+
+    def test_warm_installs_trace_lines(self):
+        from repro.workloads import generate, get_profile
+        wl = generate(get_profile("Music"), walk_blocks=60)
+        mem = MemorySystem()
+        mem.warm(wl.trace())
+        entry = wl.trace().entries[-1]
+        assert mem.icache.probe(entry.pc)
+
+    def test_scaled_icache(self):
+        config = MemoryConfig().scaled_icache(4)
+        assert config.icache_bytes == 128 * 1024

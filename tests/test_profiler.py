@@ -1,0 +1,129 @@
+"""Tests for the offline CritIC profiler."""
+
+import pytest
+
+from repro.profiler import (
+    CriticProfile,
+    CriticRecord,
+    FinderConfig,
+    annotate_block,
+    chains_per_window,
+    find_critic_profile,
+)
+from repro.workloads import generate, get_profile
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return generate(get_profile("Office"), walk_blocks=300)
+
+
+@pytest.fixture(scope="module")
+def profile(workload):
+    return find_critic_profile(workload.trace(), workload.program,
+                               app_name="Office")
+
+
+class TestFinder:
+    def test_finds_chains(self, profile):
+        assert len(profile) > 0
+        assert profile.profiled_instructions > 0
+
+    def test_records_well_formed(self, profile, workload):
+        for record in profile:
+            assert record.occurrences >= 1
+            assert record.length >= 2
+            assert record.mean_avg_fanout > 8.0
+            if record.block_id is not None:
+                block = workload.program.block(record.block_id)
+                block_uids = {i.uid for i in block.instructions}
+                assert set(record.uids) <= block_uids
+
+    def test_ranked_by_dynamic_coverage(self, profile):
+        volumes = [r.dynamic_instructions for r in profile]
+        assert volumes == sorted(volumes, reverse=True)
+
+    def test_coverage_consistency(self, profile):
+        total = profile.total_coverage()
+        assert 0.0 < total <= 1.0
+        assert profile.total_coverage(encodable_only=True) <= total
+
+    def test_cdf_monotone_and_bounded(self, profile):
+        cdf = profile.coverage_cdf()
+        assert all(b >= a for a, b in zip(cdf, cdf[1:]))
+        assert cdf[-1] == pytest.approx(profile.total_coverage())
+
+    def test_partial_profiling_smaller(self, workload):
+        partial = find_critic_profile(
+            workload.trace(), workload.program,
+            FinderConfig(profiled_fraction=0.2),
+        )
+        assert partial.profiled_instructions \
+            < len(workload.trace())
+
+    def test_max_length_respected(self, workload):
+        capped = find_critic_profile(
+            workload.trace(), workload.program,
+            FinderConfig(max_length=3),
+        )
+        assert all(r.length <= 3 for r in capped)
+
+    def test_chains_per_window(self, workload):
+        windows = chains_per_window(workload.trace())
+        assert len(windows) >= 1
+
+    def test_invalid_config(self):
+        with pytest.raises(ValueError):
+            FinderConfig(profiled_fraction=0.0)
+        with pytest.raises(ValueError):
+            FinderConfig(window=0)
+
+
+class TestSelection:
+    def test_select_filters_length(self, profile):
+        for record in profile.select_for_compiler(max_length=5):
+            assert record.length <= 5
+            assert record.thumb_encodable
+            assert record.hoistable
+
+    def test_select_ideal_keeps_unencodable(self, profile):
+        ideal = profile.select_for_compiler(max_length=None,
+                                            require_thumb=False)
+        strict = profile.select_for_compiler(max_length=None,
+                                             require_thumb=True)
+        assert len(ideal) >= len(strict)
+
+    def test_table_budget(self, profile):
+        small = profile.select_for_compiler(max_table_bytes=64)
+        assert sum(r.table_bytes() for r in small) <= 64
+
+
+class TestSerialization:
+    def test_json_round_trip(self, profile):
+        restored = CriticProfile.from_json(profile.to_json())
+        assert restored.records == profile.records
+        assert restored.profiled_instructions \
+            == profile.profiled_instructions
+        assert restored.app_name == profile.app_name
+
+    def test_record_table_bytes(self):
+        record = CriticRecord(uids=(1, 2, 3), occurrences=10,
+                              mean_avg_fanout=9.0, thumb_encodable=True,
+                              block_id=0)
+        assert record.table_bytes() == 4 + 2 * 3
+        assert record.dynamic_instructions == 30
+
+
+class TestAnnotateBlock:
+    def test_single_block(self, workload):
+        block = workload.program.blocks[0]
+        uids = [i.uid for i in block.instructions[:3]]
+        assert annotate_block(workload.program, uids) == block.block_id
+
+    def test_cross_block_is_none(self, workload):
+        a = workload.program.blocks[0].instructions[0].uid
+        b = workload.program.blocks[1].instructions[0].uid
+        assert annotate_block(workload.program, [a, b]) is None
+
+    def test_unknown_uid_is_none(self, workload):
+        assert annotate_block(workload.program, [10**9]) is None

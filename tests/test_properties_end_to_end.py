@@ -1,0 +1,96 @@
+"""Cross-cutting property tests: semantic preservation of every compiler
+scheme over generated workloads."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.compiler import (
+    CompressPass,
+    CriticPass,
+    Opp16Pass,
+    PassManager,
+    region_oracle,
+)
+from repro.isa import Opcode
+from repro.profiler import find_critic_profile
+from repro.trace import compute_producers
+from repro.workloads import generate, get_profile, mobile_app_names
+
+
+def dependence_map(trace):
+    """uid-level dataflow: executed work instructions and their producer
+    uid multisets, ignoring CDP markers and switch branches."""
+    producers = compute_producers(trace)
+    work = []
+    for pos, entry in enumerate(trace.entries):
+        instr = entry.instr
+        if instr.opcode is Opcode.CDP:
+            continue
+        if instr.opcode is Opcode.B and instr.target is None:
+            continue  # Approach-1 switch branch
+        prod_uids = tuple(sorted(
+            trace.entries[p].uid for p in producers[pos]
+            if trace.entries[p].instr.opcode is not Opcode.CDP
+        ))
+        work.append((entry.uid, prod_uids, entry.mem_addr))
+    return work
+
+
+@pytest.mark.parametrize("scheme_passes", [
+    ("opp16", lambda wl, recs, oracle: [Opp16Pass()]),
+    ("compress", lambda wl, recs, oracle: [CompressPass()]),
+    ("critic", lambda wl, recs, oracle: [
+        CriticPass(recs, mode="cdp", may_alias=oracle)]),
+    ("hoist", lambda wl, recs, oracle: [
+        CriticPass(recs, mode="hoist", may_alias=oracle)]),
+    ("branch", lambda wl, recs, oracle: [
+        CriticPass(recs, mode="branch", may_alias=oracle)]),
+], ids=lambda sp: sp[0])
+@pytest.mark.parametrize("app", ["Acrobat", "Music", "Youtube"])
+def test_transform_preserves_dataflow(app, scheme_passes):
+    """THE key compiler property: for every scheme, the transformed
+    dynamic stream executes exactly the same work instructions with
+    exactly the same producer sets and memory addresses."""
+    _name, make_passes = scheme_passes
+    wl = generate(get_profile(app), walk_blocks=100)
+    trace = wl.trace()
+    profile = find_critic_profile(trace, wl.program, app_name=app)
+    records = profile.select_for_compiler(max_length=5)
+    oracle = region_oracle(wl.memory)
+    result = PassManager(make_passes(wl, records, oracle)).run(wl.program)
+    transformed = wl.trace_for(result.program)
+
+    base_map = dependence_map(trace)
+    new_map = dependence_map(transformed)
+    assert len(base_map) == len(new_map)
+    # Same multiset of (uid, producers, address) triples: dataflow intact.
+    assert sorted(base_map) == sorted(new_map)
+
+
+@given(seed=st.integers(min_value=0, max_value=30))
+@settings(max_examples=8, deadline=None)
+def test_property_generated_workloads_well_formed(seed):
+    """Any seed yields a structurally valid workload."""
+    profile = get_profile("Facebook").with_seed(seed)
+    wl = generate(profile, walk_blocks=60)
+    trace = wl.trace()
+    assert len(trace) > 0
+    layout = wl.program.layout()
+    for entry in trace:
+        assert layout[entry.uid] == entry.pc
+        if entry.instr.is_memory:
+            assert entry.mem_addr is not None
+            assert entry.mem_addr % 4 == 0
+
+
+@given(seed=st.integers(min_value=0, max_value=30))
+@settings(max_examples=6, deadline=None)
+def test_property_chains_detected_for_any_seed(seed):
+    """The generator's contract with the profiler holds for any seed:
+    chains are discoverable and hoistable."""
+    wl = generate(get_profile("Office").with_seed(seed), walk_blocks=120)
+    profile = find_critic_profile(wl.trace(), wl.program)
+    if len(profile) == 0:
+        return  # tiny walks can miss chain blocks; nothing to check
+    hoistable = [r for r in profile if r.hoistable]
+    assert len(hoistable) >= len(profile) // 2

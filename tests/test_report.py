@@ -1,0 +1,43 @@
+"""Tests for the consolidated report generator."""
+
+import io
+
+import pytest
+
+from repro.experiments.report import SECTIONS, generate_report, main
+
+
+class TestSections:
+    def test_registry_covers_all_figures(self):
+        assert set(SECTIONS) == {
+            "table1", "table2", "fig01", "fig03", "fig05", "fig08",
+            "fig10", "fig11", "fig12", "fig13",
+        }
+
+    def test_tables_only(self):
+        text = generate_report(sections=["table1", "table2"])
+        assert "baseline configuration" in text
+        assert "evaluated workloads" in text
+
+    def test_unknown_section_rejected(self):
+        with pytest.raises(KeyError, match="unknown sections"):
+            generate_report(sections=["fig99"])
+
+    def test_streaming(self):
+        stream = io.StringIO()
+        generate_report(sections=["table1"], stream=stream)
+        assert "baseline configuration" in stream.getvalue()
+
+    def test_small_figure_section(self):
+        text = generate_report(sections=["fig08"], walk=100, apps=1,
+                               per_group=1)
+        assert "branch switching" in text
+
+
+class TestCli:
+    def test_main_writes_out_file(self, tmp_path, capsys):
+        out = tmp_path / "report.txt"
+        code = main(["table2", "--out", str(out)])
+        assert code == 0
+        assert "Acrobat" in out.read_text()
+        assert "Acrobat" in capsys.readouterr().out

@@ -1,0 +1,120 @@
+"""Unit tests for dynamic dependence analysis."""
+
+from repro.isa import Cond, Instruction, Opcode
+from repro.trace import (
+    Trace,
+    TraceEntry,
+    compute_consumers,
+    compute_fanouts,
+    compute_producers,
+    reads_flags,
+    writes_flags,
+)
+
+
+def make_trace(specs):
+    """specs: list of (instr, mem_addr)."""
+    entries = []
+    for seq, spec in enumerate(specs):
+        instr, mem = spec if isinstance(spec, tuple) else (spec, None)
+        entries.append(TraceEntry(seq=seq, instr=instr, pc=0x1000 + 4 * seq,
+                                  mem_addr=mem))
+    return Trace(entries)
+
+
+def alu(dest, *srcs, cond=Cond.AL):
+    return Instruction(Opcode.ADD, dests=(dest,), srcs=srcs, cond=cond)
+
+
+class TestRegisterDependences:
+    def test_simple_raw(self):
+        trace = make_trace([alu(0, 1), alu(2, 0)])
+        producers = compute_producers(trace)
+        assert producers[0] == ()
+        assert producers[1] == (0,)
+
+    def test_last_writer_wins(self):
+        trace = make_trace([alu(0, 1), alu(0, 1), alu(2, 0)])
+        producers = compute_producers(trace)
+        assert producers[2] == (1,)
+
+    def test_duplicate_sources_deduplicated(self):
+        trace = make_trace([
+            alu(0, 1),
+            Instruction(Opcode.ADD, dests=(2,), srcs=(0, 0)),
+        ])
+        producers = compute_producers(trace)
+        assert producers[1] == (0,)
+
+    def test_two_distinct_producers(self):
+        trace = make_trace([alu(0, 3), alu(1, 3), alu(2, 0, 1)])
+        producers = compute_producers(trace)
+        assert set(producers[2]) == {0, 1}
+
+
+class TestFlagDependences:
+    def test_flag_writers(self):
+        assert writes_flags(Instruction(Opcode.CMP, srcs=(0, 1)))
+        assert writes_flags(Instruction(Opcode.TST, srcs=(0, 1)))
+        assert not writes_flags(alu(0, 1))
+
+    def test_flag_readers(self):
+        assert reads_flags(alu(0, 1, cond=Cond.EQ))
+        assert reads_flags(Instruction(Opcode.B, cond=Cond.NE, target=1))
+        assert not reads_flags(alu(0, 1))
+
+    def test_branch_depends_on_cmp(self):
+        trace = make_trace([
+            Instruction(Opcode.CMP, srcs=(0, 1)),
+            Instruction(Opcode.B, cond=Cond.EQ, target=0),
+        ])
+        producers = compute_producers(trace)
+        assert producers[1] == (0,)
+
+    def test_predicated_reads_latest_cmp(self):
+        trace = make_trace([
+            Instruction(Opcode.CMP, srcs=(0, 1)),
+            Instruction(Opcode.CMP, srcs=(2, 3)),
+            alu(4, 5, cond=Cond.NE),
+        ])
+        producers = compute_producers(trace)
+        assert producers[2] == (1,)
+
+
+class TestMemoryDependences:
+    def test_store_to_load_same_word(self):
+        store = Instruction(Opcode.STR, srcs=(0, 1))
+        load = Instruction(Opcode.LDR, dests=(2,), srcs=(3,))
+        trace = make_trace([(store, 0x8000), (load, 0x8000)])
+        producers = compute_producers(trace)
+        assert 0 in producers[1]
+
+    def test_store_to_load_same_word_different_byte(self):
+        store = Instruction(Opcode.STR, srcs=(0, 1))
+        load = Instruction(Opcode.LDRB, dests=(2,), srcs=(3,))
+        trace = make_trace([(store, 0x8000), (load, 0x8002)])
+        producers = compute_producers(trace)
+        assert 0 in producers[1]
+
+    def test_different_words_independent(self):
+        store = Instruction(Opcode.STR, srcs=(0, 1))
+        load = Instruction(Opcode.LDR, dests=(2,), srcs=(3,))
+        trace = make_trace([(store, 0x8000), (load, 0x8004)])
+        producers = compute_producers(trace)
+        assert 0 not in producers[1]
+
+
+class TestConsumersAndFanout:
+    def test_consumers_invert_producers(self):
+        trace = make_trace([alu(0, 1), alu(2, 0), alu(3, 0)])
+        producers = compute_producers(trace)
+        consumers = compute_consumers(producers)
+        assert consumers[0] == [1, 2]
+        assert consumers[1] == []
+
+    def test_fanout_counts(self):
+        trace = make_trace(
+            [alu(0, 1)] + [alu(2 + k % 3, 0) for k in range(5)]
+        )
+        fanouts = compute_fanouts(trace)
+        assert fanouts[0] == 5

@@ -1,0 +1,84 @@
+"""Tests for trace serialization."""
+
+import io
+
+import pytest
+
+from repro.trace.trace_io import (
+    HEADER,
+    TraceFormatError,
+    dump_trace,
+    dump_trace_to_path,
+    load_trace,
+    load_trace_from_path,
+)
+from repro.workloads import generate, get_profile
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return generate(get_profile("Email"), walk_blocks=60).trace()
+
+
+class TestRoundTrip:
+    def test_full_round_trip(self, trace):
+        buffer = io.StringIO()
+        count = dump_trace(trace, buffer)
+        assert count == len(trace)
+        buffer.seek(0)
+        loaded = load_trace(buffer)
+        assert len(loaded) == len(trace)
+        assert loaded.name == trace.name
+        assert loaded.program_name == trace.program_name
+        for a, b in zip(trace, loaded):
+            assert a.seq == b.seq
+            assert a.uid == b.uid
+            assert a.pc == b.pc
+            assert a.mem_addr == b.mem_addr
+            assert a.taken == b.taken
+            assert a.instr.signature() == b.instr.signature()
+            assert a.instr.encoding == b.instr.encoding
+
+    def test_dependences_survive_round_trip(self, trace):
+        from repro.trace import compute_producers
+        buffer = io.StringIO()
+        dump_trace(trace, buffer)
+        buffer.seek(0)
+        loaded = load_trace(buffer)
+        assert compute_producers(trace) == compute_producers(loaded)
+
+    def test_path_helpers(self, trace, tmp_path):
+        path = tmp_path / "trace.tsv"
+        dump_trace_to_path(trace, str(path))
+        loaded = load_trace_from_path(str(path))
+        assert len(loaded) == len(trace)
+
+    def test_loaded_trace_simulates_identically(self, trace):
+        from repro.cpu import simulate
+        buffer = io.StringIO()
+        dump_trace(trace, buffer)
+        buffer.seek(0)
+        loaded = load_trace(buffer)
+        assert simulate(trace).cycles == simulate(loaded).cycles
+
+
+class TestErrors:
+    def test_bad_header(self):
+        with pytest.raises(TraceFormatError, match="bad header"):
+            load_trace(io.StringIO("not a trace\n"))
+
+    def test_wrong_field_count(self):
+        text = HEADER + "\n0\t1\t0x10\n"
+        with pytest.raises(TraceFormatError, match="6 tab-separated"):
+            load_trace(io.StringIO(text))
+
+    def test_bad_assembly(self):
+        text = HEADER + "\n0\t1\t0x10\t-\t-\tFROB R1\n"
+        with pytest.raises(TraceFormatError):
+            load_trace(io.StringIO(text))
+
+    def test_blank_and_comment_lines_skipped(self):
+        text = HEADER + "\n# name=x\n\n0\t0\t0x10\t-\t-\tNOP\n"
+        loaded = load_trace(io.StringIO(text))
+        assert len(loaded) == 1
+        assert loaded.name == "x"

@@ -1,0 +1,134 @@
+"""Unit tests for walk materialization and memory models."""
+
+import pytest
+
+from repro.isa import Cond, Instruction, Opcode
+from repro.trace import (
+    BasicBlock,
+    HashedPattern,
+    Program,
+    StridedPattern,
+    TableMemoryModel,
+    materialize,
+)
+
+
+def alu(dest=0):
+    return Instruction(Opcode.ADD, dests=(dest,), srcs=(1,))
+
+
+def make_loop_program():
+    """Block 0 body, conditional loop-back; block 1 exit."""
+    body = BasicBlock(0, [
+        alu(0),
+        Instruction(Opcode.CMP, srcs=(0, 1)),
+        Instruction(Opcode.B, cond=Cond.NE, target=0),
+    ])
+    exit_block = BasicBlock(1, [alu(2)])
+    return Program([body, exit_block])
+
+
+class TestPatterns:
+    def test_strided_wraps(self):
+        pattern = StridedPattern(base=0x1000, stride=8, region=16)
+        addrs = [pattern.address_for(k) for k in range(4)]
+        assert addrs == [0x1000, 0x1008, 0x1000, 0x1008]
+
+    def test_strided_zero_stride(self):
+        pattern = StridedPattern(base=0x1000, stride=0, region=64)
+        assert pattern.address_for(0) == pattern.address_for(99)
+
+    def test_strided_word_aligned(self):
+        pattern = StridedPattern(base=0x1000, stride=6, region=1024)
+        for k in range(10):
+            assert pattern.address_for(k) % 4 == 0
+
+    def test_hashed_deterministic_and_bounded(self):
+        pattern = HashedPattern(base=0x2000, region=256, salt=3)
+        for k in range(20):
+            addr = pattern.address_for(k)
+            assert addr == pattern.address_for(k)
+            assert 0x2000 <= addr < 0x2100
+
+    def test_hashed_salt_changes_sequence(self):
+        a = HashedPattern(base=0, region=1 << 20, salt=1)
+        b = HashedPattern(base=0, region=1 << 20, salt=2)
+        assert any(a.address_for(k) != b.address_for(k) for k in range(8))
+
+    def test_spans(self):
+        assert StridedPattern(0x100, 4, 64).span() == (0x100, 0x140)
+        assert HashedPattern(0x200, 32).span() == (0x200, 0x220)
+
+
+class TestTableMemoryModel:
+    def test_default_pattern_used(self):
+        model = TableMemoryModel()
+        assert model.address_for(99, 0) == model.pattern_for(99).address_for(0)
+
+    def test_assigned_pattern_used(self):
+        model = TableMemoryModel()
+        model.set_pattern(5, StridedPattern(0x7000, 4, 64))
+        assert model.address_for(5, 0) == 0x7000
+        assert model.address_for(5, 1) == 0x7004
+
+
+class TestMaterialize:
+    def test_sequence_follows_walk(self):
+        program = make_loop_program()
+        trace = materialize(program, [0, 0, 1])
+        assert len(trace) == 7
+        assert [e.instr.opcode for e in trace][:3] == [
+            Opcode.ADD, Opcode.CMP, Opcode.B]
+
+    def test_branch_taken_from_walk(self):
+        program = make_loop_program()
+        trace = materialize(program, [0, 0, 1])
+        branches = [e for e in trace if e.instr.is_branch]
+        assert branches[0].taken is True    # looped back
+        assert branches[1].taken is False   # fell through to exit
+
+    def test_pcs_match_layout(self):
+        program = make_loop_program()
+        layout = program.layout()
+        trace = materialize(program, [0, 1])
+        for entry in trace:
+            assert entry.pc == layout[entry.uid]
+
+    def test_memory_occurrences_advance(self):
+        load = Instruction(Opcode.LDR, dests=(0,), srcs=(1,))
+        program = Program([BasicBlock(0, [load])])
+        model = TableMemoryModel()
+        uid = program.block(0).instructions[0].uid
+        model.set_pattern(uid, StridedPattern(0x9000, 4, 1 << 20))
+        trace = materialize(program, [0, 0, 0], memory=model)
+        addrs = [e.mem_addr for e in trace]
+        assert addrs == [0x9000, 0x9004, 0x9008]
+
+    def test_non_memory_has_no_address(self):
+        program = make_loop_program()
+        trace = materialize(program, [0, 1])
+        for entry in trace:
+            if not entry.instr.is_memory:
+                assert entry.mem_addr is None
+
+    def test_same_walk_same_trace(self):
+        program = make_loop_program()
+        t1 = materialize(program, [0, 0, 1])
+        t2 = materialize(program, [0, 0, 1])
+        assert [e.pc for e in t1] == [e.pc for e in t2]
+        assert [e.taken for e in t1] == [e.taken for e in t2]
+
+
+class TestTraceContainer:
+    def test_window(self):
+        program = make_loop_program()
+        trace = materialize(program, [0, 0, 1])
+        window = trace.window(2, 3)
+        assert len(window) == 3
+        assert window[0].seq == trace[2].seq
+
+    def test_dynamic_bytes_and_thumb_count(self):
+        program = make_loop_program()
+        trace = materialize(program, [0, 1])
+        assert trace.dynamic_bytes() == 4 * len(trace)
+        assert trace.count_thumb() == 0

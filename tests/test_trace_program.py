@@ -1,0 +1,107 @@
+"""Unit tests for repro.trace.program."""
+
+import pytest
+
+from repro.isa import Encoding, Instruction, Opcode
+from repro.trace import BasicBlock, Program, TEXT_BASE
+
+
+def alu(uid=-1, dest=0):
+    return Instruction(Opcode.ADD, dests=(dest,), srcs=(1,), uid=uid)
+
+
+def make_program():
+    return Program([
+        BasicBlock(0, [alu(dest=0), alu(dest=1)]),
+        BasicBlock(1, [alu(dest=2)]),
+    ], name="p")
+
+
+class TestConstruction:
+    def test_uids_assigned(self):
+        program = make_program()
+        uids = [i.uid for i in program]
+        assert sorted(uids) == list(range(3))
+
+    def test_existing_uids_preserved(self):
+        program = Program([BasicBlock(0, [alu(uid=7), alu()])])
+        uids = {i.uid for i in program}
+        assert 7 in uids
+        assert len(uids) == 2
+
+    def test_duplicate_uid_rejected(self):
+        with pytest.raises(ValueError):
+            Program([BasicBlock(0, [alu(uid=3), alu(uid=3)])])
+
+    def test_duplicate_block_id_rejected(self):
+        with pytest.raises(ValueError):
+            Program([BasicBlock(0, []), BasicBlock(0, [])])
+
+    def test_counts(self):
+        program = make_program()
+        assert program.instruction_count() == 3
+        assert len(program.block(0)) == 2
+
+
+class TestLookups:
+    def test_find_and_locate(self):
+        program = make_program()
+        for instr in program:
+            assert program.find(instr.uid) == instr
+            block_id, pos = program.locate(instr.uid)
+            assert program.block(block_id).instructions[pos] == instr
+
+    def test_fresh_uid_unused(self):
+        program = make_program()
+        fresh = program.fresh_uid()
+        assert all(i.uid != fresh for i in program)
+
+
+class TestMutation:
+    def test_replace_block_reindexes(self):
+        program = make_program()
+        program.replace_block(1, [alu(dest=5)])
+        assert len(program.block(1)) == 1
+        new_uid = program.block(1).instructions[0].uid
+        assert program.locate(new_uid) == (1, 0)
+
+    def test_copy_is_independent(self):
+        program = make_program()
+        clone = program.copy()
+        clone.block(0).instructions.append(alu(dest=3))
+        clone.reindex()
+        assert program.instruction_count() == 3
+        assert clone.instruction_count() == 4
+
+
+class TestLayout:
+    def test_sequential_addresses(self):
+        program = make_program()
+        layout = program.layout()
+        addrs = [layout[i.uid] for i in program]
+        assert addrs[0] == TEXT_BASE
+        assert addrs == sorted(addrs)
+        assert addrs[1] - addrs[0] == 4
+
+    def test_blocks_word_aligned(self):
+        program = Program([
+            BasicBlock(0, [alu().with_encoding(Encoding.THUMB16)]),
+            BasicBlock(1, [alu()]),
+        ])
+        layout = program.layout()
+        block1_start = layout[program.block(1).instructions[0].uid]
+        assert block1_start % 4 == 0
+
+    def test_thumb_halves_size(self):
+        arm = Program([BasicBlock(0, [alu(dest=d) for d in range(4)])])
+        thumb_block = BasicBlock(
+            0, [alu(dest=d).with_encoding(Encoding.THUMB16)
+                for d in range(4)]
+        )
+        thumb = Program([thumb_block])
+        assert thumb.code_bytes() == arm.code_bytes() // 2
+
+    def test_custom_base(self):
+        program = make_program()
+        layout = program.layout(base=0x4000)
+        assert min(layout.values()) == 0x4000

@@ -1,0 +1,65 @@
+"""Unit + property tests for trace sampling."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.isa import Instruction, Opcode
+from repro.trace import Trace, TraceEntry, plan_samples, sample_trace
+
+
+def make_trace(n):
+    instr = Instruction(Opcode.NOP)
+    return Trace([TraceEntry(seq=i, instr=instr, pc=4 * i)
+                  for i in range(n)])
+
+
+class TestPlanning:
+    def test_basic_plan(self):
+        plan = plan_samples(10_000, num_samples=5, window_length=100, seed=1)
+        assert len(plan.windows) == 5
+        for start, length in plan.windows:
+            assert length == 100
+            assert 0 <= start <= 9_900
+
+    def test_short_trace_single_window(self):
+        plan = plan_samples(50, num_samples=10, window_length=100)
+        assert plan.windows == ((0, 50),)
+
+    def test_deterministic_by_seed(self):
+        a = plan_samples(10_000, 5, 100, seed=7)
+        b = plan_samples(10_000, 5, 100, seed=7)
+        c = plan_samples(10_000, 5, 100, seed=8)
+        assert a.windows == b.windows
+        assert a.windows != c.windows
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            plan_samples(0, 1, 10)
+        with pytest.raises(ValueError):
+            plan_samples(100, 0, 10)
+        with pytest.raises(ValueError):
+            plan_samples(100, 1, 0)
+
+
+class TestApplication:
+    def test_windows_cut_correctly(self):
+        trace = make_trace(1000)
+        samples = sample_trace(trace, 3, 50, seed=2)
+        assert len(samples) == 3
+        for sample in samples:
+            assert len(sample) == 50
+            seqs = [e.seq for e in sample]
+            assert seqs == list(range(seqs[0], seqs[0] + 50))
+
+
+@given(
+    trace_len=st.integers(min_value=1, max_value=5000),
+    num=st.integers(min_value=1, max_value=20),
+    window=st.integers(min_value=1, max_value=600),
+    seed=st.integers(min_value=0, max_value=99),
+)
+def test_property_windows_always_in_bounds(trace_len, num, window, seed):
+    plan = plan_samples(trace_len, num, window, seed)
+    for start, length in plan.windows:
+        assert start >= 0
+        assert start + length <= trace_len
