@@ -8,8 +8,9 @@ member), higher values shrink coverage.
 
 from conftest import write_result
 
+from repro.cache import artifact_key, get_cache
 from repro.compiler import CriticPass, PassManager, region_oracle
-from repro.cpu import simulate, speedup
+from repro.cpu import GOOGLE_TABLET, SimStats, simulate, speedup
 from repro.experiments import app_context, format_table, geometric_mean
 from repro.profiler import FinderConfig, find_critic_profile
 
@@ -25,18 +26,32 @@ def _sweep(walk, apps):
         for name in names:
             ctx = app_context(name, walk)
             base = ctx.stats("baseline")
-            profile = find_critic_profile(
-                ctx.trace(), ctx.workload.program,
-                FinderConfig(threshold=threshold), app_name=name,
+            config = FinderConfig(threshold=threshold)
+            cache = get_cache()
+            key = artifact_key(
+                "ext_threshold", profile=ctx.app_profile, finder=config,
+                max_length=5, config=GOOGLE_TABLET,
             )
-            records = profile.select_for_compiler(max_length=5)
-            result = PassManager([
-                CriticPass(records, mode="cdp",
-                           may_alias=region_oracle(ctx.workload.memory))
-            ]).run(ctx.workload.program)
-            stats = simulate(ctx.workload.trace_for(result.program))
+            cell = cache.load_json("ext_threshold", key)
+            if cell is None:
+                profile = find_critic_profile(
+                    ctx.trace(), ctx.workload.program, config,
+                    app_name=name,
+                )
+                records = profile.select_for_compiler(max_length=5)
+                result = PassManager([
+                    CriticPass(records, mode="cdp",
+                               may_alias=region_oracle(ctx.workload.memory))
+                ]).run(ctx.workload.program)
+                stats = simulate(ctx.workload.trace_for(result.program))
+                cell = {
+                    "stats": stats.to_dict(),
+                    "coverage": profile.total_coverage(),
+                }
+                cache.store_json("ext_threshold", key, cell)
+            stats = SimStats.from_dict(cell["stats"])
             ratios.append(speedup(base, stats))
-            coverage += profile.total_coverage()
+            coverage += cell["coverage"]
         rows.append((threshold,
                      100 * (geometric_mean(ratios) - 1),
                      100 * coverage / len(names)))

@@ -36,6 +36,9 @@ class BranchStats:
 class TwoLevelPredictor:
     """Gshare: global-history-indexed 2-bit counters."""
 
+    __slots__ = ("entries", "history_bits", "perfect", "_counters",
+                 "_history", "stats")
+
     def __init__(self, entries: int = 4096, history_bits: int = 12,
                  perfect: bool = False):
         self.entries = entries
@@ -77,6 +80,8 @@ class TwoLevelPredictor:
 
 class ReturnAddressStack:
     """Bounded RAS; returns mispredict only when the stack has overflowed."""
+
+    __slots__ = ("depth", "perfect", "_stack", "_overflowed", "stats")
 
     def __init__(self, depth: int = 16, perfect: bool = False):
         self.depth = depth

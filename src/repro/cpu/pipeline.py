@@ -15,15 +15,24 @@ executed path — and models *timing* faithfully: branch mispredictions stall
 fetch until the branch resolves, i-cache misses stall supply, CDP format
 switches cost a decode cycle, and Approach-1 switch branches inject fetch
 bubbles.
+
+Performance note: the cycle loop never touches :class:`Instruction` objects.
+All per-entry facts it needs (byte size, FU class, base latency, branch
+type, memory behaviour) are flattened into parallel arrays once per
+``Simulator``, resolved per *static* instruction and broadcast over its
+dynamic occurrences.  The loop then runs on plain list/bytearray indexing,
+which is what lets the pure-Python model approach the paper's 100x500k
+sample methodology at usable speed.
 """
 
 from __future__ import annotations
 
+import weakref
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.cpu.branch import ReturnAddressStack, TwoLevelPredictor
 from repro.cpu.config import CpuConfig, GOOGLE_TABLET
-from repro.cpu.stats import FetchStalls, SimStats, StageResidency
+from repro.cpu.stats import STAGES, FetchStalls, SimStats, StageResidency
 from repro.dfg.fanout import HIGH_FANOUT_THRESHOLD
 from repro.isa.condition import Cond
 from repro.isa.opcodes import InstrKind, Opcode
@@ -44,6 +53,17 @@ _FU_OF = {
     InstrKind.SYSTEM: "alu",
 }
 
+#: FU pool order used by the flattened per-entry FU-index array.
+_FU_NAMES = ("alu", "mul", "fp", "mem", "branch")
+_FU_INDEX = {name: i for i, name in enumerate(_FU_NAMES)}
+
+#: Branch-type codes for the flattened per-entry array.
+_BR_NONE = 0      # not a branch
+_BR_SWITCH = 1    # Approach-1 format-switch branch
+_BR_CALL = 2      # BL
+_BR_RETURN = 3    # BX
+_BR_OTHER = 4     # conditional or direct unconditional B
+
 
 def _is_switch_branch(instr) -> bool:
     """Approach-1 format-switch branch: unconditional B to the next PC."""
@@ -51,8 +71,119 @@ def _is_switch_branch(instr) -> bool:
             and instr.cond is Cond.AL)
 
 
+class _TraceTables:
+    """Flat per-entry arrays + dependence maps for one trace.
+
+    Everything here is a pure function of the trace contents, so instances
+    are memoized per-``Trace`` (weakly) and shared across every
+    :class:`Simulator` built over the same trace — e.g. the Fig 11 hardware
+    sweep simulates one trace on seven configurations and pays for this
+    analysis once.  All fields are read-only to the simulator.
+    """
+
+    __slots__ = (
+        "producers", "consumers", "default_critical",
+        "sizes", "lats", "fus", "isld", "isst", "iscdp",
+        "brt", "brpred", "pcs", "mems", "takens",
+    )
+
+    def __init__(self, trace: Trace):
+        self.producers = compute_producers(trace)
+        self.consumers = compute_consumers(self.producers)
+        self.default_critical = frozenset(
+            i for i, c in enumerate(self.consumers)
+            if len(c) >= HIGH_FANOUT_THRESHOLD
+        )
+
+        entries = trace.entries
+        n = len(entries)
+        sizes = [0] * n
+        lats = [0] * n
+        fus = bytearray(n)
+        isld = bytearray(n)
+        isst = bytearray(n)
+        iscdp = bytearray(n)
+        brt = bytearray(n)
+        brpred = bytearray(n)
+        pcs = [0] * n
+        mems: List[Optional[int]] = [None] * n
+        takens = bytearray(n)
+
+        # Static facts are resolved once per distinct instruction object
+        # and broadcast over its dynamic occurrences.
+        static_info: Dict[int, tuple] = {}
+        info_get = static_info.get
+        for pos, entry in enumerate(entries):
+            instr = entry.instr
+            info = info_get(id(instr))
+            if info is None:
+                kind = instr.kind
+                br = _BR_NONE
+                pred = False
+                if kind is InstrKind.BRANCH:
+                    op = instr.opcode
+                    if _is_switch_branch(instr):
+                        br = _BR_SWITCH
+                    elif op is Opcode.BL:
+                        br = _BR_CALL
+                    elif op is Opcode.BX:
+                        br = _BR_RETURN
+                    else:
+                        br = _BR_OTHER
+                        pred = instr.cond.is_predicated
+                info = (
+                    instr.size_bytes, instr.latency, _FU_INDEX[_FU_OF[kind]],
+                    instr.is_load, instr.is_store,
+                    instr.opcode is Opcode.CDP, br, pred,
+                )
+                static_info[id(instr)] = info
+            sizes[pos] = info[0]
+            lats[pos] = info[1]
+            fus[pos] = info[2]
+            isld[pos] = info[3]
+            isst[pos] = info[4]
+            iscdp[pos] = info[5]
+            brt[pos] = info[6]
+            brpred[pos] = info[7]
+            pcs[pos] = entry.pc
+            mems[pos] = entry.mem_addr
+            takens[pos] = bool(entry.taken)
+
+        self.sizes = sizes
+        self.lats = lats
+        self.fus = fus
+        self.isld = isld
+        self.isst = isst
+        self.iscdp = iscdp
+        self.brt = brt
+        self.brpred = brpred
+        self.pcs = pcs
+        self.mems = mems
+        self.takens = takens
+
+
+_trace_tables: "weakref.WeakKeyDictionary[Trace, _TraceTables]" = \
+    weakref.WeakKeyDictionary()
+
+
+def _tables_for(trace: Trace) -> _TraceTables:
+    """Memoized :class:`_TraceTables` for ``trace``."""
+    tables = _trace_tables.get(trace)
+    if tables is None:
+        tables = _TraceTables(trace)
+        _trace_tables[trace] = tables
+    return tables
+
+
 class Simulator:
     """One run of one trace on one CPU configuration."""
+
+    __slots__ = (
+        "trace", "config", "memory", "entries", "n",
+        "producers", "consumers", "critical", "chain",
+        "bpu", "ras", "clpt", "efetch", "stats",
+        "_t", "_crit", "_chainb",
+    )
 
     def __init__(
         self,
@@ -83,16 +214,26 @@ class Simulator:
         self.entries = trace.entries
         self.n = len(self.entries)
 
-        self.producers = compute_producers(trace)
-        self.consumers = compute_consumers(self.producers)
+        tables = _tables_for(trace)
+        self._t = tables
+        self.producers = tables.producers
+        self.consumers = tables.consumers
         if critical_positions is None:
-            fanouts = [len(c) for c in self.consumers]
-            critical_positions = {
-                i for i, f in enumerate(fanouts)
-                if f >= HIGH_FANOUT_THRESHOLD
-            }
+            critical_positions = set(tables.default_critical)
         self.critical = critical_positions
         self.chain = chain_positions or set()
+
+        n = self.n
+        crit = bytearray(n)
+        for pos in self.critical:
+            if 0 <= pos < n:
+                crit[pos] = 1
+        self._crit = crit
+        chainb = bytearray(n)
+        for pos in self.chain:
+            if 0 <= pos < n:
+                chainb[pos] = 1
+        self._chainb = chainb
 
         self.bpu = TwoLevelPredictor(
             config.bpu_entries, config.bpu_history_bits,
@@ -110,9 +251,27 @@ class Simulator:
     def run(self, max_cycles: Optional[int] = None) -> SimStats:
         """Simulate to completion (or ``max_cycles``) and return stats."""
         n = self.n
-        entries = self.entries
         config = self.config
         mem = self.memory
+        producers = self.producers
+        consumers = self.consumers
+
+        tables = self._t
+        sizes = tables.sizes
+        lats = tables.lats
+        fus = tables.fus
+        isld = tables.isld
+        isst = tables.isst
+        iscdp = tables.iscdp
+        pcs = tables.pcs
+        mems = tables.mems
+        crit = self._crit
+        chainb = self._chainb
+        have_chain = bool(self.chain)
+
+        mem_load = mem.load
+        mem_store = mem.store
+        clpt = self.clpt
 
         # timestamps (-1 = not yet)
         head_c = [-1] * n
@@ -133,6 +292,8 @@ class Simulator:
         ready: List[int] = []
         ready_critical: List[int] = []
         completing: Dict[int, List[int]] = {}
+        completing_pop = completing.pop
+        completing_get = completing.get
         sched_window = config.scheduling_window
         pending: List[int] = []
         pending_head = 0
@@ -148,29 +309,123 @@ class Simulator:
         decode_cap = config.decode_buffer_entries
         fq_cap = config.fetch_queue_entries
         backend_prio = config.backend_priority
-        critical = self.critical
-        fu_caps = {
-            "alu": config.fu.alu, "mul": config.fu.mul,
-            "fp": config.fu.fp, "mem": config.fu.mem,
-            "branch": config.fu.branch,
-        }
+        commit_width = config.commit_width
+        rename_width = config.rename_width
+        issue_width = config.issue_width
+        rob_entries = config.rob_entries
+        iq_entries = config.issue_queue_entries
+        decode_width_bytes = config.decode_width * 4
+        cdp_extra_bytes = 4 * config.cdp_decode_penalty
+        redirect_penalty = config.redirect_penalty
+        fu = config.fu
+        fu_base = [fu.alu, fu.mul, fu.fp, fu.mem, fu.branch]
+
+        def exec_latency(pos: int) -> int:
+            """Execute latency including the memory system for loads/stores."""
+            latency = lats[pos]
+            if isld[pos]:
+                addr = mems[pos]
+                if addr is not None:
+                    mlat = mem_load(addr)
+                    if mlat > latency:
+                        latency = mlat
+                    if clpt is not None:
+                        prefetches = clpt.observe(
+                            pcs[pos], addr, bool(crit[pos])
+                        )
+                        for a in prefetches:
+                            mem.prefetch_data(a)
+                        stats.prefetches_issued = clpt.issued
+            elif isst[pos]:
+                addr = mems[pos]
+                if addr is not None:
+                    mlat = mem_store(addr)
+                    if mlat > latency:
+                        latency = mlat
+            return latency if latency > 1 else 1
 
         stats = self.stats
-        fstall = stats.fetch
-        fstall_crit = stats.fetch_critical
+        # Fetch-stall and occupancy counters accumulate in locals and flush
+        # into the stats dataclasses once, after the loop.
+        f_active = 0
+        f_icache = 0
+        f_branch = 0
+        f_switch = 0
+        f_bp = 0
+        f_drained = 0
+        fc_active = 0
+        fc_icache = 0
+        fc_branch = 0
+        fc_switch = 0
+        fc_bp = 0
+        iq_occ_sum = 0
+        iq_full = 0
+        rob_occ_sum = 0
+        cdp_decoded = 0
+        # Per-stage residency accumulators (all / critical / chain classes).
+        res_all = [0] * 6
+        res_all_n = 0
+        res_crit = [0] * 6
+        res_crit_n = 0
+        res_chain = [0] * 6
+        res_chain_n = 0
+
         committed = 0
         now = 0
         limit = max_cycles if max_cycles is not None else 1 << 62
 
         while committed < n and now < limit:
             # ---- commit ----
-            width = config.commit_width
+            width = commit_width
             while width and rob_head < len(rob):
                 pos = rob[rob_head]
                 if not completed[pos]:
                     break
-                self._account_commit(pos, now, head_c, fetch_c, decode_c,
-                                     dispatch_c, issue_c, complete_c)
+                # Per-stage residency accounting, inlined and unrolled for
+                # the common (non-critical, non-chain) case.
+                iss = issue_c[pos]
+                cmp_c = complete_c[pos]
+                dsp = dispatch_c[pos]
+                dec = decode_c[pos]
+                issue_wait = iss - dsp
+                res_all_n += 1
+                v = dec - head_c[pos]
+                if v > 0:
+                    res_all[0] += v
+                v = dsp - dec
+                if v > 0:
+                    res_all[1] += v
+                if issue_wait > 0:
+                    res_all[2] += 1
+                    if issue_wait > 1:
+                        res_all[3] += issue_wait - 1
+                v = cmp_c - iss
+                if v > 0:
+                    res_all[4] += v
+                v = now - cmp_c
+                if v > 0:
+                    res_all[5] += v
+                if crit[pos] or (have_chain and chainb[pos]):
+                    vals = (
+                        dec - head_c[pos],
+                        dsp - dec,
+                        1 if issue_wait > 0 else 0,
+                        issue_wait - 1,
+                        cmp_c - iss,
+                        now - cmp_c,
+                    )
+                    if crit[pos]:
+                        res_crit_n += 1
+                        for k in range(6):
+                            v = vals[k]
+                            if v > 0:
+                                res_crit[k] += v
+                    if have_chain and chainb[pos]:
+                        res_chain_n += 1
+                        for k in range(6):
+                            v = vals[k]
+                            if v > 0:
+                                res_chain[k] += v
                 rob_head += 1
                 committed += 1
                 width -= 1
@@ -179,17 +434,20 @@ class Simulator:
                 rob_head = 0
 
             # ---- writeback / wake-up ----
-            for pos in completing.pop(now, ()):  # type: ignore[arg-type]
-                completed[pos] = 1
-                complete_c[pos] = now
-                for consumer in self.consumers[pos]:
-                    if dispatched[consumer] and not completed[consumer]:
-                        remaining[consumer] -= 1
-                        if remaining[consumer] == 0 and not sched_window:
-                            if backend_prio and consumer in critical:
-                                ready_critical.append(consumer)
-                            else:
-                                ready.append(consumer)
+            done = completing_pop(now, None)
+            if done is not None:
+                for pos in done:
+                    completed[pos] = 1
+                    complete_c[pos] = now
+                    for consumer in consumers[pos]:
+                        if dispatched[consumer] and not completed[consumer]:
+                            rem = remaining[consumer] - 1
+                            remaining[consumer] = rem
+                            if rem == 0 and not sched_window:
+                                if backend_prio and crit[consumer]:
+                                    ready_critical.append(consumer)
+                                else:
+                                    ready.append(consumer)
 
             # ---- issue ----
             if sched_window:
@@ -201,35 +459,39 @@ class Simulator:
                 if pending_head > 2048:
                     del pending[:pending_head]
                     pending_head = 0
-                slots = config.issue_width
-                caps = dict(fu_caps)
+                slots = issue_width
+                caps = fu_base[:]
                 window: List[int] = []
                 idx = pending_head
-                while idx < len(pending) and len(window) < sched_window:
+                pending_len = len(pending)
+                while idx < pending_len and len(window) < sched_window:
                     pos = pending[idx]
                     if issue_c[pos] < 0:
                         window.append(pos)
                     idx += 1
                 if backend_prio:
-                    window.sort(key=lambda p: p not in critical)
+                    window.sort(key=lambda p: not crit[p])
                 for pos in window:
                     if slots == 0:
                         break
                     if remaining[pos] != 0:
                         continue
-                    instr = entries[pos].instr
-                    fu = _FU_OF[instr.kind]
-                    if caps[fu] <= 0:
+                    fu_i = fus[pos]
+                    if caps[fu_i] <= 0:
                         continue
-                    caps[fu] -= 1
+                    caps[fu_i] -= 1
                     slots -= 1
                     unissued -= 1
                     issue_c[pos] = now
-                    latency = self._execute_latency(pos, instr)
-                    completing.setdefault(now + latency, []).append(pos)
+                    t = now + exec_latency(pos)
+                    lst = completing_get(t)
+                    if lst is None:
+                        completing[t] = [pos]
+                    else:
+                        lst.append(pos)
             elif ready or ready_critical:
-                slots = config.issue_width
-                caps = dict(fu_caps)
+                slots = issue_width
+                caps = fu_base[:]
                 queues = ((ready_critical, ready) if backend_prio
                           else (ready,))
                 for queue in queues:
@@ -240,30 +502,33 @@ class Simulator:
                         if slots == 0:
                             leftovers.append(pos)
                             continue
-                        instr = entries[pos].instr
-                        fu = _FU_OF[instr.kind]
-                        if caps[fu] <= 0:
+                        fu_i = fus[pos]
+                        if caps[fu_i] <= 0:
                             leftovers.append(pos)
                             continue
-                        caps[fu] -= 1
+                        caps[fu_i] -= 1
                         slots -= 1
                         unissued -= 1
                         issue_c[pos] = now
-                        latency = self._execute_latency(pos, instr)
-                        completing.setdefault(now + latency, []).append(pos)
+                        t = now + exec_latency(pos)
+                        lst = completing_get(t)
+                        if lst is None:
+                            completing[t] = [pos]
+                        else:
+                            lst.append(pos)
                     queue[:] = leftovers
 
             # ---- dispatch / rename ----
-            width = config.rename_width
+            width = rename_width
             while width and decode_buffer and len(rob) - rob_head \
-                    < config.rob_entries \
-                    and unissued < config.issue_queue_entries:
+                    < rob_entries \
+                    and unissued < iq_entries:
                 pos = decode_buffer.pop(0)
                 unissued += 1
                 dispatch_c[pos] = now
                 dispatched[pos] = 1
                 rem = 0
-                for producer in self.producers[pos]:
+                for producer in producers[pos]:
                     if not completed[producer]:
                         rem += 1
                 remaining[pos] = rem
@@ -271,7 +536,7 @@ class Simulator:
                 if sched_window:
                     pending.append(pos)
                 elif rem == 0:
-                    if backend_prio and pos in critical:
+                    if backend_prio and crit[pos]:
                         ready_critical.append(pos)
                     else:
                         ready.append(pos)
@@ -281,28 +546,27 @@ class Simulator:
             # The decoder processes fetch words: decode_width 32-bit parcels
             # per cycle, i.e. up to 2x as many Thumb16 instructions — the
             # decoder-side half of the "nearly doubled fetch bandwidth".
-            decode_bytes = config.decode_width * 4
+            decode_bytes = decode_width_bytes
             while decode_bytes > 0 and fetch_buffer \
                     and len(decode_buffer) < decode_cap:
                 pos = fetch_buffer[0]
-                instr = entries[pos].instr
-                size = instr.size_bytes
+                size = sizes[pos]
                 if size > decode_bytes:
                     break
-                if instr.opcode is Opcode.CDP:
+                if iscdp[pos]:
                     fetch_buffer.pop(0)
                     decode_c[pos] = now
                     # The CDP is consumed at decode (mode switch); the
                     # paper's conservative +1 decode-cycle cost is modeled
                     # as a full extra parcel of decoder occupancy.
-                    stats.cdp_decoded += 1
+                    cdp_decoded += 1
                     completed[pos] = 1  # never dispatched; commit skips it
                     complete_c[pos] = now
                     dispatch_c[pos] = now
                     issue_c[pos] = now
                     rob.append(pos)
                     dispatched[pos] = 1
-                    decode_bytes -= size + 4 * config.cdp_decode_penalty
+                    decode_bytes -= size + cdp_extra_bytes
                     continue
                 fetch_buffer.pop(0)
                 decode_c[pos] = now
@@ -313,27 +577,27 @@ class Simulator:
             if fetch_pos < n:
                 if head_c[fetch_pos] < 0:
                     head_c[fetch_pos] = now
-                is_crit_head = fetch_pos in critical
+                is_crit_head = crit[fetch_pos]
                 if redirect_pos >= 0:
-                    done = complete_c[redirect_pos]
-                    if done >= 0 and done + config.redirect_penalty <= now:
+                    done_c = complete_c[redirect_pos]
+                    if done_c >= 0 and done_c + redirect_penalty <= now:
                         redirect_pos = -1
                 if redirect_pos >= 0:
-                    fstall.stall_branch += 1
+                    f_branch += 1
                     if is_crit_head:
-                        fstall_crit.stall_branch += 1
+                        fc_branch += 1
                 elif now < fetch_resume:
-                    fstall.stall_switch += 1
+                    f_switch += 1
                     if is_crit_head:
-                        fstall_crit.stall_switch += 1
+                        fc_switch += 1
                 elif now < icache_ready:
-                    fstall.stall_icache += 1
+                    f_icache += 1
                     if is_crit_head:
-                        fstall_crit.stall_icache += 1
+                        fc_icache += 1
                 elif len(fetch_buffer) >= fq_cap:
-                    fstall.stall_backpressure += 1
+                    f_bp += 1
                     if is_crit_head:
-                        fstall_crit.stall_backpressure += 1
+                        fc_bp += 1
                 else:
                     fetched, fetch_pos, last_line, icache_ready, \
                         fetch_resume, redirect_pos = self._fetch_group(
@@ -341,24 +605,53 @@ class Simulator:
                             fq_cap, fetch_c, head_c, line_bytes,
                         )
                     if fetched:
-                        fstall.active += 1
+                        f_active += 1
                         if is_crit_head:
-                            fstall_crit.active += 1
+                            fc_active += 1
                     else:
-                        fstall.stall_icache += 1
+                        f_icache += 1
                         if is_crit_head:
-                            fstall_crit.stall_icache += 1
+                            fc_icache += 1
             else:
-                fstall.drained += 1
+                f_drained += 1
 
-            stats.iq_occupancy_sum += unissued
-            if unissued >= config.issue_queue_entries:
-                stats.iq_full_cycles += 1
-            stats.rob_occupancy_sum += len(rob) - rob_head
+            iq_occ_sum += unissued
+            if unissued >= iq_entries:
+                iq_full += 1
+            rob_occ_sum += len(rob) - rob_head
             now += 1
 
         stats.cycles = now
         stats.instructions = committed
+        stats.cdp_decoded += cdp_decoded
+        stats.iq_occupancy_sum += iq_occ_sum
+        stats.iq_full_cycles += iq_full
+        stats.rob_occupancy_sum += rob_occ_sum
+
+        fstall = stats.fetch
+        fstall.active += f_active
+        fstall.stall_icache += f_icache
+        fstall.stall_branch += f_branch
+        fstall.stall_switch += f_switch
+        fstall.stall_backpressure += f_bp
+        fstall.drained += f_drained
+        fstall_crit = stats.fetch_critical
+        fstall_crit.active += fc_active
+        fstall_crit.stall_icache += fc_icache
+        fstall_crit.stall_branch += fc_branch
+        fstall_crit.stall_switch += fc_switch
+        fstall_crit.stall_backpressure += fc_bp
+
+        for bucket, totals, count in (
+            (stats.residency_all, res_all, res_all_n),
+            (stats.residency_critical, res_crit, res_crit_n),
+            (stats.residency_chain, res_chain, res_chain_n),
+        ):
+            bucket.instructions += count
+            for stage, cycles in zip(STAGES, totals):
+                if cycles:
+                    bucket.totals[stage] += cycles
+
         self._finalize_memory_stats()
         return stats
 
@@ -375,31 +668,35 @@ class Simulator:
         fetch_resume, redirect_pos).
         """
         config = self.config
-        entries = self.entries
         mem = self.memory
+        tables = self._t
+        sizes = tables.sizes
+        pcs = tables.pcs
+        brts = tables.brt
         budget = config.fetch_bytes_per_cycle
         fetched = False
         icache_ready = 0
         fetch_resume = 0
         redirect_pos = -1
         n = self.n
+        icache_hit = mem.config.icache_hit
+        buffered = len(fetch_buffer)
 
-        while fetch_pos < n and budget > 0 \
-                and len(fetch_buffer) < fq_cap:
-            entry = entries[fetch_pos]
-            instr = entry.instr
-            size = instr.size_bytes
+        while fetch_pos < n and budget > 0 and buffered < fq_cap:
+            size = sizes[fetch_pos]
             if size > budget:
                 break
-            line = entry.pc // line_bytes
+            pc = pcs[fetch_pos]
+            line = pc // line_bytes
             if line != last_line:
-                latency = mem.ifetch(entry.pc, now)
+                latency = mem.ifetch(pc, now)
                 last_line = line
-                if latency > mem.config.icache_hit:
+                if latency > icache_hit:
                     icache_ready = now + latency
                     break
             budget -= size
             fetch_buffer.append(fetch_pos)
+            buffered += 1
             fetch_c[fetch_pos] = now
             if head_c[fetch_pos] < 0:
                 head_c[fetch_pos] = now
@@ -407,37 +704,37 @@ class Simulator:
             pos = fetch_pos
             fetch_pos += 1
 
-            if instr.is_branch:
+            if brts[pos]:
                 stop, redirect_pos, fetch_resume = self._handle_branch(
-                    pos, entry, now, line_bytes
+                    pos, now, line_bytes
                 )
                 if stop:
                     break
         return (fetched, fetch_pos, last_line, icache_ready,
                 fetch_resume, redirect_pos)
 
-    def _handle_branch(self, pos: int, entry, now: int,
+    def _handle_branch(self, pos: int, now: int,
                        line_bytes: int) -> Tuple[bool, int, int]:
         """Branch bookkeeping at fetch; returns (stop_group, redirect_pos,
         fetch_resume)."""
-        config = self.config
-        instr = entry.instr
-        if _is_switch_branch(instr):
+        tables = self._t
+        brt = tables.brt[pos]
+        if brt == _BR_SWITCH:
             # Approach-1 format switch: no misprediction, but the decoder
             # flushes its prefetched bytes around the mode change.
-            return True, -1, now + 1 + config.switch_branch_bubble
+            return True, -1, now + 1 + self.config.switch_branch_bubble
 
-        if instr.opcode is Opcode.BL:
+        if brt == _BR_CALL:
             if pos + 1 < self.n:
-                self.ras.push(entry.pc + instr.size_bytes)
+                self.ras.push(tables.pcs[pos] + tables.sizes[pos])
                 if self.efetch is not None:
-                    target_line = self.entries[pos + 1].pc // line_bytes
+                    target_line = tables.pcs[pos + 1] // line_bytes
                     for line in self.efetch.observe_call(target_line):
                         self.memory.prefetch_instruction_line(line)
                     self.stats.prefetches_issued = self.efetch.issued
             return True, -1, 0  # unconditional taken: group ends
 
-        if instr.opcode is Opcode.BX:
+        if brt == _BR_RETURN:
             correct = self.ras.predict_return()
             if not correct:
                 self.stats.branch_mispredicts += 1
@@ -445,54 +742,14 @@ class Simulator:
             return True, -1, 0
 
         # conditional (or direct unconditional) B
-        taken = bool(entry.taken)
-        if instr.cond.is_predicated:
-            correct = self.bpu.predict_conditional(entry.pc, taken)
+        taken = bool(tables.takens[pos])
+        if tables.brpred[pos]:
+            correct = self.bpu.predict_conditional(tables.pcs[pos], taken)
             if not correct:
                 self.stats.branch_mispredicts += 1
                 return True, pos, 0
             return taken, -1, 0
         return taken, -1, 0
-
-    def _execute_latency(self, pos: int, instr) -> int:
-        """Execute latency including the memory system for loads/stores."""
-        latency = instr.latency
-        entry = self.entries[pos]
-        if instr.is_load and entry.mem_addr is not None:
-            latency = max(latency, self.memory.load(entry.mem_addr))
-            if self.clpt is not None:
-                prefetches = self.clpt.observe(
-                    entry.pc, entry.mem_addr, pos in self.critical
-                )
-                for addr in prefetches:
-                    self.memory.prefetch_data(addr)
-                self.stats.prefetches_issued = self.clpt.issued
-        elif instr.is_store and entry.mem_addr is not None:
-            latency = max(latency, self.memory.store(entry.mem_addr))
-        return max(1, latency)
-
-    def _account_commit(self, pos: int, now: int, head_c, fetch_c,
-                        decode_c, dispatch_c, issue_c, complete_c) -> None:
-        """Accumulate per-stage residency at commit time."""
-        issue_wait = issue_c[pos] - dispatch_c[pos]
-        stages = (
-            ("fetch", decode_c[pos] - head_c[pos]),
-            ("decode", dispatch_c[pos] - decode_c[pos]),
-            ("dispatch", 1 if issue_wait > 0 else 0),
-            ("issue_wait", issue_wait - 1),
-            ("execute", complete_c[pos] - issue_c[pos]),
-            ("commit_wait", now - complete_c[pos]),
-        )
-        buckets = [self.stats.residency_all]
-        if pos in self.critical:
-            buckets.append(self.stats.residency_critical)
-        if pos in self.chain:
-            buckets.append(self.stats.residency_chain)
-        for bucket in buckets:
-            bucket.instructions += 1
-            for stage, cycles in stages:
-                if cycles > 0:
-                    bucket.add(stage, cycles)
 
     def _finalize_memory_stats(self) -> None:
         stats = self.stats

@@ -13,8 +13,8 @@ stream and for the *critical* subset (high-fanout instructions).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict
+from dataclasses import asdict, dataclass, field
+from typing import Any, Dict
 
 #: Stage keys for residency breakdowns, in pipeline order.
 STAGES = ("fetch", "decode", "dispatch", "issue_wait", "execute",
@@ -109,6 +109,25 @@ class SimStats:
     @property
     def ipc(self) -> float:
         return self.instructions / self.cycles if self.cycles else 0.0
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-data form (JSON-safe; every field is an int or str)."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "SimStats":
+        """Rebuild from :meth:`to_dict` output; exact round-trip."""
+        fields = dict(data)
+        fields["fetch"] = FetchStalls(**fields["fetch"])
+        fields["fetch_critical"] = FetchStalls(**fields["fetch_critical"])
+        for name in ("residency_all", "residency_critical",
+                     "residency_chain"):
+            raw = fields[name]
+            residency = StageResidency(instructions=raw["instructions"])
+            residency.totals = {stage: raw["totals"][stage]
+                                for stage in STAGES}
+            fields[name] = residency
+        return cls(**fields)
 
     def fetch_stall_fractions(self) -> Dict[str, float]:
         """Fractions of total execution cycles (Fig 3b / Fig 10b)."""

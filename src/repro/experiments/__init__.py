@@ -22,8 +22,10 @@ from repro.experiments.runner import (
     SCHEMES,
     app_context,
     clear_cache,
+    default_jobs,
     format_table,
     geometric_mean,
+    run_apps,
 )
 
 __all__ = [
@@ -32,6 +34,7 @@ __all__ = [
     "SCHEMES",
     "app_context",
     "clear_cache",
+    "default_jobs",
     "fig01",
     "fig03",
     "fig05",
@@ -42,4 +45,5 @@ __all__ = [
     "fig13",
     "format_table",
     "geometric_mean",
+    "run_apps",
 ]

@@ -17,7 +17,7 @@ from typing import Dict, List, Optional
 from repro.cpu.stats import STAGES
 from repro.dfg import Dfg, critical_mask
 from repro.experiments.fig01 import GROUPS, _group_names
-from repro.experiments.runner import app_context, format_table
+from repro.experiments.runner import app_context, format_table, run_apps
 from repro.isa import is_long_latency
 
 
@@ -38,6 +38,8 @@ def run(per_group: Optional[int] = None,
         walk_blocks: Optional[int] = None) -> List[Fig03Group]:
     """Reproduce Fig 3 for all three workload groups."""
     results: List[Fig03Group] = []
+    run_apps([n for g in GROUPS for n in _group_names(g, per_group)],
+             ("baseline",), walk_blocks=walk_blocks)
     for group in GROUPS:
         stage_acc = {stage: 0.0 for stage in STAGES}
         stall_i = stall_rd = active = 0.0

@@ -18,6 +18,7 @@ from repro.experiments.runner import (
     app_context,
     format_table,
     geometric_mean,
+    run_apps,
 )
 
 
@@ -42,7 +43,10 @@ class Fig08Result:
 def run(apps: Optional[int] = None,
         walk_blocks: Optional[int] = None) -> Fig08Result:
     rows: List[Fig08Row] = []
-    for name in _group_names("mobile", apps):
+    names = _group_names("mobile", apps)
+    run_apps(names, ("baseline", "branch", "critic"),
+             walk_blocks=walk_blocks)
+    for name in names:
         ctx = app_context(name, walk_blocks)
         base = ctx.stats("baseline")
         branch = ctx.stats("branch")

@@ -20,6 +20,7 @@ from repro.experiments.runner import (
     app_context,
     format_table,
     geometric_mean,
+    run_apps,
 )
 
 
@@ -56,7 +57,10 @@ def run(apps: Optional[int] = None,
         walk_blocks: Optional[int] = None) -> Fig10Result:
     """Reproduce Fig 10 over the mobile suite."""
     rows: List[Fig10Row] = []
-    for name in _group_names("mobile", apps):
+    names = _group_names("mobile", apps)
+    run_apps(names, ("baseline", "hoist", "critic", "critic_ideal"),
+             walk_blocks=walk_blocks)
+    for name in names:
         ctx = app_context(name, walk_blocks)
         base = ctx.stats("baseline")
         hoist = ctx.stats("hoist")

@@ -29,6 +29,7 @@ from repro.experiments.runner import (
     app_context,
     format_table,
     geometric_mean,
+    run_apps,
 )
 
 #: The evaluated hardware mechanisms, in the paper's order.
@@ -63,6 +64,10 @@ class Fig11Result:
 def run(apps: Optional[int] = None,
         walk_blocks: Optional[int] = None) -> Fig11Result:
     names = _group_names("mobile", apps)
+    run_apps(
+        names, ("baseline", "critic"), walk_blocks=walk_blocks,
+        configs=(GOOGLE_TABLET,) + tuple(m() for _, m in MECHANISMS),
+    )
 
     def mean_speedup(scheme: str, config: CpuConfig) -> float:
         ratios = []

@@ -12,8 +12,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
+from repro.cache import artifact_key, get_cache
 from repro.compiler import CriticPass, PassManager, region_oracle
-from repro.cpu import simulate, speedup
+from repro.cpu import GOOGLE_TABLET, SimStats, simulate, speedup
 from repro.experiments.fig01 import _group_names
 from repro.experiments.runner import (
     app_context,
@@ -53,20 +54,33 @@ def run_length_sensitivity(
             ctx = app_context(name, walk_blocks)
             base = ctx.stats("baseline")
             config = FinderConfig(max_length=length)
-            profile = find_critic_profile(
-                ctx.trace(), ctx.workload.program, config,
-                app_name=name,
+            cache = get_cache()
+            key = artifact_key(
+                "fig12a", profile=ctx.app_profile, length=length,
+                finder=config, config=GOOGLE_TABLET,
             )
-            records = [
-                r for r in profile.select_for_compiler(max_length=length)
-                if r.length == length
-            ]
-            result = PassManager([
-                CriticPass(records, mode="cdp",
-                           may_alias=region_oracle(ctx.workload.memory))
-            ]).run(ctx.workload.program)
-            chains += result.ctx.get("critic", "chains")
-            stats = simulate(ctx.workload.trace_for(result.program))
+            cell = cache.load_json("fig12a", key)
+            if cell is None:
+                profile = find_critic_profile(
+                    ctx.trace(), ctx.workload.program, config,
+                    app_name=name,
+                )
+                records = [
+                    r for r in profile.select_for_compiler(max_length=length)
+                    if r.length == length
+                ]
+                result = PassManager([
+                    CriticPass(records, mode="cdp",
+                               may_alias=region_oracle(ctx.workload.memory))
+                ]).run(ctx.workload.program)
+                stats = simulate(ctx.workload.trace_for(result.program))
+                cell = {
+                    "chains": result.ctx.get("critic", "chains"),
+                    "stats": stats.to_dict(),
+                }
+                cache.store_json("fig12a", key, cell)
+            chains += cell["chains"]
+            stats = SimStats.from_dict(cell["stats"])
             ratios.append(speedup(base, stats))
             fractions = stats.fetch_stall_fractions()
             stall += fractions["stall_for_i"] + fractions["stall_for_rd"]

@@ -19,6 +19,7 @@ from repro.experiments.runner import (
     app_context,
     format_table,
     geometric_mean,
+    run_apps,
 )
 
 SCHEMES = ("opp16", "compress", "critic", "opp16_critic")
@@ -41,7 +42,9 @@ class Fig13Result:
 def run(apps: Optional[int] = None,
         walk_blocks: Optional[int] = None) -> Fig13Result:
     rows: List[Fig13Row] = []
-    for name in _group_names("mobile", apps):
+    names = _group_names("mobile", apps)
+    run_apps(names, ("baseline",) + SCHEMES, walk_blocks=walk_blocks)
+    for name in names:
         ctx = app_context(name, walk_blocks)
         base = ctx.stats("baseline")
         speedups: List[float] = []

@@ -3,10 +3,17 @@
 Central plumbing for every figure/table reproduction:
 
 * workloads, traces, profiles, and transformed programs are generated once
-  per app and memoized (figures share them);
+  per app and memoized in-process (figures share them);
+* every derived artifact (baseline/scheme traces, CritIC profiles,
+  simulation stats) is also persisted in the content-addressed disk cache
+  (:mod:`repro.cache`), so warm runs skip generation, compilation, and
+  simulation entirely;
 * the evaluated *schemes* (baseline / Hoist / CritIC / CritIC.Ideal /
   Approach-1 branch switching / OPP16 / Compress / OPP16+CritIC) are
   expressed as compiler pipelines over the same program + walk;
+* :func:`run_apps` fans the app x config grid out over a process pool
+  (``REPRO_JOBS``; auto-sized to the CPU count) and seeds the in-process
+  memo with the results, so figure modules stay simple serial loops;
 * trace length is controlled by ``REPRO_WALK_BLOCKS`` (default 700 dynamic
   blocks, ~25-60k instructions per app) so benches run at laptop scale;
   the paper's full-scale methodology (100 x 500k-instruction samples) is
@@ -16,9 +23,12 @@ Central plumbing for every figure/table reproduction:
 from __future__ import annotations
 
 import os
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro import perf
+from repro.cache import artifact_key, get_cache
 from repro.compiler import (
     CompressPass,
     CriticPass,
@@ -29,7 +39,7 @@ from repro.compiler import (
 from repro.cpu import CpuConfig, GOOGLE_TABLET, SimStats, simulate
 from repro.profiler import CriticProfile, FinderConfig, find_critic_profile
 from repro.trace.dynamic import Trace
-from repro.workloads import Workload, generate, get_profile
+from repro.workloads import Workload, WorkloadProfile, generate, get_profile
 
 #: Dynamic block budget for generated walks (env-overridable).
 DEFAULT_WALK_BLOCKS = int(os.environ.get("REPRO_WALK_BLOCKS", "700"))
@@ -43,25 +53,65 @@ SCHEMES = (
 _workloads: Dict[Tuple[str, int], "AppContext"] = {}
 
 
+def default_jobs() -> int:
+    """Worker count for :func:`run_apps` (``REPRO_JOBS`` or cpu count)."""
+    env = os.environ.get("REPRO_JOBS", "")
+    if env:
+        return max(1, int(env))
+    return os.cpu_count() or 1
+
+
 @dataclass
 class AppContext:
-    """Everything derived from one app at one scale, lazily materialized."""
+    """Everything derived from one app at one scale, lazily materialized.
 
-    workload: Workload
+    ``app_profile`` is the *scaled* workload profile (its ``walk_blocks``
+    already reflects the requested scale), which makes it the complete
+    generation parameter record — and therefore the disk-cache key root
+    for every artifact derived from this app.
+    """
+
+    app_profile: WorkloadProfile
     profile: Optional[CriticProfile] = None
+    _workload: Optional[Workload] = None
     _traces: Dict[str, Trace] = field(default_factory=dict)
     _stats: Dict[Tuple[str, str], SimStats] = field(default_factory=dict)
 
     @property
     def name(self) -> str:
-        return self.workload.name
+        return self.app_profile.name
+
+    @property
+    def workload(self) -> Workload:
+        """The generated program/walk/memory (built on first touch)."""
+        if self._workload is None:
+            with perf.phase("generate"):
+                self._workload = generate(self.app_profile)
+        return self._workload
 
     def trace(self) -> Trace:
-        return self.workload.trace()
+        """The baseline dynamic trace (disk-cached via :mod:`repro.cache`)."""
+        trace = self._traces.get("baseline")
+        if trace is not None:
+            return trace
+        cache = get_cache()
+        key = artifact_key("trace", profile=self.app_profile,
+                           scheme="baseline")
+        trace = cache.load_trace(key)
+        if trace is None:
+            with perf.phase("materialize"):
+                trace = self.workload.trace()
+            cache.store_trace(key, trace)
+        else:
+            # Share the loaded trace with Workload.trace() callers.
+            if self._workload is not None and self._workload._trace is None:
+                self._workload._trace = trace
+        self._traces["baseline"] = trace
+        return trace
 
     def critic_profile(self, profiled_fraction: float = 1.0,
                        max_length: Optional[int] = None) -> CriticProfile:
-        """The offline profiler's output (cached for the default config)."""
+        """The offline profiler's output (memoized for the default config)."""
         default = profiled_fraction >= 1.0 and max_length is None
         if default and self.profile is not None:
             return self.profile
@@ -69,10 +119,17 @@ class AppContext:
             profiled_fraction=profiled_fraction,
             max_length=max_length,
         )
-        profile = find_critic_profile(
-            self.trace(), self.workload.program, config,
-            app_name=self.name,
-        )
+        cache = get_cache()
+        key = artifact_key("critic_profile", profile=self.app_profile,
+                           finder=config)
+        profile = cache.load_profile(key)
+        if profile is None:
+            with perf.phase("find_critic_profile"):
+                profile = find_critic_profile(
+                    self.trace(), self.workload.program, config,
+                    app_name=self.name,
+                )
+            cache.store_profile(key, profile)
         if default:
             self.profile = profile
         return profile
@@ -106,54 +163,192 @@ class AppContext:
                     Opp16Pass()]
         raise ValueError(f"unknown scheme {scheme!r}; one of {SCHEMES}")
 
+    def _scheme_key(self, scheme: str, max_length: int,
+                    profiled_fraction: float) -> str:
+        return artifact_key(
+            "trace",
+            profile=self.app_profile,
+            scheme=scheme,
+            max_length=max_length,
+            profiled_fraction=profiled_fraction,
+            finder=FinderConfig(profiled_fraction=profiled_fraction),
+        )
+
     def scheme_trace(self, scheme: str, max_length: int = 5,
                      profiled_fraction: float = 1.0) -> Trace:
-        """The dynamic trace under ``scheme`` (cached for defaults)."""
+        """The dynamic trace under ``scheme`` (memoized for defaults)."""
         default = max_length == 5 and profiled_fraction >= 1.0
         if default and scheme in self._traces:
             return self._traces[scheme]
         if scheme == "baseline":
-            trace = self.trace()
-        else:
-            result = PassManager(
-                self._passes(scheme, max_length, profiled_fraction)
-            ).run(self.workload.program)
-            trace = self.workload.trace_for(result.program)
+            return self.trace()
+        cache = get_cache()
+        key = self._scheme_key(scheme, max_length, profiled_fraction)
+        trace = cache.load_trace(key)
+        if trace is None:
+            with perf.phase("compile"):
+                result = PassManager(
+                    self._passes(scheme, max_length, profiled_fraction)
+                ).run(self.workload.program)
+            with perf.phase("materialize"):
+                trace = self.workload.trace_for(result.program)
+            cache.store_trace(key, trace)
         if default:
             self._traces[scheme] = trace
         return trace
+
+    def _stats_key(self, scheme: str, config: CpuConfig, max_length: int,
+                   profiled_fraction: float) -> str:
+        return artifact_key(
+            "stats",
+            profile=self.app_profile,
+            scheme=scheme,
+            max_length=max_length,
+            profiled_fraction=profiled_fraction,
+            finder=FinderConfig(profiled_fraction=profiled_fraction),
+            config=config,
+        )
+
+    def cached_stats(self, scheme: str = "baseline",
+                     config: CpuConfig = GOOGLE_TABLET,
+                     max_length: int = 5,
+                     profiled_fraction: float = 1.0) -> Optional[SimStats]:
+        """Look up stats in the memo/disk cache without computing them."""
+        default = max_length == 5 and profiled_fraction >= 1.0
+        memo_key = (scheme, config.name)
+        if default and memo_key in self._stats:
+            return self._stats[memo_key]
+        stats = get_cache().load_stats(
+            self._stats_key(scheme, config, max_length, profiled_fraction)
+        )
+        if stats is not None and default:
+            self._stats[memo_key] = stats
+        return stats
 
     def stats(self, scheme: str = "baseline",
               config: CpuConfig = GOOGLE_TABLET,
               max_length: int = 5,
               profiled_fraction: float = 1.0) -> SimStats:
-        """Simulate ``scheme`` on ``config`` (cached for defaults)."""
-        default = max_length == 5 and profiled_fraction >= 1.0
-        key = (scheme, config.name)
-        if default and key in self._stats:
-            return self._stats[key]
+        """Simulate ``scheme`` on ``config`` (memo + disk cached)."""
+        stats = self.cached_stats(scheme, config, max_length,
+                                  profiled_fraction)
+        if stats is not None:
+            return stats
         trace = self.scheme_trace(scheme, max_length, profiled_fraction)
-        stats = simulate(trace, config)
-        if default:
-            self._stats[key] = stats
+        with perf.phase("simulate"):
+            stats = simulate(trace, config)
+        get_cache().store_stats(
+            self._stats_key(scheme, config, max_length, profiled_fraction),
+            stats,
+        )
+        if max_length == 5 and profiled_fraction >= 1.0:
+            self._stats[(scheme, config.name)] = stats
         return stats
 
 
 def app_context(name: str,
                 walk_blocks: Optional[int] = None) -> AppContext:
-    """Get (and cache) the :class:`AppContext` for one app/benchmark."""
+    """Get (and memoize) the :class:`AppContext` for one app/benchmark."""
     blocks = walk_blocks if walk_blocks is not None else DEFAULT_WALK_BLOCKS
     key = (name, blocks)
     if key not in _workloads:
-        _workloads[key] = AppContext(
-            workload=generate(get_profile(name), walk_blocks=blocks)
-        )
+        base = get_profile(name)
+        # Same scaling `generate()` would apply, hoisted here so the scaled
+        # profile can serve as the cache-key record without generating.
+        scaled = base.scaled(blocks / base.walk_blocks)
+        _workloads[key] = AppContext(app_profile=scaled)
     return _workloads[key]
 
 
 def clear_cache() -> None:
-    """Drop all memoized workloads/stats (tests use this)."""
+    """Drop all in-process memoized workloads/stats (tests use this)."""
     _workloads.clear()
+
+
+# -- parallel fan-out ----------------------------------------------------------
+
+
+def _run_cell(name: str, blocks: int, schemes: Tuple[str, ...],
+              config: CpuConfig) -> Tuple[str, str, Dict[str, SimStats]]:
+    """Worker body: compute all ``schemes`` for one app x config cell."""
+    ctx = app_context(name, blocks)
+    return name, config.name, {s: ctx.stats(s, config) for s in schemes}
+
+
+def run_apps(apps: Sequence[str],
+             schemes: Sequence[str] = ("baseline",),
+             jobs: Optional[int] = None,
+             configs: Sequence[CpuConfig] = (GOOGLE_TABLET,),
+             walk_blocks: Optional[int] = None,
+             ) -> Dict[str, Dict[Tuple[str, str], SimStats]]:
+    """Compute stats for an app x scheme x config grid, in parallel.
+
+    Already-cached cells (in-process memo or disk cache) are collected
+    inline; only the cells that actually need generation/simulation are
+    fanned out over a ``ProcessPoolExecutor`` with ``jobs`` workers
+    (default: ``REPRO_JOBS`` or the CPU count; ``jobs=1`` or a pool
+    failure falls back to serial execution).  Results land both in the
+    returned mapping (``app -> (scheme, config.name) -> SimStats``) and in
+    the per-app in-process memos, so subsequent ``ctx.stats(...)`` calls
+    made by figure modules are hits.
+    """
+    blocks = walk_blocks if walk_blocks is not None else DEFAULT_WALK_BLOCKS
+    schemes = tuple(schemes)
+    results: Dict[str, Dict[Tuple[str, str], SimStats]] = {
+        name: {} for name in apps
+    }
+    todo: List[Tuple[str, CpuConfig, Tuple[str, ...]]] = []
+    with perf.phase("run_apps.probe"):
+        for name in apps:
+            ctx = app_context(name, blocks)
+            for config in configs:
+                missing = []
+                for scheme in schemes:
+                    stats = ctx.cached_stats(scheme, config)
+                    if stats is None:
+                        missing.append(scheme)
+                    else:
+                        results[name][(scheme, config.name)] = stats
+                if missing:
+                    todo.append((name, config, tuple(missing)))
+
+    if not todo:
+        return results
+    workers = jobs if jobs is not None else default_jobs()
+    workers = min(max(1, workers), len(todo))
+
+    def _absorb(name: str, config_name: str,
+                cell: Dict[str, SimStats]) -> None:
+        ctx = app_context(name, blocks)
+        for scheme, stats in cell.items():
+            results[name][(scheme, config_name)] = stats
+            ctx._stats[(scheme, config_name)] = stats
+
+    done = set()
+    if workers > 1:
+        try:
+            with perf.phase("run_apps.parallel"), \
+                    ProcessPoolExecutor(max_workers=workers) as pool:
+                futures = [
+                    pool.submit(_run_cell, name, blocks, missing, config)
+                    for name, config, missing in todo
+                ]
+                for future in futures:
+                    name, config_name, cell = future.result()
+                    _absorb(name, config_name, cell)
+                    done.add((name, config_name))
+        except Exception:
+            # Pool creation/pickling failure (1-core boxes, restricted
+            # environments): fall through to the serial path below.
+            pass
+
+    for name, config, missing in todo:
+        if (name, config.name) in done:
+            continue
+        with perf.phase("run_apps.serial"):
+            _, config_name, cell = _run_cell(name, blocks, missing, config)
+        _absorb(name, config_name, cell)
+    return results
 
 
 def geometric_mean(values: Sequence[float]) -> float:

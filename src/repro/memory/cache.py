@@ -39,6 +39,9 @@ class Cache:
         hit_latency: cycles for a hit.
     """
 
+    __slots__ = ("name", "size_bytes", "assoc", "line_bytes",
+                 "hit_latency", "num_sets", "stats", "_sets")
+
     def __init__(self, name: str, size_bytes: int, assoc: int,
                  line_bytes: int, hit_latency: int):
         if size_bytes % (assoc * line_bytes) != 0:

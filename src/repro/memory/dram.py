@@ -32,6 +32,8 @@ class Dram:
     NUM_RANKS = 2
     BANKS_PER_RANK = 8
 
+    __slots__ = ("timings", "_open_rows", "reads", "row_hits")
+
     def __init__(self, timings: DramTimings = DramTimings()):
         self.timings = timings
         self._open_rows: Dict[int, int] = {}

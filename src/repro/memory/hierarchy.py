@@ -43,6 +43,9 @@ class MemoryConfig:
 class MemorySystem:
     """Two-level hierarchy with a DRAM backend."""
 
+    __slots__ = ("config", "icache", "dcache", "l2", "dram",
+                 "_inflight_ilines", "iprefetch_l2_reads")
+
     def __init__(self, config: Optional[MemoryConfig] = None):
         self.config = config or MemoryConfig()
         c = self.config

@@ -26,6 +26,9 @@ class CriticalLoadPrefetcher:
     (LRU over PCs) per the paper's 1024x7bit configuration.
     """
 
+    __slots__ = ("entries", "degree", "confidence_needed", "_table",
+                 "issued")
+
     def __init__(self, entries: int = 1024, degree: int = 4,
                  confidence_needed: int = 2):
         self.entries = entries
@@ -70,6 +73,9 @@ class EFetchPrefetcher:
     target's first cache lines and prefetches them.  Trains on every
     observed call.
     """
+
+    __slots__ = ("entries", "lines_per_target", "_table", "_history",
+                 "issued")
 
     def __init__(self, entries: int = 512, lines_per_target: int = 8):
         self.entries = entries

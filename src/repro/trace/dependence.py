@@ -41,38 +41,57 @@ def compute_producers(trace: Trace) -> List[Tuple[int, ...]]:
     Producer seqs are *positions within the trace window* (0-based), which is
     what the DFG, the chain finder, and the simulator's wake-up logic all
     index by.
+
+    Single pass over the stream.  The per-instruction classification
+    (sources, destinations, flag behaviour, memory behaviour) depends only
+    on the *static* instruction, so it is resolved once per distinct
+    ``Instruction`` object and reused for every dynamic occurrence — traces
+    repeat a few thousand statics across tens of thousands of entries.
     """
     last_reg_writer: Dict[int, int] = {}
     last_flag_writer = -1
     last_store_to: Dict[int, int] = {}
     producers: List[Tuple[int, ...]] = []
+    append = producers.append
+    reg_get = last_reg_writer.get
+    store_get = last_store_to.get
+    # id(instr) -> (srcs, dests, reads_flags, writes_flags, is_load, is_store)
+    static_info: Dict[int, tuple] = {}
+    info_get = static_info.get
 
     for pos, entry in enumerate(trace.entries):
         instr = entry.instr
+        info = info_get(id(instr))
+        if info is None:
+            info = (instr.srcs, instr.dests, reads_flags(instr),
+                    writes_flags(instr), instr.is_load, instr.is_store)
+            static_info[id(instr)] = info
+        srcs, dests, rflags, wflags, is_load, is_store = info
+
+        # Collect producers, deduplicating in first-occurrence order (the
+        # list is at most a handful of entries, so linear membership tests
+        # beat building a set per entry).
         found: List[int] = []
-        for reg in instr.srcs:
-            writer = last_reg_writer.get(reg, -1)
-            if writer >= 0:
+        for reg in srcs:
+            writer = reg_get(reg, -1)
+            if writer >= 0 and writer not in found:
                 found.append(writer)
-        if reads_flags(instr) and last_flag_writer >= 0:
+        if rflags and last_flag_writer >= 0 \
+                and last_flag_writer not in found:
             found.append(last_flag_writer)
-        if instr.is_load and entry.mem_addr is not None:
-            word = entry.mem_addr & _WORD_MASK
-            store = last_store_to.get(word, -1)
-            if store >= 0:
+        mem_addr = entry.mem_addr
+        if is_load and mem_addr is not None:
+            store = store_get(mem_addr & _WORD_MASK, -1)
+            if store >= 0 and store not in found:
                 found.append(store)
+        append(tuple(found))
 
-        # Deduplicate while preserving order.
-        seen = set()
-        unique = tuple(p for p in found if not (p in seen or seen.add(p)))
-        producers.append(unique)
-
-        for reg in instr.dests:
+        for reg in dests:
             last_reg_writer[reg] = pos
-        if writes_flags(instr):
+        if wflags:
             last_flag_writer = pos
-        if instr.is_store and entry.mem_addr is not None:
-            last_store_to[entry.mem_addr & _WORD_MASK] = pos
+        if is_store and mem_addr is not None:
+            last_store_to[mem_addr & _WORD_MASK] = pos
 
     return producers
 
@@ -89,7 +108,10 @@ def compute_consumers(
 
 
 def compute_fanouts(trace: Trace) -> List[int]:
-    """Direct dynamic fanout (number of consumers) of every entry."""
+    """Direct dynamic fanout (number of consumers) of every entry.
+
+    Single array pass over the producer map — no consumer lists are built.
+    """
     producers = compute_producers(trace)
     fanouts = [0] * len(producers)
     for prods in producers:

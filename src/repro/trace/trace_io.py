@@ -53,13 +53,22 @@ class TraceFormatError(ValueError):
 
 
 def load_trace(stream: TextIO) -> Trace:
-    """Parse a trace previously written by :func:`dump_trace`."""
+    """Parse a trace previously written by :func:`dump_trace`.
+
+    A dynamic stream repeats a few thousand *static* instructions across
+    tens of thousands of entries, so parsed instructions are memoized by
+    their ``(uid, asm)`` line — repeats share one ``Instruction`` object,
+    exactly as a materialized trace shares the program's objects (the
+    simulator's static-info caches rely on that identity).
+    """
     first = stream.readline().rstrip("\n")
     if first != HEADER:
         raise TraceFormatError(f"bad header {first!r}; expected {HEADER!r}")
     name = "trace"
     program_name = ""
     entries: List[TraceEntry] = []
+    statics: dict = {}
+    statics_get = statics.get
     for lineno, raw in enumerate(stream, start=2):
         line = raw.rstrip("\n")
         if not line:
@@ -79,7 +88,11 @@ def load_trace(stream: TextIO) -> Trace:
             )
         seq_s, uid_s, pc_s, mem_s, taken_s, asm = fields
         try:
-            instr = parse_line(asm).with_uid(int(uid_s))
+            static_key = (uid_s, asm)
+            instr = statics_get(static_key)
+            if instr is None:
+                instr = parse_line(asm).with_uid(int(uid_s))
+                statics[static_key] = instr
             entries.append(TraceEntry(
                 seq=int(seq_s),
                 instr=instr,

@@ -288,7 +288,7 @@ SPEC_INT_PROFILES: Dict[str, WorkloadProfile] = {
 
 SPEC_FLOAT_PROFILES: Dict[str, WorkloadProfile] = {
     p.name: p for p in (
-        _spec_float("sperand", seed=41),
+        _spec_float("soplex", seed=41),
         _spec_float("namd", seed=42, fp_frac=0.36),
         _spec_float("gromacs", seed=43),
         _spec_float("calculix", seed=44, long_latency_frac=0.20),
@@ -309,13 +309,23 @@ def get_profile(name: str) -> WorkloadProfile:
     """Look up a workload profile by app/benchmark name.
 
     Raises:
-        KeyError: with the list of known names.
+        KeyError: with the list of known names and, when the name is a
+            near-miss (typo, wrong case), a "did you mean" suggestion.
     """
     try:
         return ALL_PROFILES[name]
     except KeyError:
+        import difflib
+        matches = difflib.get_close_matches(
+            name, ALL_PROFILES, n=3, cutoff=0.6,
+        )
+        hint = ""
+        if matches:
+            quoted = " or ".join(repr(m) for m in matches)
+            hint = f"; did you mean {quoted}?"
         raise KeyError(
-            f"unknown workload {name!r}; known: {sorted(ALL_PROFILES)}"
+            f"unknown workload {name!r}{hint} "
+            f"(known: {sorted(ALL_PROFILES)})"
         ) from None
 
 

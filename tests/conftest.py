@@ -1,0 +1,12 @@
+"""Unit tests run against a private, empty artifact cache.
+
+The persistent cache (``~/.cache/repro``) is a feature for the benchmark
+workflow; unit tests must not read artifacts produced by other versions
+of the code (or leak artifacts into the user's cache), so each test
+session gets a throwaway cache root.
+"""
+
+import os
+import tempfile
+
+os.environ["REPRO_CACHE_DIR"] = tempfile.mkdtemp(prefix="repro-test-cache-")

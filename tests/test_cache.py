@@ -1,0 +1,175 @@
+"""Tests for the content-addressed artifact cache and its runner wiring."""
+
+import dataclasses
+
+import pytest
+
+import repro.cache as cache_mod
+from repro.cache import ArtifactCache, artifact_key
+from repro.cpu import GOOGLE_TABLET, simulate
+from repro.experiments.runner import app_context, clear_cache, run_apps
+from repro.profiler import FinderConfig, find_critic_profile
+from repro.workloads import generate, get_profile
+
+
+@pytest.fixture
+def store(tmp_path):
+    return ArtifactCache(root=str(tmp_path), enabled=True)
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return generate(get_profile("Email"), walk_blocks=60)
+
+
+@pytest.fixture
+def isolated_cache(tmp_path, monkeypatch):
+    """Route the process-wide cache at a fresh directory for one test."""
+    monkeypatch.setenv(cache_mod.ENV_DIR, str(tmp_path))
+    monkeypatch.delenv(cache_mod.ENV_ENABLE, raising=False)
+    cache_mod.reset_cache()
+    clear_cache()
+    yield tmp_path
+    cache_mod.reset_cache()
+    clear_cache()
+
+
+class TestArtifactKey:
+    def test_deterministic(self):
+        profile = get_profile("Email")
+        assert artifact_key("trace", profile=profile) \
+            == artifact_key("trace", profile=profile)
+
+    def test_walk_blocks_changes_key(self):
+        profile = get_profile("Email")
+        assert artifact_key("trace", profile=profile.scaled(0.5)) \
+            != artifact_key("trace", profile=profile)
+
+    def test_scheme_changes_key(self):
+        profile = get_profile("Email")
+        assert artifact_key("trace", profile=profile, scheme="critic") \
+            != artifact_key("trace", profile=profile, scheme="baseline")
+
+    def test_schema_bump_changes_key(self, monkeypatch):
+        profile = get_profile("Email")
+        before = artifact_key("trace", profile=profile)
+        monkeypatch.setattr(cache_mod, "SCHEMA_VERSION",
+                            cache_mod.SCHEMA_VERSION + 1)
+        assert artifact_key("trace", profile=profile) != before
+
+    def test_kind_changes_key(self):
+        profile = get_profile("Email")
+        assert artifact_key("trace", profile=profile) \
+            != artifact_key("stats", profile=profile)
+
+    def test_rejects_unserializable_params(self):
+        with pytest.raises(TypeError):
+            artifact_key("trace", fn=lambda: None)
+
+
+class TestArtifactStore:
+    def test_trace_round_trip(self, store, workload):
+        trace = workload.trace()
+        key = artifact_key("trace", profile=workload.profile)
+        assert store.load_trace(key) is None
+        store.store_trace(key, trace)
+        loaded = store.load_trace(key)
+        assert loaded is not None
+        assert len(loaded) == len(trace)
+        assert dataclasses.asdict(simulate(loaded)) \
+            == dataclasses.asdict(simulate(trace))
+
+    def test_profile_round_trip(self, store, workload):
+        profile = find_critic_profile(
+            workload.trace(), workload.program, FinderConfig(),
+            app_name="Email",
+        )
+        key = artifact_key("critic_profile", profile=workload.profile)
+        store.store_profile(key, profile)
+        loaded = store.load_profile(key)
+        assert loaded is not None
+        assert loaded.records == profile.records
+        assert loaded.profiled_instructions == profile.profiled_instructions
+
+    def test_stats_round_trip(self, store, workload):
+        stats = simulate(workload.trace())
+        key = artifact_key("stats", profile=workload.profile,
+                           config=GOOGLE_TABLET)
+        store.store_stats(key, stats)
+        loaded = store.load_stats(key)
+        assert loaded is not None
+        assert dataclasses.asdict(loaded) == dataclasses.asdict(stats)
+
+    def test_schema_bump_invalidates(self, store, workload, monkeypatch):
+        stats = simulate(workload.trace())
+        key = artifact_key("stats", profile=workload.profile)
+        store.store_stats(key, stats)
+        monkeypatch.setattr(cache_mod, "SCHEMA_VERSION",
+                            cache_mod.SCHEMA_VERSION + 1)
+        # both the key and the on-disk namespace move
+        assert store.load_stats(artifact_key(
+            "stats", profile=workload.profile)) is None
+
+    def test_disabled_store_is_noop(self, tmp_path, workload):
+        store = ArtifactCache(root=str(tmp_path), enabled=False)
+        stats = simulate(workload.trace())
+        store.store_stats("0" * 64, stats)
+        assert store.load_stats("0" * 64) is None
+        assert list(tmp_path.iterdir()) == []
+
+    def test_corrupt_artifact_is_a_miss(self, store, workload):
+        key = artifact_key("trace", profile=workload.profile)
+        path = store.path_for("trace", key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text("not a trace\n")
+        assert store.load_trace(key) is None
+
+    def test_clear(self, store, workload):
+        stats = simulate(workload.trace())
+        store.store_stats("ab" * 32, stats)
+        assert store.clear() == 1
+        assert store.load_stats("ab" * 32) is None
+
+
+class TestRunnerWiring:
+    def test_warm_stats_identical_and_hit(self, isolated_cache):
+        cold = app_context("Email", 60).stats("critic")
+        assert cache_mod.get_cache().hits == 0
+        clear_cache()
+        cache_mod.reset_cache()
+        warm = app_context("Email", 60).stats("critic")
+        assert cache_mod.get_cache().hits >= 1
+        assert dataclasses.asdict(warm) == dataclasses.asdict(cold)
+
+    def test_changed_walk_blocks_misses(self, isolated_cache):
+        app_context("Email", 60).stats("baseline")
+        clear_cache()
+        cache_mod.reset_cache()
+        app_context("Email", 80).stats("baseline")
+        cache = cache_mod.get_cache()
+        assert cache.hits == 0
+        assert cache.misses >= 1
+
+    def test_changed_scheme_misses(self, isolated_cache):
+        app_context("Email", 60).stats("critic")
+        clear_cache()
+        cache_mod.reset_cache()
+        app_context("Email", 60).stats("hoist")
+        cache = cache_mod.get_cache()
+        assert cache.misses >= 2  # the hoist trace + stats are new
+        assert cache.hits >= 1    # the critic-profile artifact is reused
+
+    def test_run_apps_matches_stats_and_seeds_memo(self, isolated_cache):
+        results = run_apps(["Email", "Maps"], ("baseline", "critic"),
+                           walk_blocks=60)
+        for name in ("Email", "Maps"):
+            ctx = app_context(name, 60)
+            for scheme in ("baseline", "critic"):
+                cell = results[name][(scheme, GOOGLE_TABLET.name)]
+                assert ctx._stats[(scheme, GOOGLE_TABLET.name)] is cell
+                assert dataclasses.asdict(ctx.stats(scheme)) \
+                    == dataclasses.asdict(cell)
+
+    def test_run_apps_serial_fallback(self, isolated_cache):
+        serial = run_apps(["Email"], ("baseline",), jobs=1, walk_blocks=60)
+        assert serial["Email"][("baseline", GOOGLE_TABLET.name)].cycles > 0

@@ -62,6 +62,54 @@ class TestRoundTrip:
         assert simulate(trace).cycles == simulate(loaded).cycles
 
 
+class TestCdpAndThumbRoundTrip:
+    """A CritIC-compiled trace (CDP markers + Thumb-converted sizes) must
+    survive dump/load exactly — the artifact cache stores scheme traces
+    this way and re-simulates them expecting bit-identical stats."""
+
+    @pytest.fixture(scope="class")
+    def scheme_trace(self):
+        from repro.compiler import CriticPass, PassManager, region_oracle
+        from repro.profiler import FinderConfig, find_critic_profile
+        workload = generate(get_profile("Email"), walk_blocks=60)
+        trace = workload.trace()
+        profile = find_critic_profile(
+            trace, workload.program, FinderConfig(), app_name="Email",
+        )
+        records = profile.select_for_compiler(max_length=5)
+        result = PassManager([
+            CriticPass(records, mode="cdp",
+                       may_alias=region_oracle(workload.memory)),
+        ]).run(workload.program)
+        return workload.trace_for(result.program)
+
+    def test_trace_contains_cdp_and_thumb(self, scheme_trace):
+        assert any(e.instr.cdp_cover is not None for e in scheme_trace)
+        assert any(e.instr.size_bytes == 2 for e in scheme_trace)
+
+    def test_cdp_markers_and_sizes_round_trip(self, scheme_trace):
+        buffer = io.StringIO()
+        dump_trace(scheme_trace, buffer)
+        buffer.seek(0)
+        loaded = load_trace(buffer)
+        assert len(loaded) == len(scheme_trace)
+        for a, b in zip(scheme_trace, loaded):
+            assert a.instr.cdp_cover == b.instr.cdp_cover
+            assert a.instr.size_bytes == b.instr.size_bytes
+            assert a.instr.encoding == b.instr.encoding
+            assert a.instr.signature() == b.instr.signature()
+
+    def test_loaded_scheme_trace_simulates_identically(self, scheme_trace):
+        import dataclasses
+        from repro.cpu import simulate
+        buffer = io.StringIO()
+        dump_trace(scheme_trace, buffer)
+        buffer.seek(0)
+        loaded = load_trace(buffer)
+        assert dataclasses.asdict(simulate(scheme_trace)) \
+            == dataclasses.asdict(simulate(loaded))
+
+
 class TestErrors:
     def test_bad_header(self):
         with pytest.raises(TraceFormatError, match="bad header"):
