@@ -38,6 +38,13 @@ from repro.isa.condition import Cond
 from repro.isa.opcodes import InstrKind, Opcode
 from repro.memory.hierarchy import MemorySystem
 from repro.memory.prefetch import CriticalLoadPrefetcher, EFetchPrefetcher
+from repro.telemetry.recorder import (
+    FlightRecorder,
+    STALL_BACKPRESSURE,
+    STALL_BRANCH,
+    STALL_ICACHE,
+    STALL_SWITCH,
+)
 from repro.trace.dependence import compute_consumers, compute_producers
 from repro.trace.dynamic import Trace
 
@@ -181,7 +188,7 @@ class Simulator:
     __slots__ = (
         "trace", "config", "memory", "entries", "n",
         "producers", "consumers", "critical", "chain",
-        "bpu", "ras", "clpt", "efetch", "stats",
+        "bpu", "ras", "clpt", "efetch", "stats", "recorder",
         "_t", "_crit", "_chainb",
     )
 
@@ -193,6 +200,7 @@ class Simulator:
         critical_positions: Optional[Set[int]] = None,
         chain_positions: Optional[Set[int]] = None,
         warm: bool = True,
+        recorder: Optional[FlightRecorder] = None,
     ):
         """
         Args:
@@ -205,6 +213,11 @@ class Simulator:
                 direct fanout (threshold 8) when omitted.
             chain_positions: positions that are CritIC members (scoped
                 residency stats for Fig 10b analyses).
+            recorder: pipeline flight recorder to feed with per-instruction
+                stage timings and fetch-stall causes; defaults to a
+                file-backed one when ``REPRO_FLIGHT_RECORDER`` is set.
+                Purely observational — stats are identical with or
+                without it.
         """
         self.trace = trace
         self.config = config
@@ -243,6 +256,8 @@ class Simulator:
         self.clpt = CriticalLoadPrefetcher() \
             if config.critical_load_prefetch else None
         self.efetch = EFetchPrefetcher() if config.efetch else None
+        self.recorder = recorder if recorder is not None \
+            else FlightRecorder.from_env()
 
         self.stats = SimStats(name=config.name)
 
@@ -284,6 +299,14 @@ class Simulator:
         completed = bytearray(n)
         dispatched = bytearray(n)
         remaining = [0] * n
+
+        # Flight-recorder scratch: only allocated when a recorder is
+        # attached, so the common path pays one `is not None` test per
+        # commit/stall; the recorder never feeds back into timing.
+        recorder = self.recorder
+        commit_c = [-1] * n if recorder is not None else None
+        stall_log: Optional[List[Tuple[int, int]]] = \
+            [] if recorder is not None else None
 
         fetch_buffer: List[int] = []
         decode_buffer: List[int] = []
@@ -426,6 +449,8 @@ class Simulator:
                             v = vals[k]
                             if v > 0:
                                 res_chain[k] += v
+                if commit_c is not None:
+                    commit_c[pos] = now
                 rob_head += 1
                 committed += 1
                 width -= 1
@@ -586,18 +611,26 @@ class Simulator:
                     f_branch += 1
                     if is_crit_head:
                         fc_branch += 1
+                    if stall_log is not None:
+                        stall_log.append((now, STALL_BRANCH))
                 elif now < fetch_resume:
                     f_switch += 1
                     if is_crit_head:
                         fc_switch += 1
+                    if stall_log is not None:
+                        stall_log.append((now, STALL_SWITCH))
                 elif now < icache_ready:
                     f_icache += 1
                     if is_crit_head:
                         fc_icache += 1
+                    if stall_log is not None:
+                        stall_log.append((now, STALL_ICACHE))
                 elif len(fetch_buffer) >= fq_cap:
                     f_bp += 1
                     if is_crit_head:
                         fc_bp += 1
+                    if stall_log is not None:
+                        stall_log.append((now, STALL_BACKPRESSURE))
                 else:
                     fetched, fetch_pos, last_line, icache_ready, \
                         fetch_resume, redirect_pos = self._fetch_group(
@@ -612,6 +645,8 @@ class Simulator:
                         f_icache += 1
                         if is_crit_head:
                             fc_icache += 1
+                        if stall_log is not None:
+                            stall_log.append((now, STALL_ICACHE))
             else:
                 f_drained += 1
 
@@ -653,6 +688,23 @@ class Simulator:
                     bucket.totals[stage] += cycles
 
         self._finalize_memory_stats()
+
+        if recorder is not None:
+            recorder.on_run(
+                trace_name=self.trace.name,
+                config_name=config.name,
+                cycles=now,
+                instructions=committed,
+                pcs=pcs,
+                head=head_c,
+                fetch=fetch_c,
+                decode=decode_c,
+                dispatch=dispatch_c,
+                issue=issue_c,
+                complete=complete_c,
+                commit=commit_c,
+                stalls=stall_log,
+            )
         return stats
 
     # -- helpers ---------------------------------------------------------------
@@ -771,6 +823,7 @@ def simulate(
     chain_positions: Optional[Set[int]] = None,
     max_cycles: Optional[int] = None,
     warm: bool = True,
+    recorder: Optional[FlightRecorder] = None,
 ) -> SimStats:
     """Convenience wrapper: build a Simulator and run it."""
     sim = Simulator(
@@ -778,5 +831,6 @@ def simulate(
         critical_positions=critical_positions,
         chain_positions=chain_positions,
         warm=warm,
+        recorder=recorder,
     )
     return sim.run(max_cycles=max_cycles)

@@ -42,6 +42,16 @@ class FetchStalls:
         """Drain-side stalls (paper's F.StallForR+D)."""
         return self.stall_backpressure
 
+    def stall_counts(self) -> Dict[str, int]:
+        """Stalled cycles per cause, keyed by the flight recorder's cause
+        taxonomy (:data:`repro.telemetry.recorder.STALL_CAUSES`)."""
+        return {
+            "icache": self.stall_icache,
+            "branch": self.stall_branch,
+            "switch": self.stall_switch,
+            "backpressure": self.stall_backpressure,
+        }
+
 
 @dataclass
 class StageResidency:

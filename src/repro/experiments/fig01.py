@@ -33,6 +33,7 @@ from repro.workloads import (
     spec_float_names,
     spec_int_names,
 )
+from repro.telemetry import spanned
 
 #: Workload groups evaluated, in the paper's presentation order.
 GROUPS = ("spec_int", "spec_float", "mobile")
@@ -64,6 +65,7 @@ class Fig01Result:
     gap_histograms: Dict[str, Dict[str, float]]
 
 
+@spanned("fig01.run")
 def run(per_group: Optional[int] = None,
         walk_blocks: Optional[int] = None) -> Fig01Result:
     """Reproduce Fig 1 (optionally on a subset of apps per group)."""

@@ -19,6 +19,7 @@ from repro.dfg import Dfg, critical_mask
 from repro.experiments.fig01 import GROUPS, _group_names
 from repro.experiments.runner import app_context, format_table, run_apps
 from repro.isa import is_long_latency
+from repro.telemetry import spanned
 
 
 @dataclass
@@ -34,6 +35,7 @@ class Fig03Group:
     long_latency_frac: float
 
 
+@spanned("fig03.run")
 def run(per_group: Optional[int] = None,
         walk_blocks: Optional[int] = None) -> List[Fig03Group]:
     """Reproduce Fig 3 for all three workload groups."""

@@ -16,6 +16,7 @@ from typing import Dict, List, Optional
 from repro.dfg import ChainStats, Dfg, iter_maximal_chains
 from repro.experiments.fig01 import GROUPS, _group_names
 from repro.experiments.runner import app_context, format_table
+from repro.telemetry import spanned
 
 
 @dataclass
@@ -44,6 +45,7 @@ class Fig05Result:
     cdfs: Dict[str, List[float]]
 
 
+@spanned("fig05.run")
 def run(per_group: Optional[int] = None,
         walk_blocks: Optional[int] = None,
         mobile_apps: Optional[int] = 4) -> Fig05Result:

@@ -20,6 +20,7 @@ from repro.experiments.runner import (
     geometric_mean,
     run_apps,
 )
+from repro.telemetry import spanned
 
 
 @dataclass
@@ -40,6 +41,7 @@ class Fig08Result:
     mean_cdp_pct: float
 
 
+@spanned("fig08.run")
 def run(apps: Optional[int] = None,
         walk_blocks: Optional[int] = None) -> Fig08Result:
     rows: List[Fig08Row] = []

@@ -22,6 +22,7 @@ from repro.experiments.runner import (
     geometric_mean,
     run_apps,
 )
+from repro.telemetry import spanned
 
 
 @dataclass
@@ -53,6 +54,7 @@ class Fig10Result:
     mean_energy_cpu_only_pct: float
 
 
+@spanned("fig10.run")
 def run(apps: Optional[int] = None,
         walk_blocks: Optional[int] = None) -> Fig10Result:
     """Reproduce Fig 10 over the mobile suite."""

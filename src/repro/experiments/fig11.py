@@ -31,6 +31,7 @@ from repro.experiments.runner import (
     geometric_mean,
     run_apps,
 )
+from repro.telemetry import spanned
 
 #: The evaluated hardware mechanisms, in the paper's order.
 MECHANISMS: Tuple[Tuple[str, Callable[[], CpuConfig]], ...] = (
@@ -61,6 +62,7 @@ class Fig11Result:
     rows: List[Fig11Row]
 
 
+@spanned("fig11.run")
 def run(apps: Optional[int] = None,
         walk_blocks: Optional[int] = None) -> Fig11Result:
     names = _group_names("mobile", apps)

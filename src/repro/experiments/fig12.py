@@ -22,6 +22,7 @@ from repro.experiments.runner import (
     geometric_mean,
 )
 from repro.profiler import FinderConfig, find_critic_profile
+from repro.telemetry import spanned
 
 
 @dataclass
@@ -38,6 +39,7 @@ class Fig12bRow:
     speedup_pct: float
 
 
+@spanned("fig12.run_length_sensitivity")
 def run_length_sensitivity(
     lengths: Sequence[int] = (2, 3, 4, 5, 7, 9),
     apps: Optional[int] = 3,
@@ -93,6 +95,7 @@ def run_length_sensitivity(
     return rows
 
 
+@spanned("fig12.run_profile_sensitivity")
 def run_profile_sensitivity(
     fractions: Sequence[float] = (0.1, 0.33, 0.72, 1.0),
     apps: Optional[int] = 3,

@@ -21,6 +21,7 @@ from repro.experiments.runner import (
     geometric_mean,
     run_apps,
 )
+from repro.telemetry import spanned
 
 SCHEMES = ("opp16", "compress", "critic", "opp16_critic")
 
@@ -39,6 +40,7 @@ class Fig13Result:
     mean_converted_frac: List[float]
 
 
+@spanned("fig13.run")
 def run(apps: Optional[int] = None,
         walk_blocks: Optional[int] = None) -> Fig13Result:
     rows: List[Fig13Row] = []

@@ -5,9 +5,14 @@ Command line::
     python -m repro.experiments.report                 # everything
     python -m repro.experiments.report fig10 fig13     # a subset
     python -m repro.experiments.report --walk 800 --apps 10 --out report.txt
+    python -m repro.experiments.report fig10 --perf    # + telemetry section
 
 Runs each figure module at the requested scale and emits the same rows the
-paper reports, ready to diff against EXPERIMENTS.md.
+paper reports, ready to diff against EXPERIMENTS.md.  Section headers
+carry the per-figure wall time; ``--perf`` appends the telemetry report
+(phase timers with self vs cumulative time, counters) to the chosen
+output stream(s) instead of relying on the ``REPRO_PERF=1``
+stderr-at-exit hook.
 """
 
 from __future__ import annotations
@@ -17,6 +22,7 @@ import sys
 import time
 from typing import Callable, Dict, List, Optional, TextIO
 
+from repro import telemetry
 from repro.cpu import format_table1
 from repro.experiments import (
     fig01,
@@ -107,9 +113,15 @@ def generate_report(
     apps: Optional[int] = None,
     per_group: Optional[int] = 4,
     stream: Optional[TextIO] = None,
+    perf: bool = False,
 ) -> str:
     """Run the requested sections and return (and optionally stream) the
-    consolidated report text."""
+    consolidated report text.
+
+    Each section header carries that figure's wall time; ``perf=True``
+    appends a final ``telemetry`` section with the phase/counter report
+    accumulated across the run (worker processes included).
+    """
     chosen = sections or list(SECTIONS)
     unknown = [s for s in chosen if s not in SECTIONS]
     if unknown:
@@ -117,15 +129,21 @@ def generate_report(
             f"unknown sections {unknown}; choose from {sorted(SECTIONS)}"
         )
     parts: List[str] = []
-    for name in chosen:
-        started = time.time()
-        body = SECTIONS[name](walk, apps, per_group)
-        elapsed = time.time() - started
-        text = _section(f"{name}  ({elapsed:.1f}s)") + body
+
+    def emit(text: str) -> None:
         parts.append(text)
         if stream is not None:
             stream.write(text + "\n")
             stream.flush()
+
+    for name in chosen:
+        started = time.time()
+        with telemetry.span(f"report.{name}"):
+            body = SECTIONS[name](walk, apps, per_group)
+        elapsed = time.time() - started
+        emit(_section(f"{name}  (wall {elapsed:.1f}s)") + body)
+    if perf:
+        emit(_section("telemetry") + telemetry.report())
     return "\n".join(parts)
 
 
@@ -142,12 +160,14 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="benchmarks per SPEC group")
     parser.add_argument("--out", type=str, default=None,
                         help="also write the report to this file")
+    parser.add_argument("--perf", action="store_true",
+                        help="append the telemetry (phase/counter) report")
     args = parser.parse_args(argv)
 
     report = generate_report(
         sections=args.sections or None,
         walk=args.walk, apps=args.apps, per_group=args.group,
-        stream=sys.stdout,
+        stream=sys.stdout, perf=args.perf,
     )
     if args.out:
         with open(args.out, "w") as handle:

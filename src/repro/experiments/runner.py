@@ -14,6 +14,10 @@ Central plumbing for every figure/table reproduction:
 * :func:`run_apps` fans the app x config grid out over a process pool
   (``REPRO_JOBS``; auto-sized to the CPU count) and seeds the in-process
   memo with the results, so figure modules stay simple serial loops;
+* workers report their telemetry (phase timers, counters, span trees)
+  back through the pool results — spooled to temp files when a worker
+  crashes — so ``REPRO_PERF=1`` totals are fleet-wide, and every
+  invocation leaves a run manifest next to the artifact cache;
 * trace length is controlled by ``REPRO_WALK_BLOCKS`` (default 700 dynamic
   blocks, ~25-60k instructions per app) so benches run at laptop scale;
   the paper's full-scale methodology (100 x 500k-instruction samples) is
@@ -22,13 +26,17 @@ Central plumbing for every figure/table reproduction:
 
 from __future__ import annotations
 
+import json
 import os
+import tempfile
+import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro import perf
+from repro import perf, telemetry
 from repro.cache import artifact_key, get_cache
+from repro.telemetry.manifest import record_run
 from repro.compiler import (
     CompressPass,
     CriticPass,
@@ -275,6 +283,63 @@ def _run_cell(name: str, blocks: int, schemes: Tuple[str, ...],
     return name, config.name, {s: ctx.stats(s, config) for s in schemes}
 
 
+def _spool_snapshot(spool_dir: str) -> None:
+    """Best-effort dump of this process's telemetry for the parent."""
+    try:
+        fd, _path = tempfile.mkstemp(
+            dir=spool_dir, prefix="telemetry-", suffix=".json",
+        )
+        with os.fdopen(fd, "w") as handle:
+            json.dump(telemetry.snapshot(), handle)
+    except OSError:
+        pass
+
+
+def _run_cell_worker(
+    name: str, blocks: int, schemes: Tuple[str, ...], config: CpuConfig,
+    spool_dir: str,
+) -> Tuple[str, str, Dict[str, SimStats], Dict]:
+    """Pool entry point: :func:`_run_cell` plus this cell's telemetry.
+
+    Telemetry is reset on entry so the returned snapshot is a *delta*
+    covering exactly this cell, even when the executor reuses one worker
+    process for several cells (or the worker forked with the parent's
+    counters already populated).  If the cell raises, the partial
+    snapshot is spooled to ``spool_dir`` instead, so the parent can still
+    merge the phases/counters of a failed worker.
+    """
+    telemetry.reset()
+    try:
+        name, config_name, cell = _run_cell(name, blocks, schemes, config)
+    except BaseException:
+        _spool_snapshot(spool_dir)
+        raise
+    return name, config_name, cell, telemetry.snapshot()
+
+
+def _drain_spool(spool_dir: str) -> None:
+    """Merge and remove any worker telemetry spooled under ``spool_dir``."""
+    try:
+        names = os.listdir(spool_dir)
+    except OSError:
+        return
+    for entry in names:
+        path = os.path.join(spool_dir, entry)
+        try:
+            with open(path) as handle:
+                telemetry.merge_snapshot(json.load(handle))
+        except (OSError, ValueError):
+            pass
+        try:
+            os.unlink(path)
+        except OSError:
+            pass
+    try:
+        os.rmdir(spool_dir)
+    except OSError:
+        pass
+
+
 def run_apps(apps: Sequence[str],
              schemes: Sequence[str] = ("baseline",),
              jobs: Optional[int] = None,
@@ -291,9 +356,42 @@ def run_apps(apps: Sequence[str],
     returned mapping (``app -> (scheme, config.name) -> SimStats``) and in
     the per-app in-process memos, so subsequent ``ctx.stats(...)`` calls
     made by figure modules are hits.
+
+    Each worker ships its telemetry snapshot (phases, counters, span
+    trees) back with its result — with a temp-file spool as the fallback
+    channel for workers that raise — and the parent merges them, so a
+    ``REPRO_PERF=1`` report covers the whole fleet.  Every invocation
+    also writes a run manifest (config hash, seeds, cache hit/miss
+    counts, wall time, phase table) next to the artifact cache; see
+    :mod:`repro.telemetry.manifest`.
     """
     blocks = walk_blocks if walk_blocks is not None else DEFAULT_WALK_BLOCKS
     schemes = tuple(schemes)
+    started = time.perf_counter()
+    with telemetry.span("run_apps", apps=len(apps),
+                        schemes=",".join(schemes)):
+        results = _run_apps_grid(apps, schemes, jobs, configs, blocks)
+    record_run(
+        "run_apps",
+        apps=list(apps),
+        schemes=list(schemes),
+        configs=[config.name for config in configs],
+        walk_blocks=blocks,
+        seeds={name: app_context(name, blocks).app_profile.seed
+               for name in apps},
+        wall_s=time.perf_counter() - started,
+    )
+    return results
+
+
+def _run_apps_grid(
+    apps: Sequence[str],
+    schemes: Tuple[str, ...],
+    jobs: Optional[int],
+    configs: Sequence[CpuConfig],
+    blocks: int,
+) -> Dict[str, Dict[Tuple[str, str], SimStats]]:
+    """The probe + fan-out body of :func:`run_apps`."""
     results: Dict[str, Dict[Tuple[str, str], SimStats]] = {
         name: {} for name in apps
     }
@@ -326,21 +424,28 @@ def run_apps(apps: Sequence[str],
 
     done = set()
     if workers > 1:
+        spool = tempfile.mkdtemp(prefix="repro-telemetry-spool-")
         try:
             with perf.phase("run_apps.parallel"), \
                     ProcessPoolExecutor(max_workers=workers) as pool:
                 futures = [
-                    pool.submit(_run_cell, name, blocks, missing, config)
+                    pool.submit(_run_cell_worker, name, blocks, missing,
+                                config, spool)
                     for name, config, missing in todo
                 ]
                 for future in futures:
-                    name, config_name, cell = future.result()
+                    name, config_name, cell, snap = future.result()
+                    telemetry.merge_snapshot(snap)
                     _absorb(name, config_name, cell)
                     done.add((name, config_name))
         except Exception:
-            # Pool creation/pickling failure (1-core boxes, restricted
-            # environments): fall through to the serial path below.
+            # Pool creation/pickling/worker failure (1-core boxes,
+            # restricted environments): fall through to the serial path
+            # below.  Whatever telemetry a failed worker recorded before
+            # raising is recovered from the spool directory.
             pass
+        finally:
+            _drain_spool(spool)
 
     for name, config, missing in todo:
         if (name, config.name) in done:

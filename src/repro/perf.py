@@ -1,111 +1,33 @@
-"""Lightweight phase timers and counters for the experiment pipeline.
+"""Legacy shim over :mod:`repro.telemetry` (kept for import stability).
 
-Every expensive stage of the reproduction (workload generation, profiling,
-compilation, simulation, artifact-cache IO) is wrapped in :func:`phase`,
-and discrete events (cache hits/misses, simulated instructions) are tallied
-with :func:`count`.  The overhead is one ``perf_counter`` call pair per
-phase entry, so the instrumentation is always on; the *report* is only
-printed when ``REPRO_PERF=1`` is set, at interpreter exit.
-
-Typical report::
-
-    == repro.perf ==============================================
-    phase                          calls      total        mean
-    simulate                          52     12.41s     238.7ms
-    generate                          26      3.02s     116.2ms
-    ...
-    counter                                    value
-    cache.hit.stats                               52
+``repro.perf`` grew into the telemetry subsystem; the phase timers and
+counters now live in :mod:`repro.telemetry.spans`, gained hierarchical
+span trees with self-vs-cumulative accounting, and merge across the
+parallel runner's worker processes.  Existing call sites (``perf.phase``,
+``perf.count``, ``perf.counters`` ...) keep working through this module;
+new code should import :mod:`repro.telemetry` directly.
 """
 
 from __future__ import annotations
 
-import atexit
-import os
-import sys
-import time
-from contextlib import contextmanager
-from typing import Dict, Iterator, List, Tuple
+from repro.telemetry.spans import (
+    count,
+    counters,
+    enabled,
+    phase,
+    phase_stats,
+    phases,
+    report,
+    reset,
+)
 
-_ENV = "REPRO_PERF"
-
-#: phase name -> (call count, total seconds)
-_phases: Dict[str, List[float]] = {}
-#: counter name -> value
-_counters: Dict[str, int] = {}
-
-
-def enabled() -> bool:
-    """True when ``REPRO_PERF=1`` (report printed at exit)."""
-    return os.environ.get(_ENV, "") not in ("", "0")
-
-
-@contextmanager
-def phase(name: str) -> Iterator[None]:
-    """Time one pipeline phase; nestable and re-entrant."""
-    start = time.perf_counter()
-    try:
-        yield
-    finally:
-        elapsed = time.perf_counter() - start
-        cell = _phases.get(name)
-        if cell is None:
-            _phases[name] = [1, elapsed]
-        else:
-            cell[0] += 1
-            cell[1] += elapsed
-
-
-def count(name: str, value: int = 1) -> None:
-    """Bump a named counter (cache hits, instructions simulated, ...)."""
-    _counters[name] = _counters.get(name, 0) + value
-
-
-def counters() -> Dict[str, int]:
-    """Snapshot of all counters (tests and the cache smoke check use this)."""
-    return dict(_counters)
-
-
-def phases() -> Dict[str, Tuple[int, float]]:
-    """Snapshot of phase timings as ``name -> (calls, total_seconds)``."""
-    return {name: (int(c), t) for name, (c, t) in _phases.items()}
-
-
-def reset() -> None:
-    """Clear all timings/counters (tests use this)."""
-    _phases.clear()
-    _counters.clear()
-
-
-def _fmt_seconds(seconds: float) -> str:
-    if seconds >= 1.0:
-        return f"{seconds:.2f}s"
-    return f"{seconds * 1e3:.1f}ms"
-
-
-def report() -> str:
-    """Render the per-phase/per-counter report."""
-    lines = ["== repro.perf " + "=" * 46]
-    if _phases:
-        lines.append(f"{'phase':<30} {'calls':>6} {'total':>10} {'mean':>10}")
-        ordered = sorted(_phases.items(), key=lambda kv: -kv[1][1])
-        for name, (calls, total) in ordered:
-            mean = total / calls if calls else 0.0
-            lines.append(
-                f"{name:<30} {int(calls):>6} {_fmt_seconds(total):>10} "
-                f"{_fmt_seconds(mean):>10}"
-            )
-    if _counters:
-        lines.append("")
-        lines.append(f"{'counter':<40} {'value':>8}")
-        for name in sorted(_counters):
-            lines.append(f"{name:<40} {_counters[name]:>8}")
-    return "\n".join(lines)
-
-
-def _report_at_exit() -> None:
-    if enabled() and (_phases or _counters):
-        print(report(), file=sys.stderr)
-
-
-atexit.register(_report_at_exit)
+__all__ = [
+    "count",
+    "counters",
+    "enabled",
+    "phase",
+    "phase_stats",
+    "phases",
+    "report",
+    "reset",
+]

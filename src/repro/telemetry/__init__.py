@@ -1,0 +1,77 @@
+"""Telemetry for the reproduction pipeline: spans, counters, flight
+recorder, run manifests.
+
+Four pieces, one import surface:
+
+* **spans/counters** (:mod:`repro.telemetry.spans`) — ``span(name,
+  **attrs)`` context managers form trees with self-vs-cumulative time,
+  aggregate into an always-on phase table, and serialize across process
+  boundaries (``snapshot()`` / ``merge_snapshot()``) so the parallel
+  runner reports fleet-wide totals.  ``REPRO_PERF=1`` prints the report
+  at exit; ``REPRO_SPANS=1`` additionally retains span trees for
+  :func:`dump_spans`.
+* **flight recorder** (:mod:`repro.telemetry.recorder`) — opt-in
+  per-instruction pipeline event stream (``REPRO_FLIGHT_RECORDER=path``),
+  rendered by ``python -m repro.telemetry.view``.
+* **run manifests** (:mod:`repro.telemetry.manifest`) — every
+  ``run_apps`` invocation records config hash, seeds, cache hit/miss
+  counts, wall time, and the phase table next to the artifact cache.
+* **compare** (:mod:`repro.telemetry.compare`) — diff a manifest against
+  ``BENCH_perf.json`` (or another manifest) and flag phase-time
+  regressions: ``python -m repro.telemetry.compare``.
+
+``manifest`` and ``compare`` are deliberately *not* imported here: they
+depend on :mod:`repro.cache`, which itself uses the span/counter API via
+the legacy :mod:`repro.perf` shim — importing them at package level would
+be circular.  Import them as submodules where needed.
+"""
+
+from repro.telemetry.recorder import (
+    ENV_RECORDER,
+    FlightRecorder,
+    STALL_CAUSES,
+    parse_jsonl,
+)
+from repro.telemetry.spans import (
+    MAX_ROOT_SPANS,
+    Span,
+    count,
+    counters,
+    dropped_spans,
+    dump_spans,
+    enabled,
+    merge_snapshot,
+    phase,
+    phase_stats,
+    phases,
+    report,
+    reset,
+    snapshot,
+    span,
+    spanned,
+    spans,
+)
+
+__all__ = [
+    "ENV_RECORDER",
+    "FlightRecorder",
+    "MAX_ROOT_SPANS",
+    "STALL_CAUSES",
+    "Span",
+    "count",
+    "counters",
+    "dropped_spans",
+    "dump_spans",
+    "enabled",
+    "merge_snapshot",
+    "parse_jsonl",
+    "phase",
+    "phase_stats",
+    "phases",
+    "report",
+    "reset",
+    "snapshot",
+    "span",
+    "spanned",
+    "spans",
+]

@@ -1,0 +1,136 @@
+"""Diff a run manifest against a performance baseline.
+
+``python -m repro.telemetry.compare <manifest> <baseline>`` compares
+per-phase *mean seconds per call* between a run manifest (see
+:mod:`repro.telemetry.manifest`) and a baseline, and flags phases that
+regressed by more than ``--threshold`` (default 20%, the budget the
+repo's perf work reserves for machine noise).
+
+Accepted baseline formats:
+
+* ``BENCH_perf.json`` — its ``"phases"`` section,
+  ``{name: {"mean_s": seconds}}`` (or bare ``{name: seconds}``);
+* another manifest (``.json`` or ``.jsonl`` log) — mean = total/calls.
+
+Phases present on only one side are ignored (a new phase is not a
+regression; a baseline phase a small run never reached is not a win).
+By default the exit code is 0 even when regressions are found (CI
+timing noise on shared runners makes hard-failing misleading); pass
+``--strict`` to exit 1 on any flagged phase.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Any, Dict, List, Optional
+
+from repro.telemetry.manifest import load_manifest
+
+#: Default regression threshold: mean phase time > 1.2x baseline.
+DEFAULT_THRESHOLD = 0.2
+
+#: Phases below this baseline mean are skipped (pure timer noise).
+MIN_MEAN_S = 1e-4
+
+
+def phase_means(record: Dict[str, Any]) -> Dict[str, float]:
+    """Extract ``{phase: mean seconds per call}`` from a manifest or a
+    ``BENCH_perf.json``-style baseline."""
+    phases = record.get("phases", record)
+    means: Dict[str, float] = {}
+    for name, cell in phases.items():
+        if isinstance(cell, (int, float)):
+            means[name] = float(cell)
+        elif isinstance(cell, dict):
+            if "mean_s" in cell:
+                means[name] = float(cell["mean_s"])
+            elif "total_s" in cell:
+                calls = float(cell.get("calls", 1)) or 1.0
+                means[name] = float(cell["total_s"]) / calls
+    return means
+
+
+def compare(
+    manifest: Dict[str, Any],
+    baseline: Dict[str, Any],
+    threshold: float = DEFAULT_THRESHOLD,
+) -> List[Dict[str, Any]]:
+    """Per-phase comparison; returns one row per phase both sides know.
+
+    Each row carries ``phase``, ``base_mean_s``, ``run_mean_s``,
+    ``ratio`` and ``regressed`` (ratio > 1 + threshold).
+    """
+    run = phase_means(manifest)
+    base = phase_means(baseline)
+    rows: List[Dict[str, Any]] = []
+    for name in sorted(set(run) & set(base)):
+        base_mean = base[name]
+        if base_mean < MIN_MEAN_S:
+            continue
+        ratio = run[name] / base_mean
+        rows.append({
+            "phase": name,
+            "base_mean_s": base_mean,
+            "run_mean_s": run[name],
+            "ratio": ratio,
+            "regressed": ratio > 1.0 + threshold,
+        })
+    return rows
+
+
+def regressions(
+    manifest: Dict[str, Any],
+    baseline: Dict[str, Any],
+    threshold: float = DEFAULT_THRESHOLD,
+) -> List[Dict[str, Any]]:
+    """Only the rows :func:`compare` flagged as regressed."""
+    return [row for row in compare(manifest, baseline, threshold)
+            if row["regressed"]]
+
+
+def format_rows(rows: List[Dict[str, Any]]) -> str:
+    lines = [f"{'phase':<30} {'baseline':>10} {'run':>10} {'ratio':>7}"]
+    for row in rows:
+        flag = "  << REGRESSED" if row["regressed"] else ""
+        lines.append(
+            f"{row['phase']:<30} {row['base_mean_s'] * 1e3:>8.1f}ms "
+            f"{row['run_mean_s'] * 1e3:>8.1f}ms {row['ratio']:>6.2f}x"
+            f"{flag}"
+        )
+    return "\n".join(lines)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Diff a run manifest against a perf baseline.")
+    parser.add_argument("manifest", help="run manifest (.json or .jsonl)")
+    parser.add_argument("baseline",
+                        help="baseline (BENCH_perf.json or a manifest)")
+    parser.add_argument("--threshold", type=float,
+                        default=DEFAULT_THRESHOLD,
+                        help="regression threshold (0.2 = +20%%)")
+    parser.add_argument("--strict", action="store_true",
+                        help="exit 1 when any phase regressed")
+    args = parser.parse_args(argv)
+
+    manifest = load_manifest(args.manifest)
+    with open(args.baseline) as handle:
+        baseline = json.load(handle)
+
+    rows = compare(manifest, baseline, args.threshold)
+    if not rows:
+        print("no comparable phases between manifest and baseline")
+        return 0
+    print(format_rows(rows))
+    flagged = [row for row in rows if row["regressed"]]
+    print(f"\n{len(flagged)} of {len(rows)} phases regressed "
+          f"(threshold +{args.threshold * 100:.0f}%)")
+    if flagged and args.strict:
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

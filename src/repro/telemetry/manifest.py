@@ -1,0 +1,142 @@
+"""Run manifests: provenance records written next to cached artifacts.
+
+Every :func:`repro.experiments.runner.run_apps` invocation (and therefore
+every figure reproduction) writes a *manifest* describing exactly what
+ran: the invocation's content hash (same canonicalization as the artifact
+cache keys), per-app generation seeds, scheme/config grid, cache hit/miss
+counts, wall time, and the telemetry phase/counter aggregates.  Manifests
+live inside the artifact-cache namespace::
+
+    $REPRO_CACHE_DIR/v<SCHEMA_VERSION>/manifests/last_run.json   (latest)
+    $REPRO_CACHE_DIR/v<SCHEMA_VERSION>/manifests/manifests.jsonl (append log)
+
+``last_run.json`` is replaced atomically; the JSONL log accumulates one
+line per run, which is what CI uploads as a workflow artifact.  Use
+``python -m repro.telemetry.compare`` to diff a manifest against
+``BENCH_perf.json`` and flag phase-time regressions.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import time
+from pathlib import Path
+from typing import Any, Dict, Optional, Sequence
+
+from repro.cache import SCHEMA_VERSION, artifact_key, get_cache
+from repro.telemetry.spans import counters as _counters
+from repro.telemetry.spans import phase_stats as _phase_stats
+
+#: Manifest record format version.
+MANIFEST_SCHEMA = 1
+
+LAST_RUN = "last_run.json"
+LOG = "manifests.jsonl"
+
+
+def manifest_dir(root: Optional[Path] = None) -> Path:
+    """Where manifests live for the active (or given) cache root."""
+    base = root if root is not None else get_cache().root
+    return Path(base) / f"v{SCHEMA_VERSION}" / "manifests"
+
+
+def build_manifest(
+    kind: str,
+    *,
+    apps: Sequence[str],
+    schemes: Sequence[str],
+    configs: Sequence[str],
+    walk_blocks: int,
+    seeds: Dict[str, int],
+    wall_s: float,
+    extra: Optional[Dict[str, Any]] = None,
+) -> Dict[str, Any]:
+    """Assemble the manifest record for one finished run."""
+    cache = get_cache()
+    invocation = {
+        "apps": sorted(apps),
+        "schemes": sorted(schemes),
+        "configs": sorted(configs),
+        "walk_blocks": walk_blocks,
+        "seeds": {name: seeds[name] for name in sorted(seeds)},
+    }
+    manifest: Dict[str, Any] = {
+        "schema": MANIFEST_SCHEMA,
+        "kind": kind,
+        "config_hash": artifact_key("run_manifest", **invocation),
+        "created_unix": time.time(),
+        "pid": os.getpid(),
+        **invocation,
+        "cache": {"hits": cache.hits, "misses": cache.misses},
+        "wall_s": wall_s,
+        "phases": _phase_stats(),
+        "counters": _counters(),
+    }
+    if extra:
+        manifest.update(extra)
+    return manifest
+
+
+def write_manifest(manifest: Dict[str, Any]) -> Optional[Path]:
+    """Persist ``manifest`` (atomic ``last_run.json`` + JSONL log line).
+
+    Returns the ``last_run.json`` path, or ``None`` when the artifact
+    cache is disabled or unwritable (manifests are best-effort telemetry,
+    never a reason to fail a run).
+    """
+    cache = get_cache()
+    if not cache.enabled:
+        return None
+    line = json.dumps(manifest, sort_keys=True)
+    target = manifest_dir() / LAST_RUN
+    try:
+        target.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(
+            dir=str(target.parent), prefix=".tmp-", suffix=".json",
+        )
+        try:
+            with os.fdopen(fd, "w") as handle:
+                handle.write(line + "\n")
+            os.replace(tmp, target)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        with open(target.parent / LOG, "a") as handle:
+            handle.write(line + "\n")
+    except OSError:
+        return None
+    return target
+
+
+def record_run(
+    kind: str,
+    *,
+    apps: Sequence[str],
+    schemes: Sequence[str],
+    configs: Sequence[str],
+    walk_blocks: int,
+    seeds: Dict[str, int],
+    wall_s: float,
+    extra: Optional[Dict[str, Any]] = None,
+) -> Optional[Path]:
+    """:func:`build_manifest` + :func:`write_manifest` in one call."""
+    return write_manifest(build_manifest(
+        kind, apps=apps, schemes=schemes, configs=configs,
+        walk_blocks=walk_blocks, seeds=seeds, wall_s=wall_s, extra=extra,
+    ))
+
+
+def load_manifest(path: str) -> Dict[str, Any]:
+    """Load one manifest: a ``.json`` file, or the *last* line of a
+    ``.jsonl`` log."""
+    with open(path) as handle:
+        text = handle.read()
+    lines = [line for line in text.splitlines() if line.strip()]
+    if not lines:
+        raise ValueError(f"empty manifest file: {path}")
+    return json.loads(lines[-1])

@@ -1,0 +1,173 @@
+"""Pipeline flight recorder: per-instruction stage timings as JSONL.
+
+An opt-in observer for :class:`repro.cpu.pipeline.Simulator` in the spirit
+of gem5's O3 pipeline viewer / Konata traces: when attached, the simulator
+hands it every instruction's stage-entry cycles and every fetch-stall cycle
+with its cause, and the recorder renders them as a compact JSONL stream —
+one JSON array per record, tagged by its first element:
+
+``["R", {...}]``
+    run header: trace/config names, total cycles, committed instructions.
+``["I", pos, pc, head, fetch, decode, dispatch, issue, complete, commit]``
+    one dynamic instruction's stage-entry cycles (-1 = never reached,
+    e.g. after a ``max_cycles`` cutoff; CDPs are consumed at decode so
+    their dispatch/issue/complete collapse onto the decode cycle).
+``["S", cause, start_cycle, cycles]``
+    a run-length-encoded burst of fetch-stall cycles with one cause out
+    of :data:`STALL_CAUSES` — the same taxonomy as
+    :class:`repro.cpu.stats.FetchStalls`, so summing ``cycles`` per cause
+    reproduces the ``stall_*`` counters exactly.
+
+The recorder only *observes*: ``SimStats`` are bit-identical with it on or
+off (a golden-file test enforces this).  Enable it globally by pointing
+``REPRO_FLIGHT_RECORDER`` at a file path (each simulation appends one
+record block), or pass ``recorder=FlightRecorder(...)`` to
+:func:`repro.cpu.simulate` explicitly.  Render a trace with
+``python -m repro.telemetry.view``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+ENV_RECORDER = "REPRO_FLIGHT_RECORDER"
+
+#: Fetch-stall causes, in the pipeline's cause-code order (code = index+1).
+STALL_CAUSES = ("icache", "branch", "switch", "backpressure")
+
+#: Cause codes the pipeline logs (match STALL_CAUSES positions).
+STALL_ICACHE = 1
+STALL_BRANCH = 2
+STALL_SWITCH = 3
+STALL_BACKPRESSURE = 4
+
+
+class FlightRecorder:
+    """Collects one or more simulation runs' pipeline event records.
+
+    Attach one instance to several ``simulate`` calls to concatenate
+    their record blocks, or set ``path`` to stream each finished run to a
+    JSONL file (appending, so one env-configured file accumulates every
+    run of the process).
+    """
+
+    def __init__(self, path: Optional[str] = None):
+        self.path = path or None
+        self.lines: List[str] = []
+        self.runs = 0
+
+    @classmethod
+    def from_env(cls) -> Optional["FlightRecorder"]:
+        """A file-backed recorder when ``REPRO_FLIGHT_RECORDER`` is set."""
+        path = os.environ.get(ENV_RECORDER, "")
+        return cls(path) if path else None
+
+    # -- called by the simulator ---------------------------------------------
+
+    def on_run(
+        self,
+        *,
+        trace_name: str,
+        config_name: str,
+        cycles: int,
+        instructions: int,
+        pcs: Sequence[int],
+        head: Sequence[int],
+        fetch: Sequence[int],
+        decode: Sequence[int],
+        dispatch: Sequence[int],
+        issue: Sequence[int],
+        complete: Sequence[int],
+        commit: Sequence[int],
+        stalls: Sequence[Tuple[int, int]],
+    ) -> None:
+        """Render one finished simulation into JSONL lines."""
+        lines = self.lines
+        start = len(lines)
+        header = {
+            "config": config_name,
+            "cycles": cycles,
+            "instructions": instructions,
+            "trace": trace_name,
+            "trace_len": len(pcs),
+        }
+        lines.append('["R", ' + json.dumps(header, sort_keys=True) + "]")
+        for pos in range(len(pcs)):
+            if head[pos] < 0:
+                continue  # never entered the pipeline (max_cycles cutoff)
+            lines.append(json.dumps([
+                "I", pos, pcs[pos], head[pos], fetch[pos], decode[pos],
+                dispatch[pos], issue[pos], complete[pos], commit[pos],
+            ]))
+        for cause_code, start_cycle, length in _rle(stalls):
+            lines.append(json.dumps(
+                ["S", STALL_CAUSES[cause_code - 1], start_cycle, length]
+            ))
+        self.runs += 1
+        if self.path:
+            self._append(lines[start:])
+
+    def _append(self, lines: List[str]) -> None:
+        try:
+            with open(self.path, "a") as handle:
+                handle.write("\n".join(lines) + "\n")
+        except OSError:
+            pass  # an unwritable trace path must never fail the run
+
+    # -- consumers -----------------------------------------------------------
+
+    def to_jsonl(self) -> str:
+        """The full recorded stream as one JSONL string."""
+        return "\n".join(self.lines) + ("\n" if self.lines else "")
+
+    def stall_totals(self) -> Dict[str, int]:
+        """Summed stall cycles per cause across all recorded runs.
+
+        Matches :meth:`repro.cpu.stats.FetchStalls.stall_counts` for the
+        same runs — the invariant the golden-file test checks.
+        """
+        totals = {cause: 0 for cause in STALL_CAUSES}
+        for record in self.records():
+            if record and record[0] == "S":
+                totals[record[1]] += int(record[3])
+        return totals
+
+    def records(self) -> List[List[Any]]:
+        """Parsed records (each ``["R"|"I"|"S", ...]``)."""
+        return [json.loads(line) for line in self.lines]
+
+
+def _rle(stalls: Sequence[Tuple[int, int]]) -> List[Tuple[int, int, int]]:
+    """Collapse per-cycle ``(cycle, cause)`` events into
+    ``(cause, start_cycle, length)`` bursts."""
+    bursts: List[Tuple[int, int, int]] = []
+    run_cause = -1
+    run_start = 0
+    run_len = 0
+    prev_cycle = -2
+    for cycle, cause in stalls:
+        if cause == run_cause and cycle == prev_cycle + 1:
+            run_len += 1
+        else:
+            if run_len:
+                bursts.append((run_cause, run_start, run_len))
+            run_cause = cause
+            run_start = cycle
+            run_len = 1
+        prev_cycle = cycle
+    if run_len:
+        bursts.append((run_cause, run_start, run_len))
+    return bursts
+
+
+def parse_jsonl(text: str) -> List[List[Any]]:
+    """Parse a flight-recorder JSONL stream (file contents) to records."""
+    records: List[List[Any]] = []
+    for line in text.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        records.append(json.loads(line))
+    return records

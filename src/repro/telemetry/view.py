@@ -1,0 +1,145 @@
+"""Render a pipeline flight-recorder trace for humans.
+
+``python -m repro.telemetry.view trace.jsonl`` reads a JSONL stream
+produced by :class:`repro.telemetry.recorder.FlightRecorder` (see the
+``REPRO_FLIGHT_RECORDER`` env knob) and prints:
+
+* per-stage **residency histograms** — how many cycles instructions spent
+  in fetch/decode/issue-wait/execute/commit-wait, log-bucketed;
+* the **top-N slowest instructions** by fetch-to-commit latency, with
+  their per-stage split (the "why did this instruction stall" view the
+  paper's Fig 3 methodology needs);
+* **fetch-stall totals** per cause (icache / branch / switch /
+  backpressure) with burst statistics.
+
+All runs in the file are aggregated; use ``--top`` to size the slow-
+instruction table.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.telemetry.recorder import STALL_CAUSES, parse_jsonl
+
+#: (label, computed from I-record fields) in pipeline order.
+STAGE_DEFS = (
+    ("fetch", lambda r: r[5] - r[3]),        # head -> decode
+    ("decode", lambda r: r[6] - r[5]),       # decode -> dispatch
+    ("issue_wait", lambda r: r[7] - r[6]),   # dispatch -> issue
+    ("execute", lambda r: r[8] - r[7]),      # issue -> complete
+    ("commit_wait", lambda r: r[9] - r[8]),  # complete -> commit
+)
+
+_BUCKETS = ((0, "0"), (1, "1"), (2, "2"), (4, "3-4"), (8, "5-8"),
+            (16, "9-16"), (32, "17-32"), (None, "33+"))
+
+
+def _bucket(value: int) -> int:
+    for index, (limit, _label) in enumerate(_BUCKETS):
+        if limit is None or value <= limit:
+            return index
+    return len(_BUCKETS) - 1
+
+
+def _histogram(counts: List[int], width: int = 40) -> List[str]:
+    peak = max(counts) or 1
+    lines = []
+    for (_limit, label), count in zip(_BUCKETS, counts):
+        bar = "#" * max(1 if count else 0, round(width * count / peak))
+        lines.append(f"    {label:>6} {count:>8}  {bar}")
+    return lines
+
+
+def render(records: List[List[Any]], top: int = 10) -> str:
+    """Format a parsed record stream as the full report text."""
+    runs = [r[1] for r in records if r and r[0] == "R"]
+    instrs = [r for r in records if r and r[0] == "I"]
+    stalls = [r for r in records if r and r[0] == "S"]
+
+    lines: List[str] = []
+    total_cycles = sum(int(run.get("cycles", 0)) for run in runs)
+    total_instr = sum(int(run.get("instructions", 0)) for run in runs)
+    lines.append(
+        f"flight recorder: {len(runs)} run(s), {total_instr} instructions, "
+        f"{total_cycles} cycles"
+    )
+    for run in runs:
+        lines.append(
+            f"  - {run.get('trace', '?')} on {run.get('config', '?')}: "
+            f"{run.get('instructions', 0)} instr / "
+            f"{run.get('cycles', 0)} cycles"
+        )
+
+    complete = [r for r in instrs if r[9] >= 0]
+    lines.append("")
+    lines.append("per-stage residency (cycles per committed instruction):")
+    for label, duration_of in STAGE_DEFS:
+        counts = [0] * len(_BUCKETS)
+        total = 0
+        for record in complete:
+            cycles = max(0, duration_of(record))
+            counts[_bucket(cycles)] += 1
+            total += cycles
+        mean = total / len(complete) if complete else 0.0
+        lines.append(f"  {label}  (mean {mean:.2f})")
+        lines.extend(_histogram(counts))
+
+    if complete and top > 0:
+        ranked = sorted(complete, key=lambda r: r[9] - r[3], reverse=True)
+        lines.append("")
+        lines.append(f"top {min(top, len(ranked))} slowest instructions "
+                     "(fetch-to-commit):")
+        lines.append(
+            f"    {'pos':>6} {'pc':>10} {'total':>6} "
+            + " ".join(f"{label:>11}" for label, _f in STAGE_DEFS)
+        )
+        for record in ranked[:top]:
+            lines.append(
+                f"    {record[1]:>6} {record[2]:>#10x} "
+                f"{record[9] - record[3]:>6} "
+                + " ".join(f"{max(0, f(record)):>11}"
+                           for _label, f in STAGE_DEFS)
+            )
+
+    lines.append("")
+    lines.append("fetch stalls by cause:")
+    by_cause: Dict[str, List[int]] = {cause: [] for cause in STALL_CAUSES}
+    for record in stalls:
+        by_cause[record[1]].append(int(record[3]))
+    for cause in STALL_CAUSES:
+        bursts = by_cause[cause]
+        cycles = sum(bursts)
+        longest = max(bursts) if bursts else 0
+        lines.append(
+            f"    {cause:<14} {cycles:>8} cycles in {len(bursts):>5} "
+            f"burst(s), longest {longest}"
+        )
+    return "\n".join(lines)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Render a repro flight-recorder JSONL trace.")
+    parser.add_argument("trace", help="JSONL file written by the recorder")
+    parser.add_argument("--top", type=int, default=10,
+                        help="slow-instruction table size (0 disables)")
+    args = parser.parse_args(argv)
+
+    with open(args.trace) as handle:
+        records = parse_jsonl(handle.read())
+    if not records:
+        print(f"no records in {args.trace}", file=sys.stderr)
+        return 1
+    try:
+        print(render(records, top=args.top))
+    except BrokenPipeError:  # e.g. `... | head`; keep exit-time flush quiet
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

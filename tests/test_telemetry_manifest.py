@@ -1,0 +1,141 @@
+"""Tests for run manifests and the manifest-vs-baseline comparator."""
+
+import json
+
+import pytest
+
+from repro import telemetry
+from repro.cache import reset_cache
+from repro.telemetry import compare as tcompare
+from repro.telemetry import manifest as tmanifest
+
+
+@pytest.fixture(autouse=True)
+def _fresh_cache(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+    reset_cache()
+    telemetry.reset()
+    yield
+    telemetry.reset()
+    reset_cache()
+
+
+class TestManifest:
+    def _record(self):
+        with telemetry.phase("simulate"):
+            pass
+        telemetry.count("cache.hit.stats", 2)
+        return tmanifest.record_run(
+            "run_apps",
+            apps=["Music"],
+            schemes=["baseline"],
+            configs=["google-tablet"],
+            walk_blocks=120,
+            seeds={"Music": 17},
+            wall_s=1.25,
+        )
+
+    def test_record_run_writes_last_run_and_log(self):
+        path = self._record()
+        assert path is not None and path.name == tmanifest.LAST_RUN
+        manifest = tmanifest.load_manifest(str(path))
+        assert manifest["kind"] == "run_apps"
+        assert manifest["apps"] == ["Music"]
+        assert manifest["seeds"] == {"Music": 17}
+        assert manifest["wall_s"] == 1.25
+        assert manifest["counters"]["cache.hit.stats"] == 2
+        assert manifest["phases"]["simulate"]["calls"] == 1
+        assert len(manifest["config_hash"]) == 64
+        log = path.parent / tmanifest.LOG
+        assert json.loads(log.read_text()) == manifest
+
+    def test_config_hash_tracks_invocation(self):
+        base = dict(apps=["Music"], schemes=["baseline"],
+                    configs=["google-tablet"], walk_blocks=120,
+                    seeds={"Music": 17}, wall_s=0.0)
+        a = tmanifest.build_manifest("run_apps", **base)
+        b = tmanifest.build_manifest("run_apps", **base)
+        changed = tmanifest.build_manifest(
+            "run_apps", **{**base, "walk_blocks": 700})
+        assert a["config_hash"] == b["config_hash"]
+        assert a["config_hash"] != changed["config_hash"]
+
+    def test_load_manifest_takes_last_jsonl_line(self, tmp_path):
+        log = tmp_path / "manifests.jsonl"
+        log.write_text('{"wall_s": 1}\n{"wall_s": 2}\n')
+        assert tmanifest.load_manifest(str(log))["wall_s"] == 2
+
+    def test_disabled_cache_skips_manifest(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE", "0")
+        reset_cache()
+        assert self._record() is None
+
+
+class TestCompare:
+    MANIFEST = {"phases": {
+        "simulate": {"calls": 2, "total_s": 1.0},      # mean 0.5
+        "generate": {"calls": 1, "total_s": 0.1},      # mean 0.1
+        "new_phase": {"calls": 1, "total_s": 9.9},
+    }}
+    BASELINE = {"phases": {
+        "simulate": {"mean_s": 0.4},                   # ratio 1.25
+        "generate": 0.1,                               # ratio 1.0
+        "gone_phase": {"mean_s": 3.0},
+    }}
+
+    def test_compare_rows_and_threshold(self):
+        rows = tcompare.compare(self.MANIFEST, self.BASELINE, threshold=0.2)
+        assert [r["phase"] for r in rows] == ["generate", "simulate"]
+        by_name = {r["phase"]: r for r in rows}
+        assert by_name["simulate"]["ratio"] == pytest.approx(1.25)
+        assert by_name["simulate"]["regressed"]
+        assert not by_name["generate"]["regressed"]
+        # A looser threshold clears the 25% regression.
+        assert tcompare.regressions(
+            self.MANIFEST, self.BASELINE, threshold=0.3) == []
+
+    def test_one_sided_phases_ignored(self):
+        names = [r["phase"]
+                 for r in tcompare.compare(self.MANIFEST, self.BASELINE)]
+        assert "new_phase" not in names
+        assert "gone_phase" not in names
+
+    def test_noise_floor_skipped(self):
+        rows = tcompare.compare(
+            {"phases": {"tiny": {"mean_s": 1.0}}},
+            {"phases": {"tiny": {"mean_s": 1e-6}}},
+        )
+        assert rows == []
+
+    def test_format_rows_flags_regressions(self):
+        rows = tcompare.compare(self.MANIFEST, self.BASELINE)
+        text = tcompare.format_rows(rows)
+        assert "REGRESSED" in text and "simulate" in text
+
+    def test_cli(self, tmp_path, capsys):
+        manifest_path = tmp_path / "last_run.json"
+        manifest_path.write_text(json.dumps(self.MANIFEST))
+        baseline_path = tmp_path / "BENCH_perf.json"
+        baseline_path.write_text(json.dumps(self.BASELINE))
+
+        code = tcompare.main([str(manifest_path), str(baseline_path)])
+        out = capsys.readouterr().out
+        assert code == 0  # informational by default
+        assert "1 of 2 phases regressed" in out
+
+        code = tcompare.main([str(manifest_path), str(baseline_path),
+                              "--strict"])
+        assert code == 1
+        code = tcompare.main([str(manifest_path), str(baseline_path),
+                              "--strict", "--threshold", "0.5"])
+        assert code == 0
+
+
+class TestBenchBaselineFile:
+    def test_repo_bench_file_is_comparable(self):
+        """BENCH_perf.json must stay a valid compare baseline."""
+        with open("BENCH_perf.json") as handle:
+            bench = json.load(handle)
+        means = tcompare.phase_means(bench)
+        assert "simulate" in means
+        assert all(v > 0 for v in means.values())

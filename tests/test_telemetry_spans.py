@@ -1,0 +1,154 @@
+"""Tests for the hierarchical span / counter core of repro.telemetry."""
+
+import io
+import json
+import time
+
+import pytest
+
+from repro import perf, telemetry
+from repro.telemetry import Span
+
+
+@pytest.fixture(autouse=True)
+def _clean_telemetry():
+    telemetry.reset()
+    yield
+    telemetry.reset()
+
+
+class TestSpanTree:
+    def test_nested_self_vs_cumulative(self):
+        with telemetry.span("outer"):
+            time.sleep(0.01)
+            with telemetry.span("inner"):
+                time.sleep(0.02)
+        stats = telemetry.phase_stats()
+        outer, inner = stats["outer"], stats["inner"]
+        assert outer["calls"] == 1 and inner["calls"] == 1
+        # outer's cumulative covers inner; its self time does not.
+        assert outer["total_s"] >= inner["total_s"]
+        assert outer["self_s"] == pytest.approx(
+            outer["total_s"] - inner["total_s"], rel=0.05, abs=0.005)
+        assert inner["self_s"] == pytest.approx(inner["total_s"])
+
+    def test_recursive_same_name_self_does_not_double_count(self):
+        started = time.perf_counter()
+        with telemetry.phase("simulate"):
+            with telemetry.phase("simulate"):
+                with telemetry.phase("simulate"):
+                    time.sleep(0.01)
+        wall = time.perf_counter() - started
+        stats = telemetry.phase_stats()["simulate"]
+        assert stats["calls"] == 3
+        # Cumulative triple-counts the nested time (legacy behaviour)...
+        assert stats["total_s"] > 2 * 0.01
+        # ...but self time stays within the real wall clock.
+        assert stats["self_s"] <= wall * 1.05
+
+    def test_span_yields_live_span_for_attrs(self):
+        with telemetry.span("work", app="Music") as current:
+            current.attrs["blocks"] = 120
+        assert current.attrs == {"app": "Music", "blocks": 120}
+
+    def test_spanned_decorator(self):
+        @telemetry.spanned("decorated.run")
+        def figure(x):
+            return x * 2
+
+        assert figure(21) == 42
+        assert telemetry.phase_stats()["decorated.run"]["calls"] == 1
+
+    def test_legacy_phases_shape(self):
+        with perf.phase("generate"):
+            pass
+        snapshot = perf.phases()
+        calls, total = snapshot["generate"]
+        assert calls == 1 and total >= 0.0
+
+
+class TestRetention:
+    def test_trees_retained_only_when_enabled(self, monkeypatch):
+        monkeypatch.delenv("REPRO_PERF", raising=False)
+        monkeypatch.delenv("REPRO_SPANS", raising=False)
+        with telemetry.span("root"):
+            pass
+        assert telemetry.spans() == []
+
+        monkeypatch.setenv("REPRO_SPANS", "1")
+        with telemetry.span("root"):
+            with telemetry.span("child"):
+                pass
+        roots = telemetry.spans()
+        assert [r.name for r in roots] == ["root"]
+        assert [c.name for c in roots[0].children] == ["child"]
+
+    def test_dump_spans_jsonl(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SPANS", "1")
+        with telemetry.span("root", app="Music"):
+            with telemetry.span("child"):
+                pass
+        buf = io.StringIO()
+        assert telemetry.dump_spans(buf) == 1
+        record = json.loads(buf.getvalue())
+        assert record["name"] == "root"
+        assert record["attrs"] == {"app": "Music"}
+        assert record["children"][0]["name"] == "child"
+        rebuilt = Span.from_dict(record)
+        assert rebuilt.name == "root"
+        assert rebuilt.children[0].name == "child"
+        assert rebuilt.self_time <= rebuilt.cumulative
+
+
+class TestSnapshotMerge:
+    def test_counters_and_phases_merge(self):
+        telemetry.count("cache.hit.stats", 3)
+        with telemetry.phase("simulate"):
+            pass
+        snap = telemetry.snapshot()
+        telemetry.reset()
+        telemetry.count("cache.hit.stats", 1)
+        telemetry.merge_snapshot(snap)
+        telemetry.merge_snapshot(snap)
+        assert telemetry.counters()["cache.hit.stats"] == 7
+        assert telemetry.phase_stats()["simulate"]["calls"] == 2
+
+    def test_merge_tags_worker_spans_with_pid(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SPANS", "1")
+        with telemetry.span("worker-root"):
+            pass
+        snap = telemetry.snapshot()
+        snap["pid"] = 4242
+        telemetry.reset()
+        telemetry.merge_snapshot(snap)
+        (root,) = telemetry.spans()
+        assert root.attrs["pid"] == 4242
+
+    def test_merge_none_and_empty_are_noops(self):
+        telemetry.merge_snapshot(None)
+        telemetry.merge_snapshot({})
+        assert telemetry.counters() == {}
+
+    def test_legacy_two_field_phase_cells(self):
+        # Snapshots from older writers may lack the self-time field.
+        telemetry.merge_snapshot({"phases": {"simulate": [2, 1.5]}})
+        stats = telemetry.phase_stats()["simulate"]
+        assert stats["calls"] == 2
+        assert stats["self_s"] == pytest.approx(1.5)
+
+
+class TestReport:
+    def test_report_has_self_column_and_counter(self):
+        with telemetry.phase("fig10"):
+            with telemetry.phase("simulate"):
+                pass
+        telemetry.count("cache.hit.trace")
+        text = telemetry.report()
+        assert "self" in text.splitlines()[1]
+        assert "fig10" in text and "simulate" in text
+        assert "cache.hit.trace" in text
+
+    def test_shim_report_is_telemetry_report(self):
+        with perf.phase("simulate"):
+            pass
+        assert perf.report() == telemetry.report()
