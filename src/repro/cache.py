@@ -41,7 +41,10 @@ from repro.trace.trace_io import dump_trace, load_trace
 
 #: Bump on any change that invalidates previously stored artifacts
 #: (trace format, generator semantics, simulator accounting, ...).
-SCHEMA_VERSION = 1
+#: v2: SimStats gained ``truncated`` and per-prefetcher issue counters,
+#: and ``prefetches_issued`` became the sum of both prefetchers (it was
+#: last-writer-wins when CLPT and EFetch were enabled together).
+SCHEMA_VERSION = 2
 
 ENV_DIR = "REPRO_CACHE_DIR"
 ENV_ENABLE = "REPRO_CACHE"

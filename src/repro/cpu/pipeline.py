@@ -27,6 +27,7 @@ sample methodology at usable speed.
 
 from __future__ import annotations
 
+import os
 import weakref
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
@@ -70,6 +71,35 @@ _BR_SWITCH = 1    # Approach-1 format-switch branch
 _BR_CALL = 2      # BL
 _BR_RETURN = 3    # BX
 _BR_OTHER = 4     # conditional or direct unconditional B
+
+
+#: Forward-progress watchdog granularity: the pipeline state is
+#: snapshotted every ``_WATCHDOG_PERIOD`` cycles, and two consecutive
+#: snapshots with no commits, no fetch advance, and nothing in flight
+#: mean the simulation can never finish.  Far above any real stall (the
+#: longest modeled latency is a DRAM access, well under 1k cycles).
+_WATCHDOG_PERIOD = 8192
+
+
+class PipelineDeadlockError(RuntimeError):
+    """The simulation made no forward progress and can never finish.
+
+    Raised by the no-forward-progress watchdog instead of letting a
+    ``run()`` without ``max_cycles`` spin toward ``1 << 62``.  The
+    message carries the stuck state (cycle, commit point, buffer
+    occupancies) for diagnosis.
+    """
+
+
+def _validator_from_env():
+    """A strict :class:`repro.validate.RunValidator` when
+    ``REPRO_VALIDATE`` is set (imported lazily: validation must cost
+    nothing — not even an import — when off)."""
+    value = os.environ.get("REPRO_VALIDATE", "").strip().lower()
+    if value in ("", "0", "false", "off", "no"):
+        return None
+    from repro.validate.invariants import RunValidator
+    return RunValidator()
 
 
 def _is_switch_branch(instr) -> bool:
@@ -188,7 +218,7 @@ class Simulator:
     __slots__ = (
         "trace", "config", "memory", "entries", "n",
         "producers", "consumers", "critical", "chain",
-        "bpu", "ras", "clpt", "efetch", "stats", "recorder",
+        "bpu", "ras", "clpt", "efetch", "stats", "recorder", "validator",
         "_t", "_crit", "_chainb",
     )
 
@@ -201,6 +231,8 @@ class Simulator:
         chain_positions: Optional[Set[int]] = None,
         warm: bool = True,
         recorder: Optional[FlightRecorder] = None,
+        validator=None,
+        validate: Optional[bool] = None,
     ):
         """
         Args:
@@ -218,6 +250,16 @@ class Simulator:
                 file-backed one when ``REPRO_FLIGHT_RECORDER`` is set.
                 Purely observational — stats are identical with or
                 without it.
+            validator: a :class:`repro.validate.RunValidator` to check
+                the finished run's invariants; like the recorder it is
+                purely observational (stats are bit-identical with it on
+                or off), but a strict validator raises
+                :class:`repro.validate.InvariantViolationError` on any
+                violation.
+            validate: force validation on (``True``: a fresh strict
+                validator) or off (``False``), overriding both the
+                ``validator`` default and the ``REPRO_VALIDATE``
+                environment switch; ``None`` defers to them.
         """
         self.trace = trace
         self.config = config
@@ -258,6 +300,15 @@ class Simulator:
         self.efetch = EFetchPrefetcher() if config.efetch else None
         self.recorder = recorder if recorder is not None \
             else FlightRecorder.from_env()
+        if validate is False:
+            self.validator = None
+        elif validate is True and validator is None:
+            from repro.validate.invariants import RunValidator
+            self.validator = RunValidator()
+        elif validator is not None:
+            self.validator = validator
+        else:
+            self.validator = _validator_from_env()
 
         self.stats = SimStats(name=config.name)
 
@@ -300,11 +351,14 @@ class Simulator:
         dispatched = bytearray(n)
         remaining = [0] * n
 
-        # Flight-recorder scratch: only allocated when a recorder is
-        # attached, so the common path pays one `is not None` test per
-        # commit/stall; the recorder never feeds back into timing.
+        # Flight-recorder/validator scratch: the commit column is only
+        # allocated when an observer needs it, so the common path pays one
+        # `is not None` test per commit/stall; neither observer ever feeds
+        # back into timing.
         recorder = self.recorder
-        commit_c = [-1] * n if recorder is not None else None
+        validator = self.validator
+        commit_c = [-1] * n \
+            if recorder is not None or validator is not None else None
         stall_log: Optional[List[Tuple[int, int]]] = \
             [] if recorder is not None else None
 
@@ -358,7 +412,6 @@ class Simulator:
                         )
                         for a in prefetches:
                             mem.prefetch_data(a)
-                        stats.prefetches_issued = clpt.issued
             elif isst[pos]:
                 addr = mems[pos]
                 if addr is not None:
@@ -396,6 +449,10 @@ class Simulator:
         committed = 0
         now = 0
         limit = max_cycles if max_cycles is not None else 1 << 62
+        # No-forward-progress watchdog state (see PipelineDeadlockError).
+        wd_mask = _WATCHDOG_PERIOD - 1
+        wd_committed = -1
+        wd_fetch_pos = -1
 
         while committed < n and now < limit:
             # ---- commit ----
@@ -654,10 +711,31 @@ class Simulator:
             if unissued >= iq_entries:
                 iq_full += 1
             rob_occ_sum += len(rob) - rob_head
+
+            # Watchdog: with nothing in flight and neither the commit
+            # point nor the fetch point moving for a whole period, no
+            # future cycle can differ from this one — fail loudly instead
+            # of spinning toward the cycle limit.
+            if now & wd_mask == wd_mask:
+                if committed == wd_committed and fetch_pos == wd_fetch_pos \
+                        and not completing:
+                    raise PipelineDeadlockError(
+                        f"no forward progress in {_WATCHDOG_PERIOD} "
+                        f"cycles at cycle {now}: committed {committed}/"
+                        f"{n}, fetch_pos={fetch_pos}, "
+                        f"rob={len(rob) - rob_head}, unissued={unissued}, "
+                        f"fetch_buffer={len(fetch_buffer)}, "
+                        f"decode_buffer={len(decode_buffer)}, "
+                        f"redirect_pos={redirect_pos} "
+                        f"(trace {self.trace.name!r} on {config.name!r})"
+                    )
+                wd_committed = committed
+                wd_fetch_pos = fetch_pos
             now += 1
 
         stats.cycles = now
         stats.instructions = committed
+        stats.truncated = committed < n
         stats.cdp_decoded += cdp_decoded
         stats.iq_occupancy_sum += iq_occ_sum
         stats.iq_full_cycles += iq_full
@@ -704,6 +782,20 @@ class Simulator:
                 complete=complete_c,
                 commit=commit_c,
                 stalls=stall_log,
+            )
+        if validator is not None:
+            validator.on_run(
+                trace_name=self.trace.name,
+                config_name=config.name,
+                stats=stats,
+                n=n,
+                head=head_c,
+                fetch=fetch_c,
+                decode=decode_c,
+                dispatch=dispatch_c,
+                issue=issue_c,
+                complete=complete_c,
+                commit=commit_c,
             )
         return stats
 
@@ -783,7 +875,6 @@ class Simulator:
                     target_line = tables.pcs[pos + 1] // line_bytes
                     for line in self.efetch.observe_call(target_line):
                         self.memory.prefetch_instruction_line(line)
-                    self.stats.prefetches_issued = self.efetch.issued
             return True, -1, 0  # unconditional taken: group ends
 
         if brt == _BR_RETURN:
@@ -814,6 +905,15 @@ class Simulator:
         stats.l2_misses = mem.l2.stats.misses
         stats.dram_reads = mem.dram.reads
         stats.branch_mispredicts += self.bpu.stats.cond_mispredicts
+        # Per-prefetcher counts stay distinct (they used to race for one
+        # field: the last observe() won when CLPT and EFetch were both
+        # enabled); the combined counter is their sum.
+        if self.clpt is not None:
+            stats.clpt_prefetches_issued = self.clpt.issued
+        if self.efetch is not None:
+            stats.efetch_prefetches_issued = self.efetch.issued
+        stats.prefetches_issued = (stats.clpt_prefetches_issued
+                                   + stats.efetch_prefetches_issued)
 
 
 def simulate(
@@ -824,13 +924,23 @@ def simulate(
     max_cycles: Optional[int] = None,
     warm: bool = True,
     recorder: Optional[FlightRecorder] = None,
+    validator=None,
+    validate: Optional[bool] = None,
 ) -> SimStats:
-    """Convenience wrapper: build a Simulator and run it."""
+    """Convenience wrapper: build a Simulator and run it.
+
+    ``validate=True`` attaches a strict invariant checker to this run
+    (``False`` forces it off; ``None`` defers to an explicit
+    ``validator`` or the ``REPRO_VALIDATE`` environment switch).  See
+    :mod:`repro.validate`.
+    """
     sim = Simulator(
         trace, config,
         critical_positions=critical_positions,
         chain_positions=chain_positions,
         warm=warm,
         recorder=recorder,
+        validator=validator,
+        validate=validate,
     )
     return sim.run(max_cycles=max_cycles)

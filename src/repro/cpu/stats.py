@@ -85,6 +85,11 @@ class SimStats:
     name: str = ""
     cycles: int = 0
     instructions: int = 0
+    #: True when the run hit ``max_cycles`` before committing the whole
+    #: trace — the stats describe a *prefix*, not a completed execution.
+    #: Persisted through the cache/JSON round-trip so a truncated run can
+    #: never masquerade as a finished one.
+    truncated: bool = False
     fetch: FetchStalls = field(default_factory=FetchStalls)
     fetch_critical: FetchStalls = field(default_factory=FetchStalls)
     residency_all: StageResidency = field(default_factory=StageResidency)
@@ -101,7 +106,11 @@ class SimStats:
     dram_reads: int = 0
     branch_mispredicts: int = 0
     cdp_decoded: int = 0
+    #: combined prefetch count: always the sum of the per-prefetcher
+    #: counters below (the invariant checker enforces this).
     prefetches_issued: int = 0
+    clpt_prefetches_issued: int = 0
+    efetch_prefetches_issued: int = 0
 
     # occupancy telemetry
     iq_occupancy_sum: int = 0

@@ -30,9 +30,10 @@ import json
 import os
 import tempfile
 import time
+import warnings
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro import perf, telemetry
 from repro.cache import artifact_key, get_cache
@@ -49,8 +50,30 @@ from repro.profiler import CriticProfile, FinderConfig, find_critic_profile
 from repro.trace.dynamic import Trace
 from repro.workloads import Workload, WorkloadProfile, generate, get_profile
 
+def _env_int(name: str, default: int, minimum: int = 1) -> int:
+    """An integer environment override, degrading to ``default``.
+
+    A malformed value (``REPRO_JOBS=auto``) used to raise a bare
+    ``ValueError`` — at *import* time for ``REPRO_WALK_BLOCKS``; now it
+    warns once and the default wins.
+    """
+    raw = os.environ.get(name, "").strip()
+    if not raw:
+        return default
+    try:
+        value = int(raw)
+    except ValueError:
+        warnings.warn(
+            f"ignoring malformed {name}={raw!r} (not an integer); "
+            f"using {default}",
+            RuntimeWarning, stacklevel=2,
+        )
+        return default
+    return max(minimum, value)
+
+
 #: Dynamic block budget for generated walks (env-overridable).
-DEFAULT_WALK_BLOCKS = int(os.environ.get("REPRO_WALK_BLOCKS", "700"))
+DEFAULT_WALK_BLOCKS = _env_int("REPRO_WALK_BLOCKS", 700)
 
 #: Scheme names accepted by :func:`scheme_trace`.
 SCHEMES = (
@@ -63,10 +86,7 @@ _workloads: Dict[Tuple[str, int], "AppContext"] = {}
 
 def default_jobs() -> int:
     """Worker count for :func:`run_apps` (``REPRO_JOBS`` or cpu count)."""
-    env = os.environ.get("REPRO_JOBS", "")
-    if env:
-        return max(1, int(env))
-    return os.cpu_count() or 1
+    return _env_int("REPRO_JOBS", os.cpu_count() or 1)
 
 
 @dataclass
@@ -283,14 +303,20 @@ def _run_cell(name: str, blocks: int, schemes: Tuple[str, ...],
     return name, config.name, {s: ctx.stats(s, config) for s in schemes}
 
 
-def _spool_snapshot(spool_dir: str) -> None:
-    """Best-effort dump of this process's telemetry for the parent."""
+def _spool_snapshot(spool_dir: str, name: str, config_name: str) -> None:
+    """Best-effort dump of this process's telemetry for the parent.
+
+    The snapshot is tagged with the cell identity so the parent can drop
+    it if that cell ends up retried serially (whose telemetry would
+    otherwise be counted twice).
+    """
     try:
         fd, _path = tempfile.mkstemp(
             dir=spool_dir, prefix="telemetry-", suffix=".json",
         )
         with os.fdopen(fd, "w") as handle:
-            json.dump(telemetry.snapshot(), handle)
+            json.dump({"cell": [name, config_name],
+                       "snapshot": telemetry.snapshot()}, handle)
     except OSError:
         pass
 
@@ -312,13 +338,20 @@ def _run_cell_worker(
     try:
         name, config_name, cell = _run_cell(name, blocks, schemes, config)
     except BaseException:
-        _spool_snapshot(spool_dir)
+        _spool_snapshot(spool_dir, name, config.name)
         raise
     return name, config_name, cell, telemetry.snapshot()
 
 
-def _drain_spool(spool_dir: str) -> None:
-    """Merge and remove any worker telemetry spooled under ``spool_dir``."""
+def _drain_spool(spool_dir: str,
+                 skip: Optional[Set[Tuple[str, str]]] = None) -> None:
+    """Merge and remove any worker telemetry spooled under ``spool_dir``.
+
+    Snapshots tagged with a cell in ``skip`` are discarded instead of
+    merged: those cells are about to be re-run serially in the parent,
+    and merging the crashed attempt's partial telemetry on top of the
+    retry's would double-count the cell's work.
+    """
     try:
         names = os.listdir(spool_dir)
     except OSError:
@@ -327,8 +360,11 @@ def _drain_spool(spool_dir: str) -> None:
         path = os.path.join(spool_dir, entry)
         try:
             with open(path) as handle:
-                telemetry.merge_snapshot(json.load(handle))
-        except (OSError, ValueError):
+                payload = json.load(handle)
+            cell = tuple(payload.get("cell") or ())
+            if not (skip and cell in skip):
+                telemetry.merge_snapshot(payload["snapshot"])
+        except (OSError, ValueError, KeyError, TypeError):
             pass
         try:
             os.unlink(path)
@@ -422,7 +458,7 @@ def _run_apps_grid(
             results[name][(scheme, config_name)] = stats
             ctx._stats[(scheme, config_name)] = stats
 
-    done = set()
+    done: Set[Tuple[str, str]] = set()
     if workers > 1:
         spool = tempfile.mkdtemp(prefix="repro-telemetry-spool-")
         try:
@@ -434,18 +470,27 @@ def _run_apps_grid(
                     for name, config, missing in todo
                 ]
                 for future in futures:
-                    name, config_name, cell, snap = future.result()
+                    try:
+                        name, config_name, cell, snap = future.result()
+                    except Exception:
+                        # One crashed cell doesn't sink the rest of the
+                        # grid: the other futures still land here, and
+                        # the failed cell is retried serially below.
+                        continue
                     telemetry.merge_snapshot(snap)
                     _absorb(name, config_name, cell)
                     done.add((name, config_name))
         except Exception:
-            # Pool creation/pickling/worker failure (1-core boxes,
-            # restricted environments): fall through to the serial path
-            # below.  Whatever telemetry a failed worker recorded before
-            # raising is recovered from the spool directory.
+            # Pool creation/pickling failure (1-core boxes, restricted
+            # environments): fall through to the serial path below.
             pass
         finally:
-            _drain_spool(spool)
+            # Cells headed for serial retry will re-record their
+            # telemetry from scratch; merging their crashed attempt's
+            # spooled snapshot too would double-count the cell.
+            retried = {(name, config.name) for name, config, _ in todo
+                       if (name, config.name) not in done}
+            _drain_spool(spool, skip=retried)
 
     for name, config, missing in todo:
         if (name, config.name) in done:

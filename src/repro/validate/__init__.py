@@ -1,0 +1,36 @@
+"""Differential validation & invariant checking for the pipeline model.
+
+Three layers (see each submodule's docstring):
+
+* :mod:`repro.validate.invariants` — structural invariants over every
+  simulation run, wired into :func:`repro.cpu.simulate` behind
+  ``REPRO_VALIDATE=1`` / ``validate=``;
+* :mod:`repro.validate.reference` + :mod:`repro.validate.differential` —
+  an in-order scalar reference model used as a differential oracle;
+* :mod:`repro.validate.fuzz` — seeded workload fuzzer + metamorphic
+  suite (``python -m repro.validate --fuzz N --seed S``).
+
+Only the invariant layer is imported here: :mod:`differential` and
+:mod:`fuzz` pull in the simulator and the experiment runner, which would
+make ``import repro.validate`` heavyweight (and circular from
+:mod:`repro.cpu.pipeline`, which lazily imports the invariants).  Import
+them as submodules where needed.
+"""
+
+from repro.validate.invariants import (
+    ENV_VALIDATE,
+    InvariantViolationError,
+    RunValidator,
+    ValidationReport,
+    Violation,
+    validation_enabled,
+)
+
+__all__ = [
+    "ENV_VALIDATE",
+    "InvariantViolationError",
+    "RunValidator",
+    "ValidationReport",
+    "Violation",
+    "validation_enabled",
+]

@@ -1,0 +1,155 @@
+"""In-order scalar reference timing model: the differential oracle.
+
+A deliberately naive model of the same trace on the same memory system,
+kept structurally dissimilar from :class:`repro.cpu.pipeline.Simulator`
+on purpose: no flat-array tricks beyond reusing the shared per-trace
+tables, no buffers, no overlap.  Each instruction is fetched, executed,
+and retired *serially*, paying its full latency:
+
+* a fresh cache line pays the full i-fetch latency;
+* every instruction pays ``max(1, exec latency)`` including the memory
+  system for loads/stores;
+* mispredicted branches pay the redirect penalty, format-switch branches
+  the switch bubble, CDPs the decode penalty.
+
+Because nothing overlaps, the reference's cycle count is an *upper bound*
+for any working out-of-order model of the same machine — the OoO
+simulator must never be slower (an IPC lower-bound check).  And because
+the reference consults the branch predictors and the i-side of the memory
+hierarchy in exactly the trace order the OoO front end does, the two
+models must agree exactly on every order-insensitive fact:
+
+* branch mispredicts (predictor state is a pure function of the branch
+  sequence);
+* i-cache demand accesses and misses (one lookup per line transition
+  along the trace, EFetch fills replicated at the same points);
+* total fetched bytes (a pure trace property).
+
+:func:`repro.validate.differential.differential_check` asserts all of
+this for any trace/config pair.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.cpu.branch import ReturnAddressStack, TwoLevelPredictor
+from repro.cpu.config import CpuConfig, GOOGLE_TABLET
+from repro.cpu.pipeline import (
+    _BR_CALL,
+    _BR_RETURN,
+    _BR_SWITCH,
+    _tables_for,
+)
+from repro.memory.hierarchy import MemorySystem
+from repro.memory.prefetch import EFetchPrefetcher
+from repro.trace.dynamic import Trace
+
+
+@dataclass
+class ReferenceStats:
+    """What the reference model reports (the comparable subset)."""
+
+    cycles: int = 0
+    instructions: int = 0
+    branch_mispredicts: int = 0
+    icache_accesses: int = 0
+    icache_misses: int = 0
+    fetched_bytes: int = 0
+
+    @property
+    def ipc(self) -> float:
+        return self.instructions / self.cycles if self.cycles else 0.0
+
+
+def reference_run(
+    trace: Trace,
+    config: CpuConfig = GOOGLE_TABLET,
+    memory: Optional[MemorySystem] = None,
+    warm: bool = True,
+) -> ReferenceStats:
+    """Run ``trace`` through the in-order scalar model."""
+    mem = memory or MemorySystem(config.memory)
+    if warm:
+        mem.warm(trace)
+
+    tables = _tables_for(trace)
+    sizes = tables.sizes
+    lats = tables.lats
+    isld = tables.isld
+    isst = tables.isst
+    iscdp = tables.iscdp
+    brt = tables.brt
+    brpred = tables.brpred
+    pcs = tables.pcs
+    mems = tables.mems
+    takens = tables.takens
+
+    bpu = TwoLevelPredictor(config.bpu_entries, config.bpu_history_bits,
+                            perfect=config.perfect_branch)
+    ras = ReturnAddressStack(perfect=config.perfect_branch)
+    efetch = EFetchPrefetcher() if config.efetch else None
+
+    line_bytes = mem.config.line_bytes
+    redirect_penalty = config.redirect_penalty
+    switch_cost = 1 + config.switch_branch_bubble
+    cdp_cost = config.cdp_decode_penalty
+
+    n = len(trace)
+    cycles = 0
+    mispredicts = 0
+    fetched_bytes = 0
+    last_line = -1
+
+    for pos in range(n):
+        # -- fetch: one i-cache consultation per line transition ----------
+        line = pcs[pos] // line_bytes
+        if line != last_line:
+            cycles += mem.ifetch(pcs[pos], cycles)
+            last_line = line
+        fetched_bytes += sizes[pos]
+
+        # -- decode/execute: full serial latency ---------------------------
+        if iscdp[pos]:
+            cycles += 1 + cdp_cost
+            continue
+        latency = lats[pos]
+        addr = mems[pos]
+        if addr is not None:
+            mlat = mem.load(addr) if isld[pos] else (
+                mem.store(addr) if isst[pos] else 0)
+            if mlat > latency:
+                latency = mlat
+        cycles += latency if latency > 1 else 1
+
+        # -- branches: same predictor consultation order as the OoO fetch --
+        b = brt[pos]
+        if not b:
+            continue
+        if b == _BR_SWITCH:
+            cycles += switch_cost
+        elif b == _BR_CALL:
+            if pos + 1 < n:
+                ras.push(pcs[pos] + sizes[pos])
+                if efetch is not None:
+                    target_line = pcs[pos + 1] // line_bytes
+                    for pline in efetch.observe_call(target_line):
+                        mem.prefetch_instruction_line(pline)
+        elif b == _BR_RETURN:
+            if not ras.predict_return():
+                mispredicts += 1
+                cycles += redirect_penalty
+        elif brpred[pos]:
+            if not bpu.predict_conditional(pcs[pos], bool(takens[pos])):
+                mispredicts += 1
+                cycles += redirect_penalty
+
+    return ReferenceStats(
+        cycles=cycles,
+        instructions=n,
+        branch_mispredicts=mispredicts + bpu.stats.cond_mispredicts,
+        icache_accesses=mem.icache.stats.accesses,
+        icache_misses=mem.icache.stats.misses,
+        fetched_bytes=fetched_bytes,
+    )

@@ -69,10 +69,13 @@ class TestWorkerMerge:
         assert stats.get("simulate", {}).get("total_s", 0.0) > 0.0
         assert stats.get("generate", {}).get("calls", 0) >= len(APPS)
 
-    def test_crashed_worker_telemetry_recovered_via_spool(self):
-        """An unknown scheme makes the workers raise *after* they have
-        done real work (generate/profile); their spooled snapshots must
-        still be merged even though the run ultimately fails."""
+    def test_crashed_worker_totals_match_serial(self, tmp_path,
+                                                monkeypatch):
+        """An unknown scheme makes every worker raise *after* it has done
+        real work (generate).  Crashed cells are retried serially, so
+        their spooled snapshots must be *discarded* — merging them on top
+        of the retry's telemetry double-counted the cell's work (the
+        PR-3 regression).  Totals must match a plain serial run."""
         from concurrent.futures import ProcessPoolExecutor
         try:
             with ProcessPoolExecutor(max_workers=2) as pool:
@@ -81,13 +84,20 @@ class TestWorkerMerge:
             pytest.skip("process pool unavailable on this machine")
 
         with pytest.raises(ValueError, match="unknown scheme"):
-            run_apps(APPS, ("quantum",), jobs=2, walk_blocks=WALK)
-        generate_calls = \
+            run_apps(APPS, ("quantum",), jobs=1, walk_blocks=WALK)
+        serial_calls = \
             telemetry.phase_stats().get("generate", {}).get("calls", 0)
-        # Both workers generated their workload before raising (2 calls,
-        # recovered from the spool); the serial fallback adds the
-        # parent's own attempt before re-raising.
-        assert generate_calls >= len(APPS) + 1
+        assert serial_calls >= 1
+
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache2"))
+        reset_cache()
+        clear_cache()
+        telemetry.reset()
+        with pytest.raises(ValueError, match="unknown scheme"):
+            run_apps(APPS, ("quantum",), jobs=2, walk_blocks=WALK)
+        parallel_calls = \
+            telemetry.phase_stats().get("generate", {}).get("calls", 0)
+        assert parallel_calls == serial_calls
 
 
 class TestRunManifest:
