@@ -44,7 +44,11 @@ from repro.trace.trace_io import dump_trace, load_trace
 #: v2: SimStats gained ``truncated`` and per-prefetcher issue counters,
 #: and ``prefetches_issued`` became the sum of both prefetchers (it was
 #: last-writer-wins when CLPT and EFetch were enabled together).
-SCHEMA_VERSION = 2
+#: v3: the component registry landed — scheme/stats keys now fold in the
+#: versioned component identities (``critic@1``, ``two-level@1``, ...)
+#: and SimStats gained ``component_counters``; the key-record shape
+#: changed for every scheme trace and stats artifact.
+SCHEMA_VERSION = 3
 
 ENV_DIR = "REPRO_CACHE_DIR"
 ENV_ENABLE = "REPRO_CACHE"

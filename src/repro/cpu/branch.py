@@ -12,6 +12,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List
 
+from repro.registry import BRANCH_PREDICTORS
+
 
 @dataclass
 class BranchStats:
@@ -108,3 +110,15 @@ class ReturnAddressStack:
             return True
         self.stats.return_mispredicts += 1
         return False
+
+
+#: Table I's predictor, as a registered component: the factory reads the
+#: BPU geometry (and the PerfectBr oracle flag) off the ``CpuConfig``.
+BRANCH_PREDICTORS.register(
+    "two-level",
+    lambda config: TwoLevelPredictor(
+        config.bpu_entries, config.bpu_history_bits,
+        perfect=config.perfect_branch,
+    ),
+    version=1,
+)

@@ -6,15 +6,25 @@ two-level BPU, 32KB 2-way i-cache / 64KB d-cache (2-cycle hits), 8-way 2MB
 L2 (10-cycle hits) and LPDDR3 DRAM.
 
 The hardware-comparison variants of Fig 11 (2xFD, 4x i-cache, EFetch,
-PerfectBr, BackendPrio, AllHW) are expressed as named constructors.
+PerfectBr, BackendPrio, AllHW) are expressed as named constructors, and
+every variant — plus the TRRIP i-cache study — is registered in
+:data:`repro.registry.HARDWARE_CONFIGS` under its display name, which is
+how the sweep engine and CLIs address them.
+
+A configuration *composes* registered components: ``branch_predictor``
+names the BPU implementation, ``memory.icache_policy`` the i-cache
+replacement policy, and :meth:`CpuConfig.active_prefetchers` resolves the
+prefetcher set (legacy boolean flags plus the open-ended ``prefetchers``
+tuple) to registry names.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Dict, Optional
+from typing import Callable, Dict, Optional, Tuple
 
 from repro.memory.hierarchy import MemoryConfig
+from repro.registry import HARDWARE_CONFIGS
 
 
 @dataclass(frozen=True)
@@ -67,6 +77,8 @@ class CpuConfig:
     bpu_entries: int = 4096
     bpu_history_bits: int = 12
     perfect_branch: bool = False
+    #: BPU implementation, by :data:`repro.registry.BRANCH_PREDICTORS` name
+    branch_predictor: str = "two-level"
 
     # memory
     memory: MemoryConfig = field(default_factory=MemoryConfig)
@@ -75,9 +87,59 @@ class CpuConfig:
     critical_load_prefetch: bool = False
     backend_priority: bool = False
     efetch: bool = False
+    #: additional prefetcher components, by
+    #: :data:`repro.registry.PREFETCHERS` name (on top of the legacy
+    #: ``critical_load_prefetch``/``efetch`` flags)
+    prefetchers: Tuple[str, ...] = ()
 
     def with_name(self, name: str) -> "CpuConfig":
         return replace(self, name=name)
+
+    def active_prefetchers(self) -> Tuple[str, ...]:
+        """The registry names of every prefetcher this config enables.
+
+        The legacy boolean flags come first (their historical order), the
+        open-ended ``prefetchers`` tuple after, de-duplicated.
+        """
+        names = []
+        if self.critical_load_prefetch:
+            names.append("clpt")
+        if self.efetch:
+            names.append("efetch")
+        for name in self.prefetchers:
+            if name not in names:
+                names.append(name)
+        return tuple(names)
+
+    def with_components(
+        self,
+        *,
+        prefetchers: Optional[Tuple[str, ...]] = None,
+        icache_policy: Optional[str] = None,
+        branch_predictor: Optional[str] = None,
+    ) -> "CpuConfig":
+        """Copy with component overrides, renamed to show the overrides.
+
+        The derived name (``google-tablet+pf=critical-nextline``) keeps
+        every stats table and manifest self-describing, and guarantees
+        distinct in-process memo keys for distinct compositions.
+        """
+        config = self
+        suffix = []
+        if prefetchers is not None:
+            config = replace(config, prefetchers=tuple(prefetchers))
+            suffix.append("pf=" + ",".join(prefetchers))
+        if icache_policy is not None:
+            config = replace(config, memory=replace(
+                config.memory, icache_policy=icache_policy))
+            suffix.append(f"i$={icache_policy}")
+        if branch_predictor is not None:
+            config = replace(config, branch_predictor=branch_predictor)
+            suffix.append(f"bp={branch_predictor}")
+        if suffix:
+            config = replace(
+                config, name=f"{config.name}+{'+'.join(suffix)}")
+        return config
 
 
 #: Table I baseline.
@@ -132,7 +194,14 @@ def config_all_hw(base: CpuConfig = GOOGLE_TABLET) -> CpuConfig:
     )
 
 
-HARDWARE_VARIANTS: Dict[str, "type(lambda: None)"] = {
+def config_trrip_icache(base: CpuConfig = GOOGLE_TABLET) -> CpuConfig:
+    """Temperature-based (TRRIP) i-cache replacement study."""
+    return replace(base, name="trrip-icache",
+                   memory=replace(base.memory, icache_policy="trrip"))
+
+
+#: The Fig-11 hardware-mechanism variants, in the paper's order.
+HARDWARE_VARIANTS: Dict[str, Callable[[], CpuConfig]] = {
     "2xFD": config_2xfd,
     "4xI$": config_4x_icache,
     "EFetch": config_efetch,
@@ -140,6 +209,18 @@ HARDWARE_VARIANTS: Dict[str, "type(lambda: None)"] = {
     "BackendPrio": config_backend_prio,
     "AllHW": config_all_hw,
 }
+
+# Every variant is addressable by name through the registry: the Table I
+# baseline first, then the Fig-11 set, then the comparison baselines and
+# the replacement-policy study.
+HARDWARE_CONFIGS.register("google-tablet", lambda: GOOGLE_TABLET,
+                          version=1)
+for _name, _make in HARDWARE_VARIANTS.items():
+    HARDWARE_CONFIGS.register(_name, _make, version=1)
+HARDWARE_CONFIGS.register("CritLoadPrefetch", config_critical_prefetch,
+                          version=1)
+HARDWARE_CONFIGS.register("trrip-icache", config_trrip_icache, version=1)
+del _name, _make
 
 
 def format_table1(config: CpuConfig = GOOGLE_TABLET) -> str:

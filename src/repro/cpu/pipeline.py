@@ -31,14 +31,15 @@ import os
 import weakref
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
-from repro.cpu.branch import ReturnAddressStack, TwoLevelPredictor
+from repro.cpu.branch import ReturnAddressStack
 from repro.cpu.config import CpuConfig, GOOGLE_TABLET
 from repro.cpu.stats import STAGES, FetchStalls, SimStats, StageResidency
 from repro.dfg.fanout import HIGH_FANOUT_THRESHOLD
 from repro.isa.condition import Cond
 from repro.isa.opcodes import InstrKind, Opcode
 from repro.memory.hierarchy import MemorySystem
-from repro.memory.prefetch import CriticalLoadPrefetcher, EFetchPrefetcher
+from repro.registry import BRANCH_PREDICTORS, PREFETCHERS
+from repro.registry.protocols import PrefetcherBase
 from repro.telemetry.recorder import (
     FlightRecorder,
     STALL_BACKPRESSURE,
@@ -106,6 +107,17 @@ def _is_switch_branch(instr) -> bool:
     """Approach-1 format-switch branch: unconditional B to the next PC."""
     return (instr.opcode is Opcode.B and instr.target is None
             and instr.cond is Cond.AL)
+
+
+def _observes(prefetcher, method: str) -> bool:
+    """Whether a prefetcher component overrides one observation point.
+
+    Routing is decided once per simulator from the component's *class*,
+    so the cycle loop only ever visits prefetchers that actually listen
+    to the event in question.
+    """
+    impl = getattr(type(prefetcher), method, None)
+    return impl is not None and impl is not getattr(PrefetcherBase, method)
 
 
 class _TraceTables:
@@ -218,8 +230,9 @@ class Simulator:
     __slots__ = (
         "trace", "config", "memory", "entries", "n",
         "producers", "consumers", "critical", "chain",
-        "bpu", "ras", "clpt", "efetch", "stats", "recorder", "validator",
+        "bpu", "ras", "prefetchers", "stats", "recorder", "validator",
         "_t", "_crit", "_chainb",
+        "_load_pfs", "_call_pfs", "_fetch_pfs",
     )
 
     def __init__(
@@ -290,14 +303,21 @@ class Simulator:
                 chainb[pos] = 1
         self._chainb = chainb
 
-        self.bpu = TwoLevelPredictor(
-            config.bpu_entries, config.bpu_history_bits,
-            perfect=config.perfect_branch,
-        )
+        self.bpu = BRANCH_PREDICTORS.create(config.branch_predictor, config)
         self.ras = ReturnAddressStack(perfect=config.perfect_branch)
-        self.clpt = CriticalLoadPrefetcher() \
-            if config.critical_load_prefetch else None
-        self.efetch = EFetchPrefetcher() if config.efetch else None
+        # Compose the prefetcher set from the registry and route each
+        # component to the observation points its class implements —
+        # decided here, once, so the cycle loop never probes capabilities.
+        self.prefetchers = tuple(
+            PREFETCHERS.create(name, config)
+            for name in config.active_prefetchers()
+        )
+        self._load_pfs = tuple(
+            p for p in self.prefetchers if _observes(p, "observe_load"))
+        self._call_pfs = tuple(
+            p for p in self.prefetchers if _observes(p, "observe_call"))
+        self._fetch_pfs = tuple(
+            p for p in self.prefetchers if _observes(p, "observe_fetch"))
         self.recorder = recorder if recorder is not None \
             else FlightRecorder.from_env()
         if validate is False:
@@ -337,7 +357,7 @@ class Simulator:
 
         mem_load = mem.load
         mem_store = mem.store
-        clpt = self.clpt
+        load_pfs = self._load_pfs
 
         # timestamps (-1 = not yet)
         head_c = [-1] * n
@@ -406,12 +426,12 @@ class Simulator:
                     mlat = mem_load(addr)
                     if mlat > latency:
                         latency = mlat
-                    if clpt is not None:
-                        prefetches = clpt.observe(
-                            pcs[pos], addr, bool(crit[pos])
-                        )
-                        for a in prefetches:
-                            mem.prefetch_data(a)
+                    if load_pfs:
+                        critical = bool(crit[pos])
+                        for pf in load_pfs:
+                            for a in pf.observe_load(
+                                    pcs[pos], addr, critical):
+                                mem.prefetch_data(a)
             elif isst[pos]:
                 addr = mems[pos]
                 if addr is not None:
@@ -825,6 +845,8 @@ class Simulator:
         n = self.n
         icache_hit = mem.config.icache_hit
         buffered = len(fetch_buffer)
+        fetch_pfs = self._fetch_pfs
+        crit = self._crit
 
         while fetch_pos < n and budget > 0 and buffered < fq_cap:
             size = sizes[fetch_pos]
@@ -835,6 +857,11 @@ class Simulator:
             if line != last_line:
                 latency = mem.ifetch(pc, now)
                 last_line = line
+                if fetch_pfs:
+                    critical = bool(crit[fetch_pos])
+                    for pf in fetch_pfs:
+                        for ln in pf.observe_fetch(line, critical):
+                            mem.prefetch_instruction_line(ln)
                 if latency > icache_hit:
                     icache_ready = now + latency
                     break
@@ -871,10 +898,11 @@ class Simulator:
         if brt == _BR_CALL:
             if pos + 1 < self.n:
                 self.ras.push(tables.pcs[pos] + tables.sizes[pos])
-                if self.efetch is not None:
+                if self._call_pfs:
                     target_line = tables.pcs[pos + 1] // line_bytes
-                    for line in self.efetch.observe_call(target_line):
-                        self.memory.prefetch_instruction_line(line)
+                    for pf in self._call_pfs:
+                        for line in pf.observe_call(target_line):
+                            self.memory.prefetch_instruction_line(line)
             return True, -1, 0  # unconditional taken: group ends
 
         if brt == _BR_RETURN:
@@ -907,13 +935,19 @@ class Simulator:
         stats.branch_mispredicts += self.bpu.stats.cond_mispredicts
         # Per-prefetcher counts stay distinct (they used to race for one
         # field: the last observe() won when CLPT and EFetch were both
-        # enabled); the combined counter is their sum.
-        if self.clpt is not None:
-            stats.clpt_prefetches_issued = self.clpt.issued
-        if self.efetch is not None:
-            stats.efetch_prefetches_issued = self.efetch.issued
-        stats.prefetches_issued = (stats.clpt_prefetches_issued
-                                   + stats.efetch_prefetches_issued)
+        # enabled); the combined counter is their sum.  The historical
+        # components keep their dedicated SimStats fields; every other
+        # registered prefetcher reports under ``component_counters``.
+        total = 0
+        for pf in self.prefetchers:
+            total += pf.issued
+            if pf.name == "clpt":
+                stats.clpt_prefetches_issued = pf.issued
+            elif pf.name == "efetch":
+                stats.efetch_prefetches_issued = pf.issued
+            else:
+                stats.component_counters[f"prefetch.{pf.name}"] = pf.issued
+        stats.prefetches_issued = total
 
 
 def simulate(

@@ -111,6 +111,11 @@ class SimStats:
     prefetches_issued: int = 0
     clpt_prefetches_issued: int = 0
     efetch_prefetches_issued: int = 0
+    #: counters from registered components beyond the historical ones,
+    #: keyed ``"<kind>.<registry name>"`` (e.g.
+    #: ``"prefetch.critical-nextline"``).  Serialized only when non-empty
+    #: so runs that use no extra components keep their legacy JSON shape.
+    component_counters: Dict[str, int] = field(default_factory=dict)
 
     # occupancy telemetry
     iq_occupancy_sum: int = 0
@@ -130,13 +135,22 @@ class SimStats:
         return self.instructions / self.cycles if self.cycles else 0.0
 
     def to_dict(self) -> Dict[str, Any]:
-        """Plain-data form (JSON-safe; every field is an int or str)."""
-        return asdict(self)
+        """Plain-data form (JSON-safe; every field is an int or str).
+
+        ``component_counters`` is omitted when empty, so runs that use no
+        extra registered components serialize byte-identically to the
+        pre-registry format (golden snapshots and cache hashes agree).
+        """
+        data = asdict(self)
+        if not data.get("component_counters"):
+            data.pop("component_counters", None)
+        return data
 
     @classmethod
     def from_dict(cls, data: Dict[str, Any]) -> "SimStats":
         """Rebuild from :meth:`to_dict` output; exact round-trip."""
         fields = dict(data)
+        fields.setdefault("component_counters", {})
         fields["fetch"] = FetchStalls(**fields["fetch"])
         fields["fetch_critical"] = FetchStalls(**fields["fetch_critical"])
         for name in ("residency_all", "residency_critical",

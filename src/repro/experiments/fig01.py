@@ -15,7 +15,6 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from repro.cpu import (
-    GOOGLE_TABLET,
     config_backend_prio,
     config_critical_prefetch,
     speedup,
@@ -26,8 +25,8 @@ from repro.experiments.runner import (
     app_context,
     format_table,
     geometric_mean,
-    run_apps,
 )
+from repro.experiments.sweep import SweepSpec, run_sweep
 from repro.workloads import (
     mobile_app_names,
     spec_float_names,
@@ -73,9 +72,12 @@ def run(per_group: Optional[int] = None,
     gaps: Dict[str, Dict[str, float]] = {}
 
     all_names = [n for g in GROUPS for n in _group_names(g, per_group)]
-    run_apps(all_names, ("baseline",), walk_blocks=walk_blocks,
-             configs=(GOOGLE_TABLET, config_critical_prefetch(),
-                      config_backend_prio()))
+    run_sweep(SweepSpec(
+        apps=tuple(all_names),
+        schemes=("baseline",),
+        configs=("google-tablet", "CritLoadPrefetch", "BackendPrio"),
+        walk_blocks=walk_blocks,
+    ))
 
     for group in GROUPS:
         prefetch_ratios: List[float] = []

@@ -17,7 +17,8 @@ from typing import Dict, List, Optional
 from repro.cpu.stats import STAGES
 from repro.dfg import Dfg, critical_mask
 from repro.experiments.fig01 import GROUPS, _group_names
-from repro.experiments.runner import app_context, format_table, run_apps
+from repro.experiments.runner import app_context, format_table
+from repro.experiments.sweep import SweepSpec, run_sweep
 from repro.isa import is_long_latency
 from repro.telemetry import spanned
 
@@ -40,8 +41,11 @@ def run(per_group: Optional[int] = None,
         walk_blocks: Optional[int] = None) -> List[Fig03Group]:
     """Reproduce Fig 3 for all three workload groups."""
     results: List[Fig03Group] = []
-    run_apps([n for g in GROUPS for n in _group_names(g, per_group)],
-             ("baseline",), walk_blocks=walk_blocks)
+    run_sweep(SweepSpec(
+        apps=tuple(n for g in GROUPS for n in _group_names(g, per_group)),
+        schemes=("baseline",),
+        walk_blocks=walk_blocks,
+    ))
     for group in GROUPS:
         stage_acc = {stage: 0.0 for stage in STAGES}
         stall_i = stall_rd = active = 0.0

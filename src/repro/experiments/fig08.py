@@ -18,8 +18,8 @@ from repro.experiments.runner import (
     app_context,
     format_table,
     geometric_mean,
-    run_apps,
 )
+from repro.experiments.sweep import SweepSpec, run_sweep
 from repro.telemetry import spanned
 
 
@@ -46,8 +46,11 @@ def run(apps: Optional[int] = None,
         walk_blocks: Optional[int] = None) -> Fig08Result:
     rows: List[Fig08Row] = []
     names = _group_names("mobile", apps)
-    run_apps(names, ("baseline", "branch", "critic"),
-             walk_blocks=walk_blocks)
+    run_sweep(SweepSpec(
+        apps=tuple(names),
+        schemes=("baseline", "branch", "critic"),
+        walk_blocks=walk_blocks,
+    ))
     for name in names:
         ctx = app_context(name, walk_blocks)
         base = ctx.stats("baseline")

@@ -20,8 +20,8 @@ from repro.experiments.runner import (
     app_context,
     format_table,
     geometric_mean,
-    run_apps,
 )
+from repro.experiments.sweep import SweepSpec, run_sweep
 from repro.telemetry import spanned
 
 
@@ -60,8 +60,11 @@ def run(apps: Optional[int] = None,
     """Reproduce Fig 10 over the mobile suite."""
     rows: List[Fig10Row] = []
     names = _group_names("mobile", apps)
-    run_apps(names, ("baseline", "hoist", "critic", "critic_ideal"),
-             walk_blocks=walk_blocks)
+    run_sweep(SweepSpec(
+        apps=tuple(names),
+        schemes=("baseline", "hoist", "critic", "critic_ideal"),
+        walk_blocks=walk_blocks,
+    ))
     for name in names:
         ctx = app_context(name, walk_blocks)
         base = ctx.stats("baseline")

@@ -11,36 +11,24 @@ each mechanism moves.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import List, Optional, Tuple
 
-from repro.cpu import (
-    CpuConfig,
-    GOOGLE_TABLET,
-    config_2xfd,
-    config_4x_icache,
-    config_all_hw,
-    config_backend_prio,
-    config_efetch,
-    config_perfect_br,
-    speedup,
-)
+from repro.cpu import CpuConfig, GOOGLE_TABLET, speedup
 from repro.experiments.fig01 import _group_names
 from repro.experiments.runner import (
     app_context,
     format_table,
     geometric_mean,
-    run_apps,
 )
+from repro.experiments.sweep import SweepSpec, run_sweep
+from repro.registry import HARDWARE_CONFIGS
 from repro.telemetry import spanned
 
-#: The evaluated hardware mechanisms, in the paper's order.
-MECHANISMS: Tuple[Tuple[str, Callable[[], CpuConfig]], ...] = (
-    ("2xFD", config_2xfd),
-    ("4xI$", config_4x_icache),
-    ("EFetch", config_efetch),
-    ("PerfectBr", config_perfect_br),
-    ("BackendPrio", config_backend_prio),
-    ("AllHW", config_all_hw),
+#: The evaluated hardware mechanisms — registry names (the Fig-11
+#: variants register themselves in :mod:`repro.cpu.config`), in the
+#: paper's order.
+MECHANISMS: Tuple[str, ...] = (
+    "2xFD", "4xI$", "EFetch", "PerfectBr", "BackendPrio", "AllHW",
 )
 
 
@@ -66,10 +54,12 @@ class Fig11Result:
 def run(apps: Optional[int] = None,
         walk_blocks: Optional[int] = None) -> Fig11Result:
     names = _group_names("mobile", apps)
-    run_apps(
-        names, ("baseline", "critic"), walk_blocks=walk_blocks,
-        configs=(GOOGLE_TABLET,) + tuple(m() for _, m in MECHANISMS),
-    )
+    run_sweep(SweepSpec(
+        apps=tuple(names),
+        schemes=("baseline", "critic"),
+        configs=("google-tablet",) + MECHANISMS,
+        walk_blocks=walk_blocks,
+    ))
 
     def mean_speedup(scheme: str, config: CpuConfig) -> float:
         ratios = []
@@ -90,8 +80,8 @@ def run(apps: Optional[int] = None,
 
     base_i, base_rd = mean_stalls("baseline", GOOGLE_TABLET)
     rows: List[Fig11Row] = []
-    for label, make_config in MECHANISMS:
-        config = make_config()
+    for label in MECHANISMS:
+        config = HARDWARE_CONFIGS.create(label)
         stall_i, stall_rd = mean_stalls("baseline", config)
         rows.append(Fig11Row(
             mechanism=label,

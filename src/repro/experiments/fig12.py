@@ -21,6 +21,7 @@ from repro.experiments.runner import (
     format_table,
     geometric_mean,
 )
+from repro.experiments.sweep import SweepSpec, run_sweep
 from repro.profiler import FinderConfig, find_critic_profile
 from repro.telemetry import spanned
 
@@ -103,6 +104,13 @@ def run_profile_sensitivity(
 ) -> List[Fig12bRow]:
     """Fig 12b: speedup vs profiled fraction of the execution."""
     names = _group_names("mobile", apps)
+    # Warm the baseline and full-profile (fraction=1.0) cells in parallel;
+    # the partial-coverage cells below have no sweep axis and stay serial.
+    run_sweep(SweepSpec(
+        apps=tuple(names),
+        schemes=("baseline", "critic"),
+        walk_blocks=walk_blocks,
+    ))
     rows: List[Fig12bRow] = []
     for fraction in fractions:
         ratios: List[float] = []

@@ -19,8 +19,8 @@ from repro.experiments.runner import (
     app_context,
     format_table,
     geometric_mean,
-    run_apps,
 )
+from repro.experiments.sweep import SweepSpec, run_sweep
 from repro.telemetry import spanned
 
 SCHEMES = ("opp16", "compress", "critic", "opp16_critic")
@@ -45,7 +45,11 @@ def run(apps: Optional[int] = None,
         walk_blocks: Optional[int] = None) -> Fig13Result:
     rows: List[Fig13Row] = []
     names = _group_names("mobile", apps)
-    run_apps(names, ("baseline",) + SCHEMES, walk_blocks=walk_blocks)
+    run_sweep(SweepSpec(
+        apps=tuple(names),
+        schemes=("baseline",) + SCHEMES,
+        walk_blocks=walk_blocks,
+    ))
     for name in names:
         ctx = app_context(name, walk_blocks)
         base = ctx.stats("baseline")

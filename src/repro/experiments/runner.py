@@ -38,15 +38,10 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple
 from repro import perf, telemetry
 from repro.cache import artifact_key, get_cache
 from repro.telemetry.manifest import record_run
-from repro.compiler import (
-    CompressPass,
-    CriticPass,
-    Opp16Pass,
-    PassManager,
-    region_oracle,
-)
+from repro.compiler import PassManager
 from repro.cpu import CpuConfig, GOOGLE_TABLET, SimStats, simulate
 from repro.profiler import CriticProfile, FinderConfig, find_critic_profile
+from repro.registry import SCHEME_RECIPES, component_identity
 from repro.trace.dynamic import Trace
 from repro.workloads import Workload, WorkloadProfile, generate, get_profile
 
@@ -75,11 +70,11 @@ def _env_int(name: str, default: int, minimum: int = 1) -> int:
 #: Dynamic block budget for generated walks (env-overridable).
 DEFAULT_WALK_BLOCKS = _env_int("REPRO_WALK_BLOCKS", 700)
 
-#: Scheme names accepted by :func:`scheme_trace`.
-SCHEMES = (
-    "baseline", "hoist", "critic", "critic_ideal", "branch",
-    "opp16", "compress", "opp16_critic",
-)
+#: Scheme names accepted by :func:`scheme_trace` — derived from the
+#: recipe registry (:mod:`repro.experiments.schemes` registers the
+#: paper's eight in canonical order), so registering a new recipe is the
+#: whole story: it shows up here, in the sweep engine, and in the fuzzer.
+SCHEMES = SCHEME_RECIPES.names()
 
 _workloads: Dict[Tuple[str, int], "AppContext"] = {}
 
@@ -166,37 +161,21 @@ class AppContext:
 
     def _passes(self, scheme: str, max_length: int = 5,
                 profiled_fraction: float = 1.0):
-        oracle = region_oracle(self.workload.memory)
-        profile = self.critic_profile(profiled_fraction=profiled_fraction)
-        records = profile.select_for_compiler(max_length=max_length)
-        if scheme == "hoist":
-            return [CriticPass(records, mode="hoist", may_alias=oracle)]
-        if scheme == "critic":
-            return [CriticPass(records, mode="cdp", may_alias=oracle)]
-        if scheme == "branch":
-            return [CriticPass(records, mode="branch", may_alias=oracle)]
-        if scheme == "critic_ideal":
-            ideal_profile = self.critic_profile(max_length=20)
-            ideal_records = ideal_profile.select_for_compiler(
-                max_length=None, require_thumb=False,
-            )
-            return [CriticPass(ideal_records, mode="cdp", ideal=True,
-                               may_alias=oracle)]
-        if scheme == "opp16":
-            return [Opp16Pass()]
-        if scheme == "compress":
-            return [CompressPass()]
-        if scheme == "opp16_critic":
-            return [CriticPass(records, mode="cdp", may_alias=oracle),
-                    Opp16Pass()]
-        raise ValueError(f"unknown scheme {scheme!r}; one of {SCHEMES}")
+        """The compiler pipeline for ``scheme``, via the recipe registry.
+
+        Unknown names get the registry's did-you-mean suggestion
+        (``RegistryError`` is a ``KeyError`` *and* carries the hint, so
+        legacy ``except (ValueError, KeyError)`` call sites still work).
+        """
+        recipe = SCHEME_RECIPES.get(scheme)
+        return list(recipe(self, max_length, profiled_fraction))
 
     def _scheme_key(self, scheme: str, max_length: int,
                     profiled_fraction: float) -> str:
         return artifact_key(
             "trace",
             profile=self.app_profile,
-            scheme=scheme,
+            scheme=SCHEME_RECIPES.identity(scheme),
             max_length=max_length,
             profiled_fraction=profiled_fraction,
             finder=FinderConfig(profiled_fraction=profiled_fraction),
@@ -227,14 +206,19 @@ class AppContext:
 
     def _stats_key(self, scheme: str, config: CpuConfig, max_length: int,
                    profiled_fraction: float) -> str:
+        # The versioned component identities (``two-level@1``,
+        # ``lru@1``, ``clpt@1`` ...) ride along with the config record:
+        # re-versioning one registered component invalidates exactly the
+        # cached stats that simulated with it, nothing else.
         return artifact_key(
             "stats",
             profile=self.app_profile,
-            scheme=scheme,
+            scheme=SCHEME_RECIPES.identity(scheme),
             max_length=max_length,
             profiled_fraction=profiled_fraction,
             finder=FinderConfig(profiled_fraction=profiled_fraction),
             config=config,
+            components=component_identity(config),
         )
 
     def cached_stats(self, scheme: str = "baseline",
@@ -416,6 +400,8 @@ def run_apps(apps: Sequence[str],
         seeds={name: app_context(name, blocks).app_profile.seed
                for name in apps},
         wall_s=time.perf_counter() - started,
+        components={config.name: component_identity(config)
+                    for config in configs},
     )
     return results
 

@@ -1,0 +1,272 @@
+"""Declarative sweep engine: app x scheme x config grids from one spec.
+
+A :class:`SweepSpec` names *what* to evaluate — apps, compiler schemes,
+and hardware configurations, each by registry name — plus optional
+component overrides (extra prefetchers, an i-cache replacement policy, a
+branch predictor) applied uniformly to every configuration.  The engine
+resolves names through :mod:`repro.registry` (typos get did-you-mean
+suggestions), fans the grid out through the parallel, artifact-cached
+:func:`repro.experiments.runner.run_apps`, writes a ``sweep`` run
+manifest carrying the versioned component identities, and renders a
+comparison table.
+
+The figure modules are thin layers over this: each declares its grid as
+a spec, calls :func:`run_sweep`, and keeps only its figure-specific
+post-processing.  The CLI makes ad-hoc studies one-liners::
+
+    python -m repro.experiments.sweep \
+        --apps Music,Email --schemes baseline,critic \
+        --configs google-tablet,trrip-icache \
+        --prefetcher critical-nextline
+
+    python -m repro.experiments.sweep --list   # registered components
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.cpu import CpuConfig, SimStats, speedup
+from repro.experiments.runner import (
+    DEFAULT_WALK_BLOCKS,
+    app_context,
+    format_table,
+    geometric_mean,
+    run_apps,
+)
+from repro.registry import (
+    BRANCH_PREDICTORS,
+    HARDWARE_CONFIGS,
+    ICACHE_POLICIES,
+    PREFETCHERS,
+    SCHEME_RECIPES,
+    component_identity,
+)
+from repro.telemetry import span
+from repro.telemetry.manifest import record_run
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """One declarative grid: everything is addressed by registry name."""
+
+    apps: Tuple[str, ...]
+    schemes: Tuple[str, ...] = ("baseline",)
+    #: hardware configurations, by :data:`~repro.registry.HARDWARE_CONFIGS`
+    #: name
+    configs: Tuple[str, ...] = ("google-tablet",)
+    #: extra prefetcher components layered onto *every* config
+    prefetchers: Tuple[str, ...] = ()
+    #: i-cache replacement policy override for every config
+    icache_policy: Optional[str] = None
+    #: branch predictor override for every config
+    branch_predictor: Optional[str] = None
+    walk_blocks: Optional[int] = None
+    jobs: Optional[int] = None
+
+    def validate(self) -> None:
+        """Resolve every name now so typos fail before any work starts
+        (each lookup raises a did-you-mean ``RegistryError``)."""
+        for scheme in self.schemes:
+            SCHEME_RECIPES.identity(scheme)
+        for config in self.configs:
+            HARDWARE_CONFIGS.identity(config)
+        for name in self.prefetchers:
+            PREFETCHERS.identity(name)
+        if self.icache_policy is not None:
+            ICACHE_POLICIES.identity(self.icache_policy)
+        if self.branch_predictor is not None:
+            BRANCH_PREDICTORS.identity(self.branch_predictor)
+
+    def resolve_configs(self) -> Tuple[CpuConfig, ...]:
+        """Materialize the named configs with the overrides applied."""
+        overrides = (self.prefetchers or self.icache_policy is not None
+                     or self.branch_predictor is not None)
+        configs: List[CpuConfig] = []
+        for name in self.configs:
+            config = HARDWARE_CONFIGS.create(name)
+            if overrides:
+                config = config.with_components(
+                    prefetchers=self.prefetchers or None,
+                    icache_policy=self.icache_policy,
+                    branch_predictor=self.branch_predictor,
+                )
+            configs.append(config)
+        return tuple(configs)
+
+
+@dataclass
+class SweepResult:
+    """The materialized grid plus the resolved configurations."""
+
+    spec: SweepSpec
+    configs: Tuple[CpuConfig, ...]
+    #: app -> (scheme, config.name) -> SimStats
+    grid: Dict[str, Dict[Tuple[str, str], SimStats]] = \
+        field(default_factory=dict)
+
+    def cell(self, app: str, scheme: str, config_name: str) -> SimStats:
+        return self.grid[app][(scheme, config_name)]
+
+    def config_names(self) -> Tuple[str, ...]:
+        return tuple(config.name for config in self.configs)
+
+    def comparison_table(self) -> str:
+        """Cycles per scheme, and speedup vs the spec's first scheme.
+
+        One row per app x config; a GEOMEAN row per config summarizes the
+        speedup columns (cycle counts don't average meaningfully across
+        apps, ratios do).
+        """
+        schemes = self.spec.schemes
+        base_scheme = schemes[0]
+        headers = ["app", "config"]
+        headers += [f"{scheme}:cycles" for scheme in schemes]
+        headers += [f"{scheme}:speedup" for scheme in schemes[1:]]
+        rows: List[List[str]] = []
+        for config in self.configs:
+            ratios: Dict[str, List[float]] = {s: [] for s in schemes[1:]}
+            for app in self.spec.apps:
+                base = self.cell(app, base_scheme, config.name)
+                row = [app, config.name]
+                row += [str(self.cell(app, s, config.name).cycles)
+                        for s in schemes]
+                for scheme in schemes[1:]:
+                    ratio = speedup(base, self.cell(app, scheme,
+                                                    config.name))
+                    ratios[scheme].append(ratio)
+                    row.append(f"{100 * (ratio - 1):+.2f}%")
+                rows.append(row)
+            if schemes[1:] and len(self.spec.apps) > 1:
+                mean_row = ["GEOMEAN", config.name]
+                mean_row += ["-"] * len(schemes)
+                mean_row += [
+                    f"{100 * (geometric_mean(ratios[s]) - 1):+.2f}%"
+                    for s in schemes[1:]
+                ]
+                rows.append(mean_row)
+        return format_table(headers, rows)
+
+
+def run_sweep(spec: SweepSpec) -> SweepResult:
+    """Validate, materialize, and manifest one declarative sweep."""
+    spec.validate()
+    configs = spec.resolve_configs()
+    started = time.perf_counter()
+    with span("sweep", apps=len(spec.apps),
+              schemes=",".join(spec.schemes),
+              configs=",".join(spec.configs)):
+        grid = run_apps(
+            spec.apps, spec.schemes, jobs=spec.jobs, configs=configs,
+            walk_blocks=spec.walk_blocks,
+        )
+    blocks = spec.walk_blocks if spec.walk_blocks is not None \
+        else DEFAULT_WALK_BLOCKS
+    record_run(
+        "sweep",
+        apps=list(spec.apps),
+        schemes=list(spec.schemes),
+        configs=[config.name for config in configs],
+        walk_blocks=blocks,
+        seeds={name: app_context(name, blocks).app_profile.seed
+               for name in spec.apps},
+        wall_s=time.perf_counter() - started,
+        components={config.name: component_identity(config)
+                    for config in configs},
+    )
+    return SweepResult(spec=spec, configs=configs, grid=grid)
+
+
+# -- CLI ----------------------------------------------------------------------
+
+
+def _csv(value: str) -> Tuple[str, ...]:
+    return tuple(part.strip() for part in value.split(",") if part.strip())
+
+
+def list_components() -> str:
+    """Render every registry's contents (the ``--list`` output)."""
+    sections = (
+        ("hardware configs", HARDWARE_CONFIGS),
+        ("schemes", SCHEME_RECIPES),
+        ("branch predictors", BRANCH_PREDICTORS),
+        ("i-cache policies", ICACHE_POLICIES),
+        ("prefetchers", PREFETCHERS),
+    )
+    lines: List[str] = []
+    for title, registry in sections:
+        identities = ", ".join(registry.identity(name)
+                               for name in registry.names())
+        lines.append(f"{title}: {identities}")
+    return "\n".join(lines)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments.sweep",
+        description="Run a declarative app x scheme x config sweep "
+                    "(components resolved by registry name).",
+    )
+    parser.add_argument("--apps", type=_csv, default=(),
+                        help="comma-separated app names (required unless "
+                             "--list)")
+    parser.add_argument("--schemes", type=_csv,
+                        default=("baseline", "critic"),
+                        help="comma-separated scheme names "
+                             "(default: baseline,critic)")
+    parser.add_argument("--configs", type=_csv,
+                        default=("google-tablet",),
+                        help="comma-separated hardware config names "
+                             "(default: google-tablet)")
+    parser.add_argument("--prefetcher", action="append", default=[],
+                        metavar="NAME",
+                        help="extra prefetcher component for every config "
+                             "(repeatable)")
+    parser.add_argument("--icache-policy", default=None, metavar="NAME",
+                        help="i-cache replacement policy override")
+    parser.add_argument("--branch-predictor", default=None, metavar="NAME",
+                        help="branch predictor override")
+    parser.add_argument("--walk-blocks", type=int, default=None,
+                        help="dynamic block budget per app walk")
+    parser.add_argument("--jobs", type=int, default=None,
+                        help="parallel worker count (default REPRO_JOBS "
+                             "or the CPU count)")
+    parser.add_argument("--list", action="store_true", dest="list_all",
+                        help="list registered components and exit")
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.list_all:
+        print(list_components())
+        return 0
+    if not args.apps:
+        print("error: --apps is required (or use --list)",
+              file=sys.stderr)
+        return 2
+    spec = SweepSpec(
+        apps=args.apps,
+        schemes=args.schemes,
+        configs=args.configs,
+        prefetchers=tuple(args.prefetcher),
+        icache_policy=args.icache_policy,
+        branch_predictor=args.branch_predictor,
+        walk_blocks=args.walk_blocks,
+        jobs=args.jobs,
+    )
+    try:
+        result = run_sweep(spec)
+    except KeyError as err:
+        print(f"error: {err}", file=sys.stderr)
+        return 2
+    print(result.comparison_table())
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

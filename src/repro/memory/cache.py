@@ -1,14 +1,20 @@
-"""Set-associative cache model with LRU replacement.
+"""Set-associative cache model with pluggable replacement.
 
 Latency-oriented (no port contention or MSHR occupancy): each access
 reports hit/miss and the hierarchy composes miss latencies.  Counters feed
 both the performance statistics and the energy model.
+
+Replacement is a component: the cache owns the counters and the set
+array, a :class:`repro.registry.protocols.ReplacementPolicy` (default
+LRU) owns the per-set state layout and the hit/insert/victim mechanics.
+Registered policies (``lru``, ``trrip``, plus any plugin) are selected by
+name through ``MemoryConfig.icache_policy``.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Any, Dict, List, Optional
 
 
 @dataclass
@@ -29,7 +35,8 @@ class CacheStats:
 
 
 class Cache:
-    """A size/assoc/line-size parameterized LRU cache.
+    """A size/assoc/line-size parameterized cache with pluggable
+    replacement.
 
     Args:
         name: label used in stats dumps.
@@ -37,13 +44,16 @@ class Cache:
         assoc: ways per set.
         line_bytes: cache-line size.
         hit_latency: cycles for a hit.
+        policy: replacement policy instance (default: a fresh LRU) — one
+            per cache; per-set state comes from ``policy.new_set()``.
     """
 
     __slots__ = ("name", "size_bytes", "assoc", "line_bytes",
-                 "hit_latency", "num_sets", "stats", "_sets")
+                 "hit_latency", "num_sets", "stats", "policy", "_sets")
 
     def __init__(self, name: str, size_bytes: int, assoc: int,
-                 line_bytes: int, hit_latency: int):
+                 line_bytes: int, hit_latency: int,
+                 policy: Optional[Any] = None):
         if size_bytes % (assoc * line_bytes) != 0:
             raise ValueError(
                 f"{name}: size {size_bytes} not divisible by "
@@ -56,44 +66,41 @@ class Cache:
         self.hit_latency = hit_latency
         self.num_sets = size_bytes // (assoc * line_bytes)
         self.stats = CacheStats()
-        # per-set LRU list of tags (index 0 = MRU)
-        self._sets: List[List[int]] = [[] for _ in range(self.num_sets)]
+        if policy is None:
+            from repro.memory.replacement import LruPolicy
+            policy = LruPolicy()
+        self.policy = policy
+        self._sets: List[Any] = [policy.new_set()
+                                 for _ in range(self.num_sets)]
 
     def _locate(self, addr: int):
         line = addr // self.line_bytes
         return line % self.num_sets, line // self.num_sets
 
     def lookup(self, addr: int) -> bool:
-        """Access the cache; returns True on hit.  Updates LRU and fills
-        the line on miss (allocate-on-miss)."""
+        """Access the cache; returns True on hit.  The policy updates its
+        recency/temperature state and fills the line on miss
+        (allocate-on-miss)."""
         set_idx, tag = self._locate(addr)
-        ways = self._sets[set_idx]
         self.stats.accesses += 1
-        if tag in ways:
-            ways.remove(tag)
-            ways.insert(0, tag)
+        hit, evicted = self.policy.access(self._sets[set_idx], tag,
+                                          self.assoc)
+        if hit:
             return True
         self.stats.misses += 1
-        ways.insert(0, tag)
-        if len(ways) > self.assoc:
-            ways.pop()
+        if evicted:
             self.stats.writebacks += 1
         return False
 
     def probe(self, addr: int) -> bool:
-        """Check residency without touching LRU or counters."""
+        """Check residency without touching policy state or counters."""
         set_idx, tag = self._locate(addr)
-        return tag in self._sets[set_idx]
+        return self.policy.probe(self._sets[set_idx], tag)
 
     def fill(self, addr: int) -> None:
         """Install a line (prefetch path): no access/miss counters."""
         set_idx, tag = self._locate(addr)
-        ways = self._sets[set_idx]
-        if tag in ways:
-            ways.remove(tag)
-        ways.insert(0, tag)
-        if len(ways) > self.assoc:
-            ways.pop()
+        self.policy.fill(self._sets[set_idx], tag, self.assoc)
 
     def line_of(self, addr: int) -> int:
         """Line index of an address (for crossing detection)."""

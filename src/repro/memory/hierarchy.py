@@ -33,6 +33,9 @@ class MemoryConfig:
     #: application cores have one): sequential-stream i-misses are hidden,
     #: leaving branch/call-target misses as the front-end's real cost.
     next_line_prefetch: int = 2
+    #: i-cache replacement policy, by :data:`repro.registry.ICACHE_POLICIES`
+    #: name (``lru`` or ``trrip`` built in; plugins register more).
+    icache_policy: str = "lru"
 
     def scaled_icache(self, factor: int) -> "MemoryConfig":
         """Copy with the i-cache scaled (the 4x i-cache study, Fig 11)."""
@@ -49,8 +52,10 @@ class MemorySystem:
     def __init__(self, config: Optional[MemoryConfig] = None):
         self.config = config or MemoryConfig()
         c = self.config
+        from repro.memory.replacement import make_policy
         self.icache = Cache("icache", c.icache_bytes, c.icache_assoc,
-                            c.line_bytes, c.icache_hit)
+                            c.line_bytes, c.icache_hit,
+                            policy=make_policy(c.icache_policy))
         self.dcache = Cache("dcache", c.dcache_bytes, c.dcache_assoc,
                             c.line_bytes, c.dcache_hit)
         self.l2 = Cache("l2", c.l2_bytes, c.l2_assoc, c.line_bytes, c.l2_hit)

@@ -1,30 +1,49 @@
-"""Prefetchers: the CLPT critical-load prefetcher and EFetch.
+"""Prefetcher components (the :data:`repro.registry.PREFETCHERS`
+built-ins).
 
-* :class:`CriticalLoadPrefetcher` — the paper's Fig 1a / Table I baseline
-  from Subramaniam et al. (HPCA'09): a PC-indexed table (1024 entries,
-  ~7 bits of state each) tracks per-load stride; loads flagged *critical*
-  (high fanout) issue a prefetch for their predicted next address.
+Every prefetcher extends
+:class:`repro.registry.protocols.PrefetcherBase` and overrides only the
+pipeline events it observes; the simulator routes each component to its
+observation points once, at construction.
 
-* :class:`EFetchPrefetcher` — Chadha et al. (PACT'14): for user-event
-  driven code, a call-history-indexed table predicts the next function and
-  prefetches the head of its instruction footprint (paper Sec. IV-G,
-  39KB lookup state).
+* :class:`CriticalLoadPrefetcher` (``clpt``) — the paper's Fig 1a /
+  Table I baseline from Subramaniam et al. (HPCA'09): a PC-indexed table
+  (1024 entries, ~7 bits of state each) tracks per-load stride; loads
+  flagged *critical* (high fanout) issue a prefetch for their predicted
+  next address.  Observes executed loads.
+
+* :class:`EFetchPrefetcher` (``efetch``) — Chadha et al. (PACT'14): for
+  user-event driven code, a call-history-indexed table predicts the next
+  function and prefetches the head of its instruction footprint (paper
+  Sec. IV-G, 39KB lookup state).  Observes fetched calls.
+
+* :class:`CriticalNextLinePrefetcher` (``critical-nextline``) — a
+  criticality-weighted deepening of the stock next-line i-prefetcher,
+  after Das et al.'s data-criticality direction: when the fetch stream
+  enters a line holding a *critical* (high-fanout) instruction, the next
+  lines are prefetched deeper than the stock degree, on the argument that
+  a supply stall at a critical instruction gates the most consumers.
+  Observes i-line transitions at fetch.
 """
 
 from __future__ import annotations
 
 from collections import OrderedDict
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set, Tuple
+from typing import List, Tuple
+
+from repro.registry import PREFETCHERS
+from repro.registry.protocols import PrefetcherBase
 
 
-class CriticalLoadPrefetcher:
+class CriticalLoadPrefetcher(PrefetcherBase):
     """Stride prefetcher gated on load criticality.
 
-    ``observe(pc, addr, critical)`` is called at every executed load;
-    returns the prefetch address to issue (or None).  The table is finite
-    (LRU over PCs) per the paper's 1024x7bit configuration.
+    :meth:`observe_load` is called at every executed load; returns the
+    prefetch addresses to issue.  The table is finite (LRU over PCs) per
+    the paper's 1024x7bit configuration.
     """
+
+    name = "clpt"
 
     __slots__ = ("entries", "degree", "confidence_needed", "_table",
                  "issued")
@@ -38,8 +57,8 @@ class CriticalLoadPrefetcher:
         self._table: "OrderedDict[int, Tuple[int, int, int]]" = OrderedDict()
         self.issued = 0
 
-    def observe(self, pc: int, addr: int,
-                critical: bool) -> List[int]:
+    def observe_load(self, pc: int, addr: int,
+                     critical: bool) -> List[int]:
         """Update stride state; return prefetch addresses for critical loads."""
         state = self._table.pop(pc, None)
         if state is None:
@@ -61,18 +80,23 @@ class CriticalLoadPrefetcher:
             return [addr + stride * (k + 1) for k in range(self.degree)]
         return []
 
+    #: historical spelling, kept for the unit tests and external callers
+    observe = observe_load
+
     def _evict(self) -> None:
         while len(self._table) > self.entries:
             self._table.popitem(last=False)
 
 
-class EFetchPrefetcher:
+class EFetchPrefetcher(PrefetcherBase):
     """Call-history-driven instruction prefetcher.
 
     Keyed by the two most recent call targets; predicts the next call
     target's first cache lines and prefetches them.  Trains on every
     observed call.
     """
+
+    name = "efetch"
 
     __slots__ = ("entries", "lines_per_target", "_table", "_history",
                  "issued")
@@ -102,3 +126,45 @@ class EFetchPrefetcher:
             self._table.popitem(last=False)
         self._history = (self._history[1], target_line)
         return prefetches
+
+
+class CriticalNextLinePrefetcher(PrefetcherBase):
+    """Criticality-weighted next-line instruction prefetcher.
+
+    The stock next-line prefetcher (part of :class:`MemorySystem.ifetch`)
+    runs a fixed shallow degree for every line.  This component *adds*
+    depth selectively: entering a line that holds a high-fanout
+    (critical) instruction prefetches ``critical_degree`` following
+    lines; other lines get ``base_degree`` extra (0 by default — the
+    stock prefetcher already covers them).  Purely additive fills mean
+    the component can only ever install lines the sequential stream is
+    heading toward, never redirect it.
+    """
+
+    name = "critical-nextline"
+
+    __slots__ = ("critical_degree", "base_degree", "issued")
+
+    def __init__(self, critical_degree: int = 4, base_degree: int = 0):
+        self.critical_degree = critical_degree
+        self.base_degree = base_degree
+        self.issued = 0
+
+    def observe_fetch(self, line: int, critical: bool) -> List[int]:
+        degree = self.critical_degree if critical else self.base_degree
+        if not degree:
+            return []
+        self.issued += degree
+        return [line + k for k in range(1, degree + 1)]
+
+
+# -- registrations (factories take the CpuConfig; these ignore it) -----------
+
+PREFETCHERS.register("clpt", lambda config: CriticalLoadPrefetcher(),
+                     version=1)
+PREFETCHERS.register("efetch", lambda config: EFetchPrefetcher(),
+                     version=1)
+PREFETCHERS.register(
+    "critical-nextline", lambda config: CriticalNextLinePrefetcher(),
+    version=1,
+)

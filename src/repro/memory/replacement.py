@@ -1,0 +1,121 @@
+"""Cache replacement policies (the :data:`repro.registry.ICACHE_POLICIES`
+built-ins).
+
+A policy owns one cache's per-set state layout and its hit/insert/victim
+mechanics behind the narrow
+:class:`repro.registry.protocols.ReplacementPolicy` surface; the
+:class:`repro.memory.cache.Cache` keeps the counters.  Two built-ins:
+
+* :class:`LruPolicy` — classic LRU, bit-identical to the pre-registry
+  hardwired implementation (per-set MRU-ordered tag list).
+* :class:`TrripPolicy` — a TRRIP-inspired temperature-based RRIP for
+  instruction caches (Kao et al.): demand fills insert *warm*, prefetch
+  fills insert *cold*, re-references promote to *hot*; the victim is the
+  coldest (highest-RRPV) way.  Mobile i-streams mix a hot core loop with
+  long cold tails of framework code, which LRU lets thrash the hot set —
+  temperature insertion protects the hot lines from cold-streaming fills.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Tuple
+
+from repro.registry import ICACHE_POLICIES
+
+
+@ICACHE_POLICIES.register("lru", version=1)
+class LruPolicy:
+    """Per-set MRU-ordered tag list; index 0 is the MRU way."""
+
+    name = "lru"
+
+    def new_set(self) -> List[int]:
+        return []
+
+    def access(self, ways: List[int], tag: int,
+               assoc: int) -> Tuple[bool, bool]:
+        if tag in ways:
+            ways.remove(tag)
+            ways.insert(0, tag)
+            return True, False
+        ways.insert(0, tag)
+        if len(ways) > assoc:
+            ways.pop()
+            return False, True
+        return False, False
+
+    def fill(self, ways: List[int], tag: int, assoc: int) -> None:
+        if tag in ways:
+            ways.remove(tag)
+        ways.insert(0, tag)
+        if len(ways) > assoc:
+            ways.pop()
+
+    def probe(self, ways: List[int], tag: int) -> bool:
+        return tag in ways
+
+
+@ICACHE_POLICIES.register("trrip", version=1)
+class TrripPolicy:
+    """Temperature-based re-reference interval prediction.
+
+    Per-set state is a list of ``[tag, rrpv]`` pairs.  Insertion RRPV
+    encodes the line's predicted temperature: demand misses insert at
+    ``DEMAND_RRPV`` (warm), prefetch fills at ``PREFETCH_RRPV`` (cold,
+    i.e. evict-first unless proven useful), and any hit resets to
+    ``HIT_RRPV`` (hot).  Eviction ages the set until a way reaches
+    ``MAX_RRPV`` and takes the first such way, SRRIP-style.
+    """
+
+    name = "trrip"
+
+    MAX_RRPV = 3
+    HIT_RRPV = 0
+    DEMAND_RRPV = 2
+    PREFETCH_RRPV = 3
+
+    def new_set(self) -> List[List[int]]:
+        return []
+
+    def access(self, ways: List[List[int]], tag: int,
+               assoc: int) -> Tuple[bool, bool]:
+        for entry in ways:
+            if entry[0] == tag:
+                entry[1] = self.HIT_RRPV
+                return True, False
+        evicted = self._insert(ways, tag, assoc, self.DEMAND_RRPV)
+        return False, evicted
+
+    def fill(self, ways: List[List[int]], tag: int, assoc: int) -> None:
+        for entry in ways:
+            if entry[0] == tag:
+                return  # resident: a fill must not cool a proven line
+        self._insert(ways, tag, assoc, self.PREFETCH_RRPV)
+
+    def probe(self, ways: List[List[int]], tag: int) -> bool:
+        return any(entry[0] == tag for entry in ways)
+
+    def _insert(self, ways: List[List[int]], tag: int, assoc: int,
+                rrpv: int) -> bool:
+        evicted = False
+        if len(ways) >= assoc:
+            self._evict_one(ways)
+            evicted = True
+        ways.append([tag, rrpv])
+        return evicted
+
+    @staticmethod
+    def _evict_one(ways: List[List[int]]) -> None:
+        max_rrpv = TrripPolicy.MAX_RRPV
+        while True:
+            for index, entry in enumerate(ways):
+                if entry[1] >= max_rrpv:
+                    del ways[index]
+                    return
+            for entry in ways:
+                entry[1] += 1
+
+
+def make_policy(name: str) -> Any:
+    """Instantiate a registered replacement policy by name."""
+    return ICACHE_POLICIES.create(name)

@@ -1,0 +1,116 @@
+"""Pluggable component registries for the whole pipeline.
+
+The evaluation is a grid of apps x compiler schemes x hardware variants;
+every axis of that grid is a *named component* living in one of five
+registries:
+
+==========================  ============================================
+registry                    components (built-ins)
+==========================  ============================================
+:data:`HARDWARE_CONFIGS`    ``google-tablet``, the Fig-11 variants
+                            (``2xFD``, ``4xI$``, ``EFetch``,
+                            ``PerfectBr``, ``BackendPrio``, ``AllHW``),
+                            ``CritLoadPrefetch``, ``trrip-icache``
+:data:`SCHEME_RECIPES`      the eight compiler schemes (``baseline``,
+                            ``hoist``, ``critic``, ``critic_ideal``,
+                            ``branch``, ``opp16``, ``compress``,
+                            ``opp16_critic``)
+:data:`BRANCH_PREDICTORS`   ``two-level`` (gshare; honors
+                            ``perfect_branch``)
+:data:`ICACHE_POLICIES`     ``lru``, ``trrip`` (temperature-based RRIP)
+:data:`PREFETCHERS`         ``clpt``, ``efetch``, ``critical-nextline``
+==========================  ============================================
+
+Built-ins self-register at import of their home modules; the registries
+import those providers lazily on first lookup, so there are no import
+cycles and no load-order traps.  New components register the same way::
+
+    from repro.registry import PREFETCHERS
+    from repro.registry.protocols import PrefetcherBase
+
+    @PREFETCHERS.register("my-prefetcher", version=1)
+    class MyPrefetcher(PrefetcherBase):
+        def observe_fetch(self, line, critical):
+            ...
+
+and are immediately addressable from the sweep CLI
+(``python -m repro.experiments.sweep --prefetcher my-prefetcher``), the
+artifact cache (via :func:`component_identity`), and the validators.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+from repro.registry.core import Registry, RegistryEntry, RegistryError
+from repro.registry.protocols import (
+    BranchPredictor,
+    HardwareConfigFactory,
+    Prefetcher,
+    PrefetcherBase,
+    ReplacementPolicy,
+    SchemeRecipe,
+)
+
+#: name -> zero-arg factory producing a ``CpuConfig``.
+HARDWARE_CONFIGS = Registry(
+    "hardware config", providers=("repro.cpu.config",),
+)
+
+#: name -> recipe building the compiler pass list for one scheme.
+SCHEME_RECIPES = Registry(
+    "scheme", providers=("repro.experiments.schemes",),
+)
+
+#: name -> factory(config) producing a branch predictor.
+BRANCH_PREDICTORS = Registry(
+    "branch predictor", providers=("repro.cpu.branch",),
+)
+
+#: name -> zero-arg factory producing a cache replacement policy.
+ICACHE_POLICIES = Registry(
+    "i-cache replacement policy", providers=("repro.memory.replacement",),
+)
+
+#: name -> factory(config) producing a prefetcher component.
+PREFETCHERS = Registry(
+    "prefetcher", providers=("repro.memory.prefetch",),
+)
+
+
+def component_identity(config: Any) -> Dict[str, Any]:
+    """The versioned component identity of one ``CpuConfig``.
+
+    Returns a JSON-stable record naming every registered component the
+    configuration composes, each as ``"<name>@<version>"``.  The artifact
+    cache folds this into stats keys and the run manifests carry it, so a
+    newly registered (or re-versioned) component can never silently hit a
+    stale cached ``SimStats`` entry.
+    """
+    return {
+        "branch_predictor":
+            BRANCH_PREDICTORS.identity(config.branch_predictor),
+        "icache_policy":
+            ICACHE_POLICIES.identity(config.memory.icache_policy),
+        "prefetchers": [PREFETCHERS.identity(name)
+                        for name in config.active_prefetchers()],
+    }
+
+
+__all__ = [
+    "BRANCH_PREDICTORS",
+    "BranchPredictor",
+    "HARDWARE_CONFIGS",
+    "HardwareConfigFactory",
+    "ICACHE_POLICIES",
+    "PREFETCHERS",
+    "Prefetcher",
+    "PrefetcherBase",
+    "Registry",
+    "RegistryEntry",
+    "RegistryError",
+    "ReplacementPolicy",
+    "SCHEME_RECIPES",
+    "SchemeRecipe",
+    "component_identity",
+]

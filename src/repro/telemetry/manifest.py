@@ -51,9 +51,17 @@ def build_manifest(
     walk_blocks: int,
     seeds: Dict[str, int],
     wall_s: float,
+    components: Optional[Dict[str, Any]] = None,
     extra: Optional[Dict[str, Any]] = None,
 ) -> Dict[str, Any]:
-    """Assemble the manifest record for one finished run."""
+    """Assemble the manifest record for one finished run.
+
+    ``components`` maps each config name to its versioned component
+    identities (see :func:`repro.registry.component_identity`); when
+    given it becomes part of the invocation record, so the
+    ``config_hash`` distinguishes runs that differ only in which
+    registered components (or component versions) they composed.
+    """
     cache = get_cache()
     invocation = {
         "apps": sorted(apps),
@@ -62,6 +70,10 @@ def build_manifest(
         "walk_blocks": walk_blocks,
         "seeds": {name: seeds[name] for name in sorted(seeds)},
     }
+    if components is not None:
+        invocation["components"] = {
+            name: components[name] for name in sorted(components)
+        }
     manifest: Dict[str, Any] = {
         "schema": MANIFEST_SCHEMA,
         "kind": kind,
@@ -122,12 +134,14 @@ def record_run(
     walk_blocks: int,
     seeds: Dict[str, int],
     wall_s: float,
+    components: Optional[Dict[str, Any]] = None,
     extra: Optional[Dict[str, Any]] = None,
 ) -> Optional[Path]:
     """:func:`build_manifest` + :func:`write_manifest` in one call."""
     return write_manifest(build_manifest(
         kind, apps=apps, schemes=schemes, configs=configs,
-        walk_blocks=walk_blocks, seeds=seeds, wall_s=wall_s, extra=extra,
+        walk_blocks=walk_blocks, seeds=seeds, wall_s=wall_s,
+        components=components, extra=extra,
     ))
 
 

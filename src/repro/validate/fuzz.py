@@ -20,6 +20,18 @@ must hold between runs regardless of the absolute numbers:
 * **Dual prefetchers sum** — with CLPT and EFetch both enabled,
   ``prefetches_issued`` equals the two per-prefetcher counters' sum (the
   PR-3 last-writer-wins regression).
+* **Registry prefetchers count** — a registry-only prefetcher
+  (critical-nextline) reports its issues via ``component_counters`` and
+  those feed ``prefetches_issued`` too.
+* **Next-line dominance** — the criticality-weighted next-line
+  instruction prefetcher never *adds* demand i-cache misses beyond
+  alignment/pollution noise: its fills install lines ahead of the fetch
+  stream, they never count as demand accesses.
+
+Both new registered components (the TRRIP i-cache policy and the
+critical-nextline prefetcher) are also run under the in-order
+differential oracle each round, with exact i-cache agreement demanded
+against the out-of-order pipeline.
 
 Entry point: ``python -m repro.validate --fuzz N --seed S``.  All
 randomness flows from one ``random.Random(seed)``, so a failing seed is
@@ -43,6 +55,7 @@ from repro.cpu.config import (
 from repro.cpu.pipeline import simulate
 from repro.cpu.stats import SimStats
 from repro.experiments.runner import SCHEMES, AppContext
+from repro.registry import HARDWARE_CONFIGS
 from repro.validate.differential import differential_check
 from repro.validate.invariants import RunValidator, ValidationReport
 from repro.workloads import ALL_PROFILES, WorkloadProfile
@@ -203,6 +216,31 @@ def fuzz_iteration(profile: WorkloadProfile, result: FuzzResult,
         f"{dual.efetch_prefetches_issued}",
     )
 
+    # -- registry components: TRRIP i-cache + critical-nextline prefetch ----
+    trrip = run(baseline, HARDWARE_CONFIGS.create("trrip-icache"))
+    nextline_config = GOOGLE_TABLET.with_components(
+        prefetchers=("critical-nextline",))
+    nextline = run(baseline, nextline_config)
+    issued = nextline.component_counters.get("prefetch.critical-nextline", 0)
+    _meta(
+        report, result, nextline.prefetches_issued == issued,
+        "meta_prefetch_sum",
+        f"prefetches_issued={nextline.prefetches_issued} but the "
+        f"critical-nextline component counter says {issued}",
+    )
+    # Prefetch fills never count as demand accesses, so the prefetcher
+    # can only convert demand misses into hits — up to second-order
+    # pollution (a fill evicting a still-live line), bounded like the
+    # critic_ideal alignment noise at 0.5%.
+    miss_bound = tablet.icache_misses + max(4, tablet.icache_misses // 200)
+    _meta(
+        report, result, nextline.icache_misses <= miss_bound,
+        "meta_nextline_dominance",
+        f"critical-nextline prefetching added demand i-cache misses: "
+        f"{nextline.icache_misses} vs {tablet.icache_misses} without "
+        f"(bound {miss_bound})",
+    )
+
     # -- CritIC.Ideal dominates CritIC --------------------------------------
     # Not a strict theorem at cycle granularity: Ideal re-encodes at more
     # sites, and the extra CDP bytes shift i-cache line alignment, which
@@ -225,6 +263,16 @@ def fuzz_iteration(profile: WorkloadProfile, result: FuzzResult,
         result.reports.append(
             differential_check(traces["critic"], GOOGLE_TABLET,
                                ooo_stats=None)
+        )
+        # Both new registered components under the in-order oracle, with
+        # exact i-cache agreement demanded against the OoO pipeline.
+        result.reports.append(
+            differential_check(baseline, HARDWARE_CONFIGS.create(
+                "trrip-icache"), ooo_stats=trrip)
+        )
+        result.reports.append(
+            differential_check(baseline, nextline_config,
+                               ooo_stats=nextline)
         )
 
     result.reports.extend(validator.reports)

@@ -294,13 +294,19 @@ def check_memory(report: ValidationReport, stats: Any) -> None:
             f"DRAM reads {stats.dram_reads} exceed L2 misses "
             f"{stats.l2_misses}",
         )
-    total = stats.clpt_prefetches_issued + stats.efetch_prefetches_issued
+    component = sum(
+        count for key, count
+        in getattr(stats, "component_counters", {}).items()
+        if key.startswith("prefetch.")
+    )
+    total = (stats.clpt_prefetches_issued + stats.efetch_prefetches_issued
+             + component)
     if stats.prefetches_issued != total:
         report.add(
             "prefetch_conservation",
             f"prefetches_issued={stats.prefetches_issued} != CLPT "
             f"{stats.clpt_prefetches_issued} + EFetch "
-            f"{stats.efetch_prefetches_issued}",
+            f"{stats.efetch_prefetches_issued} + components {component}",
         )
 
 

@@ -34,16 +34,17 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
-from repro.cpu.branch import ReturnAddressStack, TwoLevelPredictor
+from repro.cpu.branch import ReturnAddressStack
 from repro.cpu.config import CpuConfig, GOOGLE_TABLET
 from repro.cpu.pipeline import (
     _BR_CALL,
     _BR_RETURN,
     _BR_SWITCH,
+    _observes,
     _tables_for,
 )
 from repro.memory.hierarchy import MemorySystem
-from repro.memory.prefetch import EFetchPrefetcher
+from repro.registry import BRANCH_PREDICTORS, PREFETCHERS
 from repro.trace.dynamic import Trace
 
 
@@ -86,10 +87,19 @@ def reference_run(
     mems = tables.mems
     takens = tables.takens
 
-    bpu = TwoLevelPredictor(config.bpu_entries, config.bpu_history_bits,
-                            perfect=config.perfect_branch)
+    bpu = BRANCH_PREDICTORS.create(config.branch_predictor, config)
     ras = ReturnAddressStack(perfect=config.perfect_branch)
-    efetch = EFetchPrefetcher() if config.efetch else None
+    # Replicate the *instruction-side* prefetcher components, built fresh
+    # from the registry so their tables start in the same state as the
+    # OoO simulator's.  Load-observing prefetchers (CLPT) are skipped:
+    # their fills touch only the d-side, which the differential check
+    # never compares.
+    prefetchers = tuple(PREFETCHERS.create(name, config)
+                        for name in config.active_prefetchers())
+    call_pfs = tuple(p for p in prefetchers if _observes(p, "observe_call"))
+    fetch_pfs = tuple(p for p in prefetchers
+                      if _observes(p, "observe_fetch"))
+    default_critical = tables.default_critical
 
     line_bytes = mem.config.line_bytes
     redirect_penalty = config.redirect_penalty
@@ -108,6 +118,11 @@ def reference_run(
         if line != last_line:
             cycles += mem.ifetch(pcs[pos], cycles)
             last_line = line
+            if fetch_pfs:
+                critical = pos in default_critical
+                for pf in fetch_pfs:
+                    for pline in pf.observe_fetch(line, critical):
+                        mem.prefetch_instruction_line(pline)
         fetched_bytes += sizes[pos]
 
         # -- decode/execute: full serial latency ---------------------------
@@ -132,10 +147,11 @@ def reference_run(
         elif b == _BR_CALL:
             if pos + 1 < n:
                 ras.push(pcs[pos] + sizes[pos])
-                if efetch is not None:
+                if call_pfs:
                     target_line = pcs[pos + 1] // line_bytes
-                    for pline in efetch.observe_call(target_line):
-                        mem.prefetch_instruction_line(pline)
+                    for pf in call_pfs:
+                        for pline in pf.observe_call(target_line):
+                            mem.prefetch_instruction_line(pline)
         elif b == _BR_RETURN:
             if not ras.predict_return():
                 mispredicts += 1

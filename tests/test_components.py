@@ -1,0 +1,128 @@
+"""Unit tests for the two new registered components: the TRRIP i-cache
+replacement policy and the criticality-weighted next-line prefetcher."""
+
+from repro.cpu import GOOGLE_TABLET, simulate
+from repro.memory.prefetch import CriticalNextLinePrefetcher
+from repro.memory.replacement import LruPolicy, TrripPolicy, make_policy
+from repro.workloads import generate, get_profile
+
+
+class TestTrripPolicy:
+    def setup_method(self):
+        self.policy = TrripPolicy()
+
+    def test_demand_miss_inserts_warm(self):
+        ways = self.policy.new_set()
+        hit, evicted = self.policy.access(ways, 10, assoc=4)
+        assert (hit, evicted) == (False, False)
+        assert ways == [[10, TrripPolicy.DEMAND_RRPV]]
+
+    def test_hit_promotes_to_hot(self):
+        ways = self.policy.new_set()
+        self.policy.access(ways, 10, assoc=4)
+        hit, evicted = self.policy.access(ways, 10, assoc=4)
+        assert (hit, evicted) == (True, False)
+        assert ways == [[10, TrripPolicy.HIT_RRPV]]
+
+    def test_prefetch_fill_inserts_cold(self):
+        ways = self.policy.new_set()
+        self.policy.fill(ways, 10, assoc=4)
+        assert ways == [[10, TrripPolicy.PREFETCH_RRPV]]
+        assert self.policy.probe(ways, 10)
+        assert not self.policy.probe(ways, 11)
+
+    def test_fill_never_cools_resident_line(self):
+        ways = self.policy.new_set()
+        self.policy.access(ways, 10, assoc=4)
+        self.policy.access(ways, 10, assoc=4)  # now hot
+        self.policy.fill(ways, 10, assoc=4)
+        assert ways == [[10, TrripPolicy.HIT_RRPV]]
+
+    def test_eviction_takes_coldest_way(self):
+        ways = self.policy.new_set()
+        self.policy.access(ways, 1, assoc=2)   # warm
+        self.policy.fill(ways, 2, assoc=2)     # cold (prefetch)
+        self.policy.access(ways, 3, assoc=2)   # evicts the cold way 2
+        tags = [entry[0] for entry in ways]
+        assert tags == [1, 3]
+
+    def test_eviction_ages_until_max(self):
+        ways = self.policy.new_set()
+        self.policy.access(ways, 1, assoc=2)
+        self.policy.access(ways, 1, assoc=2)   # hot (rrpv 0)
+        self.policy.access(ways, 2, assoc=2)   # warm (rrpv 2)
+        self.policy.access(ways, 3, assoc=2)   # ages both, evicts tag 2
+        tags = [entry[0] for entry in ways]
+        assert tags == [1, 3]
+        # the survivor aged from hot toward eviction
+        assert ways[0][1] == TrripPolicy.HIT_RRPV + 1
+
+    def test_hot_line_survives_cold_streaming(self):
+        """The TRRIP rationale: a re-referenced line outlives a stream of
+        prefetch fills that would thrash it under LRU."""
+        assoc = 4
+        trrip = self.policy.new_set()
+        self.policy.access(trrip, 100, assoc)
+        self.policy.access(trrip, 100, assoc)  # proven hot
+        lru = LruPolicy()
+        lru_ways = lru.new_set()
+        lru.access(lru_ways, 100, assoc)
+        lru.access(lru_ways, 100, assoc)
+        for tag in range(8):  # cold streaming fills
+            self.policy.fill(trrip, tag, assoc)
+            lru.fill(lru_ways, tag, assoc)
+        assert self.policy.probe(trrip, 100)     # TRRIP keeps the hot line
+        assert not lru.probe(lru_ways, 100)      # LRU thrashed it
+
+    def test_make_policy(self):
+        assert isinstance(make_policy("trrip"), TrripPolicy)
+        assert isinstance(make_policy("lru"), LruPolicy)
+
+
+class TestCriticalNextLinePrefetcher:
+    def test_critical_fetch_prefetches_deep(self):
+        pf = CriticalNextLinePrefetcher(critical_degree=4)
+        assert pf.observe_fetch(10, critical=True) == [11, 12, 13, 14]
+        assert pf.issued == 4
+
+    def test_non_critical_fetch_is_free_by_default(self):
+        pf = CriticalNextLinePrefetcher()
+        assert pf.observe_fetch(10, critical=False) == []
+        assert pf.issued == 0
+
+    def test_base_degree_covers_non_critical(self):
+        pf = CriticalNextLinePrefetcher(critical_degree=4, base_degree=1)
+        assert pf.observe_fetch(10, critical=False) == [11]
+        assert pf.observe_fetch(20, critical=True) == [21, 22, 23, 24]
+        assert pf.issued == 5
+
+    def test_end_to_end_counter_lands_in_component_counters(self):
+        workload = generate(get_profile("Music"), walk_blocks=80)
+        config = GOOGLE_TABLET.with_components(
+            prefetchers=("critical-nextline",))
+        stats = simulate(workload.trace(), config)
+        issued = stats.component_counters.get(
+            "prefetch.critical-nextline", 0)
+        assert issued > 0
+        assert stats.prefetches_issued == issued
+        assert stats.clpt_prefetches_issued == 0
+        assert stats.efetch_prefetches_issued == 0
+
+    def test_end_to_end_never_adds_demand_misses(self):
+        workload = generate(get_profile("Music"), walk_blocks=80)
+        plain = simulate(workload.trace(), GOOGLE_TABLET)
+        with_pf = simulate(workload.trace(), GOOGLE_TABLET.with_components(
+            prefetchers=("critical-nextline",)))
+        assert with_pf.icache_misses <= plain.icache_misses
+        assert with_pf.icache_accesses == plain.icache_accesses
+
+
+class TestTrripEndToEnd:
+    def test_trrip_config_simulates_and_diverges_from_lru(self):
+        workload = generate(get_profile("Music"), walk_blocks=80)
+        lru = simulate(workload.trace(), GOOGLE_TABLET)
+        trrip = simulate(workload.trace(), GOOGLE_TABLET.with_components(
+            icache_policy="trrip"))
+        # Same fetch stream, same demand accesses; only victims differ.
+        assert trrip.icache_accesses == lru.icache_accesses
+        assert trrip.instructions == lru.instructions

@@ -1,0 +1,122 @@
+"""Golden SimStats: the registry refactor must be bit-identical.
+
+Every scheme x Fig-11 hardware-config cell for one small app is pinned in
+``tests/data/golden_stats.json``.  The snapshot was generated *before* the
+component-registry refactor (PR 4), so these tests prove that moving the
+schemes, hardware variants, branch predictor, i-cache replacement policy,
+and prefetchers onto ``repro.registry`` changed no simulated number —
+``SimStats.to_dict()`` must match the pinned cell exactly, key for key.
+
+The scheme and config name lists are pinned *here*, not imported from the
+registries, so a refactor that silently drops a variant fails loudly
+instead of shrinking the grid.
+
+Regenerate (only for an intentional, CHANGES.md-documented semantic
+change)::
+
+    PYTHONPATH=src python tests/test_golden_stats.py --regen
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+GOLDEN_PATH = Path(__file__).parent / "data" / "golden_stats.json"
+
+#: One small mobile app at a small scale keeps the 56-cell grid fast.
+APP = "Music"
+WALK_BLOCKS = 140
+
+#: Pinned pre-refactor grid: all eight schemes...
+GOLDEN_SCHEMES = (
+    "baseline", "hoist", "critic", "critic_ideal", "branch",
+    "opp16", "compress", "opp16_critic",
+)
+#: ... times Table I baseline + the six Fig-11 hardware variants.
+GOLDEN_CONFIGS = (
+    "google-tablet", "2xFD", "4xI$", "EFetch", "PerfectBr",
+    "BackendPrio", "AllHW",
+)
+
+
+def _config_by_name(name: str):
+    from repro.cpu.config import GOOGLE_TABLET, HARDWARE_VARIANTS
+    if name == "google-tablet":
+        return GOOGLE_TABLET
+    return HARDWARE_VARIANTS[name]()
+
+
+def compute_cells():
+    """Simulate the whole pinned grid; returns {scheme|config: to_dict}."""
+    from repro.experiments.runner import app_context
+
+    ctx = app_context(APP, WALK_BLOCKS)
+    cells = {}
+    for scheme in GOLDEN_SCHEMES:
+        for config_name in GOLDEN_CONFIGS:
+            stats = ctx.stats(scheme, _config_by_name(config_name))
+            cells[f"{scheme}|{config_name}"] = stats.to_dict()
+    return cells
+
+
+@pytest.fixture(scope="module")
+def golden():
+    assert GOLDEN_PATH.exists(), (
+        f"{GOLDEN_PATH} missing; regenerate with "
+        "PYTHONPATH=src python tests/test_golden_stats.py --regen"
+    )
+    return json.loads(GOLDEN_PATH.read_text())
+
+
+@pytest.fixture(scope="module")
+def computed():
+    return compute_cells()
+
+
+def test_golden_grid_is_complete(golden):
+    expected = {
+        f"{scheme}|{config}"
+        for scheme in GOLDEN_SCHEMES for config in GOLDEN_CONFIGS
+    }
+    assert set(golden["cells"]) == expected
+
+
+def test_golden_metadata(golden):
+    assert golden["app"] == APP
+    assert golden["walk_blocks"] == WALK_BLOCKS
+
+
+@pytest.mark.parametrize("scheme", GOLDEN_SCHEMES)
+def test_scheme_cells_bit_identical(scheme, golden, computed):
+    for config_name in GOLDEN_CONFIGS:
+        key = f"{scheme}|{config_name}"
+        assert computed[key] == golden["cells"][key], (
+            f"SimStats drift in cell {key}: the refactor is not "
+            f"bit-identical (regen only for documented semantic changes)"
+        )
+
+
+def _regen():
+    import conftest  # noqa: F401  (throwaway cache dir)
+    cells = compute_cells()
+    payload = {
+        "app": APP,
+        "walk_blocks": WALK_BLOCKS,
+        "cells": cells,
+    }
+    GOLDEN_PATH.parent.mkdir(parents=True, exist_ok=True)
+    GOLDEN_PATH.write_text(
+        json.dumps(payload, indent=1, sort_keys=True) + "\n"
+    )
+    print(f"wrote {len(cells)} cells to {GOLDEN_PATH}")
+
+
+if __name__ == "__main__":
+    import sys
+
+    if "--regen" in sys.argv:
+        sys.path.insert(0, str(Path(__file__).parent))
+        _regen()
+    else:
+        print(__doc__)

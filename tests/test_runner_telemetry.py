@@ -12,10 +12,19 @@ import pytest
 from repro import telemetry
 from repro.cache import reset_cache
 from repro.experiments.runner import clear_cache, run_apps
+from repro.registry import SCHEME_RECIPES
 from repro.telemetry.manifest import load_manifest, manifest_dir
 
 APPS = ("Music", "Email")
 WALK = 120
+
+
+def _exploding_recipe(ctx, max_length, profiled_fraction):
+    """Touch the workload (a real `generate` phase) and then blow up —
+    module-level so forked pool workers can unpickle the AppContext that
+    references it."""
+    ctx.workload
+    raise ValueError("scheme recipe exploded (test crash injection)")
 
 
 @pytest.fixture(autouse=True)
@@ -71,10 +80,10 @@ class TestWorkerMerge:
 
     def test_crashed_worker_totals_match_serial(self, tmp_path,
                                                 monkeypatch):
-        """An unknown scheme makes every worker raise *after* it has done
-        real work (generate).  Crashed cells are retried serially, so
-        their spooled snapshots must be *discarded* — merging them on top
-        of the retry's telemetry double-counted the cell's work (the
+        """A scheme recipe that raises *after* real work (generate) makes
+        every worker crash mid-cell.  Crashed cells are retried serially,
+        so their spooled snapshots must be *discarded* — merging them on
+        top of the retry's telemetry double-counted the cell's work (the
         PR-3 regression).  Totals must match a plain serial run."""
         from concurrent.futures import ProcessPoolExecutor
         try:
@@ -83,21 +92,32 @@ class TestWorkerMerge:
         except Exception:
             pytest.skip("process pool unavailable on this machine")
 
-        with pytest.raises(ValueError, match="unknown scheme"):
-            run_apps(APPS, ("quantum",), jobs=1, walk_blocks=WALK)
-        serial_calls = \
-            telemetry.phase_stats().get("generate", {}).get("calls", 0)
-        assert serial_calls >= 1
+        with SCHEME_RECIPES.scoped("explode-after-work", _exploding_recipe):
+            with pytest.raises(ValueError, match="recipe exploded"):
+                run_apps(APPS, ("explode-after-work",), jobs=1,
+                         walk_blocks=WALK)
+            serial_calls = \
+                telemetry.phase_stats().get("generate", {}).get("calls", 0)
+            assert serial_calls >= 1
 
-        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache2"))
-        reset_cache()
-        clear_cache()
-        telemetry.reset()
-        with pytest.raises(ValueError, match="unknown scheme"):
-            run_apps(APPS, ("quantum",), jobs=2, walk_blocks=WALK)
-        parallel_calls = \
-            telemetry.phase_stats().get("generate", {}).get("calls", 0)
-        assert parallel_calls == serial_calls
+            monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache2"))
+            reset_cache()
+            clear_cache()
+            telemetry.reset()
+            with pytest.raises(ValueError, match="recipe exploded"):
+                run_apps(APPS, ("explode-after-work",), jobs=2,
+                         walk_blocks=WALK)
+            parallel_calls = \
+                telemetry.phase_stats().get("generate", {}).get("calls", 0)
+            assert parallel_calls == serial_calls
+
+    def test_unknown_scheme_fails_fast_with_suggestion(self):
+        """A typo'd scheme now fails in the probe, before any generation,
+        and the error names the nearest registered recipe."""
+        with pytest.raises(ValueError, match="critic"):
+            run_apps(APPS, ("crtic",), jobs=1, walk_blocks=WALK)
+        assert telemetry.phase_stats().get("generate", {}) \
+            .get("calls", 0) == 0
 
 
 class TestRunManifest:

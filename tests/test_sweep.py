@@ -1,0 +1,141 @@
+"""Tests for the declarative sweep engine and its CLI."""
+
+import pytest
+
+from repro.cache import reset_cache
+from repro.experiments.runner import clear_cache
+from repro.experiments.sweep import (
+    SweepSpec,
+    build_parser,
+    list_components,
+    main,
+    run_sweep,
+)
+from repro.registry import RegistryError
+from repro.telemetry.manifest import load_manifest, manifest_dir
+
+WALK = 100
+
+
+@pytest.fixture(autouse=True)
+def _fresh_state(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+    reset_cache()
+    clear_cache()
+    yield
+    clear_cache()
+    reset_cache()
+
+
+class TestSweepSpec:
+    def test_validate_unknown_scheme_suggests(self):
+        spec = SweepSpec(apps=("Music",), schemes=("crtic",))
+        with pytest.raises(RegistryError, match="critic"):
+            spec.validate()
+
+    def test_validate_unknown_config(self):
+        spec = SweepSpec(apps=("Music",), configs=("google-tablte",))
+        with pytest.raises(RegistryError, match="google-tablet"):
+            spec.validate()
+
+    def test_validate_unknown_prefetcher(self):
+        spec = SweepSpec(apps=("Music",), prefetchers=("clptt",))
+        with pytest.raises(RegistryError, match="clpt"):
+            spec.validate()
+
+    def test_validate_unknown_policy(self):
+        spec = SweepSpec(apps=("Music",), icache_policy="trip")
+        with pytest.raises(RegistryError, match="trrip"):
+            spec.validate()
+
+    def test_resolve_plain_names(self):
+        spec = SweepSpec(apps=("Music",),
+                         configs=("google-tablet", "trrip-icache"))
+        names = [c.name for c in spec.resolve_configs()]
+        assert names == ["google-tablet", "trrip-icache"]
+
+    def test_resolve_with_overrides_derives_names(self):
+        spec = SweepSpec(
+            apps=("Music",),
+            prefetchers=("critical-nextline",),
+            icache_policy="trrip",
+        )
+        (config,) = spec.resolve_configs()
+        assert config.name == "google-tablet+pf=critical-nextline+i$=trrip"
+        assert config.memory.icache_policy == "trrip"
+        assert config.active_prefetchers() == ("critical-nextline",)
+
+
+class TestRunSweep:
+    def test_grid_table_and_manifest(self):
+        spec = SweepSpec(apps=("Music", "Email"),
+                         schemes=("baseline", "critic"),
+                         walk_blocks=WALK, jobs=1)
+        result = run_sweep(spec)
+
+        baseline = result.cell("Music", "baseline", "google-tablet")
+        critic = result.cell("Music", "critic", "google-tablet")
+        assert baseline.cycles > 0
+        assert critic.cycles <= baseline.cycles
+
+        table = result.comparison_table()
+        assert "critic:speedup" in table
+        assert "GEOMEAN" in table
+
+        manifest = load_manifest(str(manifest_dir() / "last_run.json"))
+        assert manifest["kind"] == "sweep"
+        assert manifest["apps"] == ["Email", "Music"]  # sorted
+        components = manifest["components"]["google-tablet"]
+        assert components["icache_policy"] == "lru@1"
+
+    def test_component_override_reaches_manifest(self):
+        spec = SweepSpec(apps=("Music",), schemes=("baseline",),
+                         prefetchers=("critical-nextline",),
+                         walk_blocks=WALK, jobs=1)
+        result = run_sweep(spec)
+        name = result.config_names()[0]
+        manifest = load_manifest(str(manifest_dir() / "last_run.json"))
+        components = manifest["components"][name]
+        assert components["prefetchers"] == ["critical-nextline@1"]
+
+    def test_single_scheme_table_has_no_speedup_column(self):
+        spec = SweepSpec(apps=("Music",), schemes=("baseline",),
+                         walk_blocks=WALK, jobs=1)
+        table = run_sweep(spec).comparison_table()
+        assert "baseline:cycles" in table
+        assert "speedup" not in table
+
+
+class TestCli:
+    def test_csv_parsing(self):
+        args = build_parser().parse_args(
+            ["--apps", "Music, Email", "--schemes", "baseline"])
+        assert args.apps == ("Music", "Email")
+        assert args.schemes == ("baseline",)
+
+    def test_list_components_mentions_every_registry(self, capsys):
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out
+        for needle in ("google-tablet@1", "critic@1", "two-level@1",
+                       "trrip@1", "critical-nextline@1"):
+            assert needle in out
+        # list_components() is what --list prints
+        assert list_components() in out
+
+    def test_missing_apps_is_usage_error(self, capsys):
+        assert main([]) == 2
+        assert "--apps" in capsys.readouterr().err
+
+    def test_unknown_component_exits_2(self, capsys):
+        code = main(["--apps", "Music", "--schemes", "crtic",
+                     "--walk-blocks", str(WALK)])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "did you mean" in err and "critic" in err
+
+    def test_end_to_end_prints_table(self, capsys):
+        code = main(["--apps", "Music", "--schemes", "baseline,critic",
+                     "--walk-blocks", str(WALK), "--jobs", "1"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "critic:speedup" in out
