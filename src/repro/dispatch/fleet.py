@@ -1,0 +1,544 @@
+"""The fleet executor: a TCP broker leasing cells to worker processes.
+
+Topology: the parent process runs a :class:`Broker` (a loopback TCP
+listener plus one handler thread per connection) and spawns ``jobs``
+workers as ``python -m repro.dispatch.worker --connect host:port``.
+Workers *pull*: each sends ``ready``, receives a task lease (the pickled
+``(fn, args, kwargs)`` payload plus its attempt number), heartbeats
+while executing, and reports a result envelope.  The broker trusts
+nothing:
+
+* **leases expire** — a lease whose heartbeats stop for
+  ``4 x heartbeat_s``, or whose wall clock passes the per-task timeout,
+  is requeued (with exponential backoff) and the wedged worker is
+  SIGKILLed;
+* **dead workers requeue instantly** — a connection dropping mid-lease
+  records a ``worker-died`` attempt and requeues without waiting for
+  any timeout; the monitor respawns a replacement (bounded by the total
+  attempt budget, so a crash loop cannot spawn forever);
+* **surrendered leases requeue instantly** — a worker asking for new
+  work while still holding a lease (the ``drop`` fault, or a worker
+  that lost its own state) gives the lease back as ``lost``;
+* **corrupt results are retries, not crashes** — a result payload that
+  fails to unpickle records a ``corrupt`` attempt and requeues;
+* **poison tasks quarantine** — a task that exhausts
+  ``policy.max_attempts`` degrades to the parent's inline path (see
+  :func:`repro.dispatch.base.quarantine_inline`), so one bad cell ends
+  as a structured error or an inline result, never a hung sweep;
+* **the drain itself is bounded** — a belt-and-braces hard deadline
+  (the summed attempt budget) expires every lease and quarantines
+  whatever is left, so no failure mode of the broker machinery can hang
+  past the timeout budget either.
+
+Determinism: workers compute pure functions of their task payloads, so
+*which* worker runs a cell, in what order, after how many faults, cannot
+change a result — the 56-cell golden suite passes bit-identically under
+any fault plan, which is exactly what makes fault injection safe to run
+in CI.
+"""
+
+from __future__ import annotations
+
+import heapq
+import os
+import signal
+import socket
+import subprocess
+import sys
+import threading
+import time
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Set, Tuple
+
+from repro.dispatch import wire
+from repro.dispatch.base import (
+    Attempt,
+    RetryPolicy,
+    TaskResult,
+    TaskSpec,
+    quarantine_inline,
+)
+from repro.dispatch.faults import ENV_FAULTS
+
+#: How often the drain loop sweeps leases/processes, seconds.
+_TICK_S = 0.05
+
+
+@dataclass
+class _Lease:
+    task_id: str
+    attempt_no: int
+    worker: str
+    started: float
+    last_beat: float
+
+
+@dataclass
+class _WorkerProc:
+    name: str
+    proc: subprocess.Popen
+    dead: bool = False
+
+
+class Broker:
+    """Task queue + lease table behind a loopback TCP listener."""
+
+    def __init__(self, policy: RetryPolicy) -> None:
+        self.policy = policy
+        self._listener = socket.create_server(("127.0.0.1", 0))
+        self._listener.settimeout(0.2)
+        self.address: Tuple[str, int] = self._listener.getsockname()
+        self._lock = threading.RLock()
+        self._tasks: Dict[str, TaskSpec] = {}
+        self._payloads: Dict[str, bytes] = {}
+        self._order: List[str] = []
+        self._results: Dict[str, Any] = {}
+        self._records: Dict[str, TaskResult] = {}
+        #: (ready_time, seq, task_id, attempt_no) min-heap
+        self._queue: List[Tuple[float, int, str, int]] = []
+        self._seq = 0
+        self._leases: Dict[str, _Lease] = {}          # task_id -> lease
+        self._worker_lease: Dict[str, str] = {}       # worker -> task_id
+        self._worker_pids: Dict[str, int] = {}
+        self._conns: List[socket.socket] = []
+        self._exhausted: Set[str] = set()
+        self._closed = False
+        self._threads: List[threading.Thread] = []
+
+    # -- setup ---------------------------------------------------------------
+
+    def add_task(self, task: TaskSpec) -> None:
+        with self._lock:
+            self._tasks[task.id] = task
+            self._order.append(task.id)
+            self._records[task.id] = TaskResult(task_id=task.id)
+            self._payloads[task.id] = wire.dumps(
+                (task.fn, task.args, task.kwargs)
+            )
+            self._seq += 1
+            heapq.heappush(self._queue, (0.0, self._seq, task.id, 1))
+
+    def start(self) -> None:
+        thread = threading.Thread(target=self._accept_loop,
+                                  name="dispatch-broker-accept",
+                                  daemon=True)
+        thread.start()
+        self._threads.append(thread)
+
+    # -- status --------------------------------------------------------------
+
+    def finished(self) -> bool:
+        with self._lock:
+            return (len(self._results) + len(self._exhausted)
+                    >= len(self._tasks))
+
+    def results(self) -> List[TaskResult]:
+        """Task results in submission order (quarantine not yet run)."""
+        with self._lock:
+            out = []
+            for task_id in self._order:
+                record = self._records[task_id]
+                if task_id in self._results:
+                    record.value = self._results[task_id]
+                out.append(record)
+            return out
+
+    def exhausted_tasks(self) -> List[Tuple[TaskSpec, TaskResult]]:
+        with self._lock:
+            return [(self._tasks[tid], self._records[tid])
+                    for tid in self._order if tid in self._exhausted]
+
+    # -- lease lifecycle -----------------------------------------------------
+
+    def _record_attempt(self, task_id: str, attempt_no: int, worker: str,
+                        outcome: str, wall: float,
+                        error: Optional[str] = None) -> None:
+        self._records[task_id].attempts.append(Attempt(
+            index=attempt_no, worker=worker, outcome=outcome,
+            wall_s=wall, error=error,
+        ))
+
+    def _requeue(self, task_id: str, attempt_no: int) -> None:
+        """Queue the next attempt, or exhaust the task's budget."""
+        if attempt_no >= self.policy.max_attempts:
+            self._exhausted.add(task_id)
+            record = self._records[task_id]
+            record.error = (
+                f"task {task_id!r} exhausted its "
+                f"{self.policy.max_attempts}-attempt budget on the fleet"
+            )
+            return
+        self._seq += 1
+        ready = time.monotonic() + self.policy.backoff(attempt_no + 1)
+        heapq.heappush(self._queue,
+                       (ready, self._seq, task_id, attempt_no + 1))
+
+    def _release_lease(self, task_id: str, outcome: str,
+                       error: Optional[str] = None) -> None:
+        """Drop an active lease and requeue its task (lock held)."""
+        lease = self._leases.pop(task_id, None)
+        if lease is None:
+            return
+        self._worker_lease.pop(lease.worker, None)
+        self._record_attempt(
+            task_id, lease.attempt_no, lease.worker, outcome,
+            time.monotonic() - lease.started, error,
+        )
+        self._requeue(task_id, lease.attempt_no)
+
+    def expire_stale(self) -> List[int]:
+        """Expire overdue/stalled leases; returns worker pids to kill.
+
+        Called from the drain loop every tick.  A lease past the task
+        timeout is a ``timeout``; one whose heartbeats stopped is
+        ``no-heartbeat``.  Either way the worker can no longer be
+        trusted with the lease, so its pid is returned for SIGKILL (the
+        disconnect handler will find the lease already gone and not
+        double-record the attempt).
+        """
+        now = time.monotonic()
+        pids: List[int] = []
+        with self._lock:
+            for task_id, lease in list(self._leases.items()):
+                task = self._tasks[task_id]
+                timeout = task.effective_timeout(self.policy)
+                if now - lease.started > timeout:
+                    outcome, error = "timeout", (
+                        f"lease exceeded its {timeout:.1f}s budget on "
+                        f"worker {lease.worker}"
+                    )
+                elif now - lease.last_beat \
+                        > self.policy.heartbeat_timeout_s:
+                    outcome, error = "no-heartbeat", (
+                        f"no heartbeat from {lease.worker} for "
+                        f"{now - lease.last_beat:.1f}s"
+                    )
+                else:
+                    continue
+                pid = self._worker_pids.get(lease.worker)
+                if pid:
+                    pids.append(pid)
+                self._release_lease(task_id, outcome, error)
+        return pids
+
+    def fail_unfinished(self, reason: str) -> None:
+        """Exhaust every task still outstanding (fleet lost all workers
+        or hit the drain hard-deadline) so quarantine can finish the
+        run."""
+        with self._lock:
+            for task_id in list(self._leases):
+                self._release_lease(task_id, "worker-died", reason)
+            for task_id in self._order:
+                if (task_id in self._results
+                        or task_id in self._exhausted):
+                    continue
+                self._exhausted.add(task_id)
+                record = self._records[task_id]
+                if record.error is None:
+                    record.error = reason
+
+    # -- connection handling -------------------------------------------------
+
+    def _accept_loop(self) -> None:
+        while not self._closed:
+            try:
+                conn, _addr = self._listener.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                return
+            conn.settimeout(None)
+            with self._lock:
+                self._conns.append(conn)
+            thread = threading.Thread(
+                target=self._handle, args=(conn,),
+                name="dispatch-broker-conn", daemon=True,
+            )
+            thread.start()
+            self._threads.append(thread)
+
+    def _handle(self, conn: socket.socket) -> None:
+        worker = "?"
+        try:
+            hello = wire.recv_msg(conn)
+            if hello.get("type") != "hello":
+                return
+            worker = hello["worker"]
+            with self._lock:
+                self._worker_pids[worker] = hello.get("pid", 0)
+            while True:
+                message = wire.recv_msg(conn)
+                kind = message.get("type")
+                if kind == "ready":
+                    self._on_ready(conn, worker)
+                elif kind == "heartbeat":
+                    self._on_heartbeat(worker, message.get("task"))
+                elif kind == "result":
+                    self._on_result(worker, message)
+                else:
+                    return
+        except (wire.WireError, OSError):
+            pass
+        finally:
+            with self._lock:
+                task_id = self._worker_lease.get(worker)
+                if task_id is not None:
+                    self._release_lease(
+                        task_id, "worker-died",
+                        f"worker {worker} disconnected mid-lease",
+                    )
+            try:
+                conn.close()
+            except OSError:
+                pass
+
+    def _on_ready(self, conn: socket.socket, worker: str) -> None:
+        with self._lock:
+            # A ready with an open lease means the worker finished (or
+            # abandoned) a task without reporting: the result is lost.
+            held = self._worker_lease.get(worker)
+            if held is not None:
+                self._release_lease(
+                    held, "lost",
+                    f"worker {worker} surrendered the lease without a "
+                    f"result",
+                )
+            if self.finished():
+                wire.send_msg(conn, {"type": "exit"})
+                return
+            now = time.monotonic()
+            while self._queue:
+                ready, _seq, task_id, attempt_no = self._queue[0]
+                if task_id in self._results \
+                        or task_id in self._exhausted \
+                        or task_id in self._leases:
+                    heapq.heappop(self._queue)
+                    continue
+                if ready > now:
+                    break
+                heapq.heappop(self._queue)
+                self._leases[task_id] = _Lease(
+                    task_id=task_id, attempt_no=attempt_no,
+                    worker=worker, started=now, last_beat=now,
+                )
+                self._worker_lease[worker] = task_id
+                wire.send_msg(conn, {
+                    "type": "task",
+                    "id": task_id,
+                    "attempt": attempt_no,
+                    "payload": self._payloads[task_id],
+                    "heartbeat_s": self.policy.heartbeat_s,
+                })
+                return
+            wire.send_msg(conn, {"type": "idle", "sleep": _TICK_S})
+
+    def _on_heartbeat(self, worker: str, task_id: Optional[str]) -> None:
+        with self._lock:
+            lease = self._leases.get(task_id or "")
+            if lease is not None and lease.worker == worker:
+                lease.last_beat = time.monotonic()
+
+    def _on_result(self, worker: str, message: Dict[str, Any]) -> None:
+        task_id = message.get("id", "")
+        with self._lock:
+            lease = self._leases.get(task_id)
+            if lease is None or lease.worker != worker:
+                # Late result for an expired/requeued lease: the attempt
+                # was already recorded as lost/timeout — ignore it.
+                return
+            wall = time.monotonic() - lease.started
+            del self._leases[task_id]
+            self._worker_lease.pop(worker, None)
+            if not message.get("ok"):
+                self._record_attempt(
+                    task_id, lease.attempt_no, worker, "error", wall,
+                    message.get("error", "worker reported failure"),
+                )
+                self._requeue(task_id, lease.attempt_no)
+                return
+            try:
+                value = wire.loads(message["payload"])
+            except Exception as exc:
+                self._record_attempt(
+                    task_id, lease.attempt_no, worker, "corrupt", wall,
+                    f"result payload failed to decode: {exc}",
+                )
+                self._requeue(task_id, lease.attempt_no)
+                return
+            self._record_attempt(task_id, lease.attempt_no, worker,
+                                 "ok", wall)
+            self._results[task_id] = value
+            record = self._records[task_id]
+            record.error = None
+            record.error_exc = None
+
+    # -- teardown ------------------------------------------------------------
+
+    def close(self) -> None:
+        self._closed = True
+        try:
+            self._listener.close()
+        except OSError:
+            pass
+        with self._lock:
+            conns = list(self._conns)
+        for conn in conns:
+            try:
+                conn.close()
+            except OSError:
+                pass
+
+
+class FleetExecutor:
+    """Socket broker + N ``repro.dispatch.worker`` processes."""
+
+    name = "fleet"
+
+    def __init__(self, jobs: Optional[int] = None,
+                 policy: Optional[RetryPolicy] = None) -> None:
+        self.jobs = max(1, jobs if jobs is not None
+                        else (os.cpu_count() or 1))
+        self.policy = policy if policy is not None \
+            else RetryPolicy.from_env()
+        self._tasks: List[TaskSpec] = []
+        self._procs: List[_WorkerProc] = []
+        self.faults_spec = os.environ.get(ENV_FAULTS, "").strip() or None
+
+    def submit(self, task: TaskSpec) -> None:
+        self._tasks.append(task)
+
+    # -- worker process management -------------------------------------------
+
+    def _spawn(self, broker: Broker, index: int) -> Optional[_WorkerProc]:
+        host, port = broker.address
+        env = dict(os.environ)
+        # Workers must resolve the same modules the parent can (the
+        # task payloads pickle functions *by reference*), regardless of
+        # the worker's cwd — ship the parent's import path.
+        env["PYTHONPATH"] = os.pathsep.join(p for p in sys.path if p)
+        name = f"fleet-{index}"
+        try:
+            proc = subprocess.Popen(
+                [sys.executable, "-m", "repro.dispatch.worker",
+                 "--connect", f"{host}:{port}", "--worker", name],
+                env=env,
+                stdout=subprocess.DEVNULL,
+                stderr=subprocess.DEVNULL,
+            )
+        except Exception:
+            return None
+        worker = _WorkerProc(name=name, proc=proc)
+        self._procs.append(worker)
+        return worker
+
+    def _kill_pid(self, pid: int) -> None:
+        try:
+            os.kill(pid, signal.SIGKILL)
+        except (ProcessLookupError, PermissionError, OSError):
+            pass
+
+    def _reap_and_respawn(self, broker: Broker,
+                          spawn_budget: List[int]) -> int:
+        """Collect dead workers; spawn replacements while budget lasts.
+        Returns the number of live workers."""
+        live = 0
+        for worker in self._procs:
+            if worker.dead:
+                continue
+            if worker.proc.poll() is None:
+                live += 1
+            else:
+                worker.dead = True
+        while live < self.jobs and spawn_budget[0] > 0 \
+                and not broker.finished():
+            spawn_budget[0] -= 1
+            spawned = self._spawn(broker, len(self._procs))
+            if spawned is None:
+                break
+            live += 1
+        return live
+
+    # -- the drain loop ------------------------------------------------------
+
+    def drain(self) -> List[TaskResult]:
+        tasks = self._tasks
+        self._tasks = []
+        if not tasks:
+            return []
+        policy = self.policy
+        broker = Broker(policy)
+        for task in tasks:
+            broker.add_task(task)
+        broker.start()
+
+        # Every task can burn its whole attempt budget plus backoff and
+        # still finish; past this the drain machinery itself is declared
+        # wedged and the run completes through quarantine.
+        per_task = max(t.effective_timeout(policy) for t in tasks)
+        hard_deadline = time.monotonic() + 30.0 + (
+            policy.max_attempts
+            * (per_task + policy.backoff_cap_s
+               + policy.heartbeat_timeout_s)
+        )
+        # A worker that dies consumes an attempt before it needs a
+        # replacement, so the respawn budget is bounded by the total
+        # attempt budget — a crash-looping fleet converges to
+        # quarantine instead of forking forever.
+        spawn_budget = [self.jobs + len(tasks) * policy.max_attempts]
+
+        try:
+            for index in range(min(self.jobs, len(tasks))):
+                spawn_budget[0] -= 1
+                self._spawn(broker, index)
+            while not broker.finished():
+                if time.monotonic() > hard_deadline:
+                    broker.fail_unfinished(
+                        "fleet drain hit its hard deadline; remaining "
+                        "tasks quarantined to the inline path"
+                    )
+                    break
+                for pid in broker.expire_stale():
+                    self._kill_pid(pid)
+                live = self._reap_and_respawn(broker, spawn_budget)
+                if live == 0 and not broker.finished():
+                    broker.fail_unfinished(
+                        "no fleet workers left (spawn budget "
+                        "exhausted); remaining tasks quarantined to "
+                        "the inline path"
+                    )
+                    break
+                time.sleep(_TICK_S)
+        finally:
+            broker.close()
+            self._terminate_workers()
+
+        results = broker.results()
+        quarantine_inline(broker.exhausted_tasks(), policy)
+        return results
+
+    def _terminate_workers(self) -> None:
+        for worker in self._procs:
+            if worker.dead or worker.proc.poll() is not None:
+                continue
+            worker.proc.terminate()
+        deadline = time.monotonic() + 2.0
+        for worker in self._procs:
+            if worker.dead:
+                continue
+            remaining = deadline - time.monotonic()
+            try:
+                worker.proc.wait(timeout=max(0.1, remaining))
+            except subprocess.TimeoutExpired:
+                self._kill_pid(worker.proc.pid)
+                try:
+                    worker.proc.wait(timeout=1.0)
+                except subprocess.TimeoutExpired:
+                    pass
+            worker.dead = True
+
+    def shutdown(self) -> None:
+        self._terminate_workers()
+        self._tasks = []
+
+
+__all__ = ["Broker", "FleetExecutor"]

@@ -1,0 +1,79 @@
+"""The inline executor: serial, in-process, deterministic.
+
+This is the reference backend every other executor must agree with
+bit-for-bit: tasks run one at a time in the parent process, in
+submission order, with no retries (an in-process failure is
+deterministic — running it again would fail again) and fail-fast
+semantics (tasks after the first failure are marked ``skipped``, exactly
+like the pre-dispatch serial loop, so telemetry call counts stay
+comparable between a serial run and a parallel run whose failures were
+retried and discarded).
+
+Each attempt still runs under the wall-clock cell deadline
+(:mod:`repro.dispatch.watchdog`), so even the serial path cannot hang
+past its budget: a wedged cell raises :class:`CellTimeoutError` (or the
+pipeline watchdog's :class:`CellDeadlockError`) naming the cell.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.dispatch.base import (
+    Attempt,
+    RetryPolicy,
+    TaskResult,
+    TaskSpec,
+)
+from repro.dispatch.watchdog import run_attempt
+
+
+class InlineExecutor:
+    """Serial in-process execution; the determinism baseline."""
+
+    name = "inline"
+
+    def __init__(self, jobs: Optional[int] = None,
+                 policy: Optional[RetryPolicy] = None) -> None:
+        # ``jobs`` is accepted (the registry factory signature is shared
+        # across executors) and ignored: inline is serial by definition.
+        self.policy = policy if policy is not None \
+            else RetryPolicy.from_env()
+        self._tasks: List[TaskSpec] = []
+
+    def submit(self, task: TaskSpec) -> None:
+        self._tasks.append(task)
+
+    def drain(self) -> List[TaskResult]:
+        results: List[TaskResult] = []
+        failed = False
+        for task in self._tasks:
+            result = TaskResult(task_id=task.id)
+            if failed:
+                result.attempts.append(Attempt(
+                    index=1, worker="inline", outcome="skipped",
+                    error="not attempted: an earlier task failed",
+                ))
+                result.error = "skipped after an earlier task failure"
+                results.append(result)
+                continue
+            attempt, value, exc = run_attempt(
+                task, index=1, worker="inline",
+                timeout_s=task.effective_timeout(self.policy),
+            )
+            result.attempts.append(attempt)
+            if exc is None:
+                result.value = value
+            else:
+                result.error = attempt.error
+                result.error_exc = exc
+                failed = True
+            results.append(result)
+        self._tasks = []
+        return results
+
+    def shutdown(self) -> None:
+        self._tasks = []
+
+
+__all__ = ["InlineExecutor"]

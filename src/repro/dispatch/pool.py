@@ -1,0 +1,233 @@
+"""The pool executor: today's ``ProcessPoolExecutor`` path, supervised.
+
+This is the migrated PR-1 parallel backend with the ad-hoc crash
+handling replaced by the dispatch layer's uniform machinery:
+
+* at most ``jobs`` attempts are in flight at once (a submission *window*,
+  so a task's wall-clock deadline starts when it actually reaches a
+  worker, not when it joined a long queue);
+* a failed attempt is retried in the pool with exponential backoff until
+  the :class:`RetryPolicy` attempt budget is spent, then the task is
+  *quarantined*: degraded to the parent's inline path, which either
+  produces the (deterministic) result or surfaces the original error;
+* an attempt that exceeds its deadline is recorded as a ``timeout`` and
+  quarantined immediately — ``ProcessPoolExecutor`` cannot preempt a
+  running worker, so resubmitting would just stack work behind the
+  wedged one (the abandoned future's late result, if any, is ignored);
+* a broken pool (a worker SIGKILLed by the OS kills the whole
+  ``ProcessPoolExecutor``) downgrades every unfinished task to the
+  quarantine path instead of sinking the run — that total-loss mode is
+  exactly what the fleet executor exists to avoid.
+"""
+
+from __future__ import annotations
+
+import heapq
+import time
+import traceback
+from collections import deque
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures import BrokenExecutor
+from typing import Dict, List, Optional, Tuple
+
+from repro.dispatch.base import (
+    Attempt,
+    RetryPolicy,
+    TaskResult,
+    TaskSpec,
+    quarantine_inline,
+)
+from repro.dispatch.watchdog import run_attempt
+
+
+class PoolExecutor:
+    """``ProcessPoolExecutor`` with retries, deadlines, and quarantine."""
+
+    name = "pool"
+
+    def __init__(self, jobs: Optional[int] = None,
+                 policy: Optional[RetryPolicy] = None) -> None:
+        import os
+        self.jobs = max(1, jobs if jobs is not None
+                        else (os.cpu_count() or 1))
+        self.policy = policy if policy is not None \
+            else RetryPolicy.from_env()
+        self._tasks: List[TaskSpec] = []
+
+    def submit(self, task: TaskSpec) -> None:
+        self._tasks.append(task)
+
+    def drain(self) -> List[TaskResult]:
+        tasks = self._tasks
+        self._tasks = []
+        if not tasks:
+            return []
+        results: Dict[str, TaskResult] = {
+            task.id: TaskResult(task_id=task.id) for task in tasks
+        }
+        order = {task.id: index for index, task in enumerate(tasks)}
+        quarantined: List[Tuple[TaskSpec, TaskResult]] = []
+        try:
+            pool = ProcessPoolExecutor(
+                max_workers=min(self.jobs, len(tasks))
+            )
+        except Exception:
+            # Pool unavailable (1-core boxes, sandboxes that forbid
+            # fork): degrade the whole batch to serial in-parent
+            # execution, the pre-dispatch fallback.
+            self._drain_degraded(tasks, results)
+            return [results[task.id] for task in tasks]
+        try:
+            self._drain_pool(pool, tasks, results, quarantined)
+        finally:
+            pool.shutdown(wait=False, cancel_futures=True)
+        quarantined.sort(key=lambda pair: order[pair[0].id])
+        quarantine_inline(quarantined, self.policy)
+        return [results[task.id] for task in tasks]
+
+    def shutdown(self) -> None:
+        self._tasks = []
+
+    # -- internals -----------------------------------------------------------
+
+    def _drain_degraded(self, tasks: List[TaskSpec],
+                        results: Dict[str, TaskResult]) -> None:
+        """Serial fail-fast fallback when no pool can be created."""
+        failed = False
+        for task in tasks:
+            result = results[task.id]
+            if failed:
+                result.attempts.append(Attempt(
+                    index=1, worker="inline", outcome="skipped",
+                    error="not attempted: an earlier task failed",
+                ))
+                result.error = "skipped after an earlier task failure"
+                continue
+            attempt, value, exc = run_attempt(
+                task, index=1, worker="inline",
+                timeout_s=task.effective_timeout(self.policy),
+            )
+            result.attempts.append(attempt)
+            if exc is None:
+                result.value = value
+            else:
+                result.error = attempt.error
+                result.error_exc = exc
+                failed = True
+
+    def _drain_pool(
+        self,
+        pool: ProcessPoolExecutor,
+        tasks: List[TaskSpec],
+        results: Dict[str, TaskResult],
+        quarantined: List[Tuple[TaskSpec, TaskResult]],
+    ) -> None:
+        policy = self.policy
+        window = min(self.jobs, len(tasks))
+        pending = deque((task, 1) for task in tasks)
+        retry_heap: List[Tuple[float, int, TaskSpec, int]] = []
+        in_flight: Dict[object, Tuple[TaskSpec, int, float, float]] = {}
+        broken = False
+        seq = 0
+
+        def _quarantine(task: TaskSpec) -> None:
+            quarantined.append((task, results[task.id]))
+
+        def _fail_attempt(task: TaskSpec, attempt_no: int,
+                          outcome: str, wall: float, error: str) -> None:
+            nonlocal seq
+            result = results[task.id]
+            result.attempts.append(Attempt(
+                index=attempt_no, worker="pool", outcome=outcome,
+                wall_s=wall, error=error,
+            ))
+            # Timeouts never go back into the pool (the worker that
+            # timed out is still wedged inside it); everything else
+            # retries until the budget is spent.
+            if (outcome != "timeout" and not broken
+                    and attempt_no < policy.max_attempts):
+                seq += 1
+                ready = time.monotonic() + policy.backoff(attempt_no + 1)
+                heapq.heappush(retry_heap,
+                               (ready, seq, task, attempt_no + 1))
+            else:
+                _quarantine(task)
+
+        while pending or retry_heap or in_flight:
+            now = time.monotonic()
+            while retry_heap and retry_heap[0][0] <= now:
+                _, _, task, attempt_no = heapq.heappop(retry_heap)
+                if broken:
+                    _quarantine(task)
+                else:
+                    pending.append((task, attempt_no))
+            while pending and len(in_flight) < window:
+                task, attempt_no = pending.popleft()
+                if broken:
+                    _quarantine(task)
+                    continue
+                try:
+                    future = pool.submit(task.fn, *task.args,
+                                         **task.kwargs)
+                except Exception:
+                    # Unpicklable task or pool already torn down:
+                    # deterministic failure, straight to quarantine.
+                    _fail_attempt(task, attempt_no, "error", 0.0,
+                                  traceback.format_exc(limit=20))
+                    continue
+                started = time.monotonic()
+                deadline = started + task.effective_timeout(policy)
+                in_flight[future] = (task, attempt_no, started, deadline)
+            if not in_flight:
+                if retry_heap:
+                    time.sleep(max(0.0,
+                                   retry_heap[0][0] - time.monotonic()))
+                    continue
+                if pending:
+                    continue
+                break
+
+            next_deadline = min(entry[3] for entry in in_flight.values())
+            next_retry = retry_heap[0][0] if retry_heap else float("inf")
+            wait_s = max(0.0, min(next_deadline, next_retry)
+                         - time.monotonic())
+            done, _ = wait(list(in_flight), timeout=wait_s,
+                           return_when=FIRST_COMPLETED)
+
+            for future in done:
+                task, attempt_no, started, _ = in_flight.pop(future)
+                wall = time.monotonic() - started
+                exc = future.exception()
+                if exc is None:
+                    result = results[task.id]
+                    result.attempts.append(Attempt(
+                        index=attempt_no, worker="pool", outcome="ok",
+                        wall_s=wall,
+                    ))
+                    result.value = future.result()
+                    continue
+                if isinstance(exc, BrokenExecutor):
+                    broken = True
+                    _fail_attempt(
+                        task, attempt_no, "worker-died", wall,
+                        f"process pool broke during the attempt: {exc}",
+                    )
+                    continue
+                error = "".join(traceback.format_exception(
+                    type(exc), exc, exc.__traceback__, limit=20))
+                _fail_attempt(task, attempt_no, "error", wall, error)
+
+            now = time.monotonic()
+            for future in [f for f, entry in in_flight.items()
+                           if now >= entry[3]]:
+                task, attempt_no, started, _ = in_flight.pop(future)
+                future.cancel()
+                _fail_attempt(
+                    task, attempt_no, "timeout", now - started,
+                    f"attempt exceeded its "
+                    f"{task.effective_timeout(policy):.1f}s budget in "
+                    f"the pool",
+                )
+
+
+__all__ = ["PoolExecutor"]

@@ -11,13 +11,18 @@ Central plumbing for every figure/table reproduction:
 * the evaluated *schemes* (baseline / Hoist / CritIC / CritIC.Ideal /
   Approach-1 branch switching / OPP16 / Compress / OPP16+CritIC) are
   expressed as compiler pipelines over the same program + walk;
-* :func:`run_apps` fans the app x config grid out over a process pool
-  (``REPRO_JOBS``; auto-sized to the CPU count) and seeds the in-process
-  memo with the results, so figure modules stay simple serial loops;
+* :func:`run_apps` fans the app x config grid out through a registered
+  *execution backend* (:data:`repro.registry.EXECUTORS` — ``inline``,
+  ``pool``, or the socket-broker ``fleet``; selected by ``executor=``,
+  ``REPRO_EXECUTOR``, or the sweep CLI's ``--executor``) sized by
+  ``REPRO_JOBS``, and seeds the in-process memo with the results, so
+  figure modules stay simple serial loops;
 * workers report their telemetry (phase timers, counters, span trees)
-  back through the pool results — spooled to temp files when a worker
-  crashes — so ``REPRO_PERF=1`` totals are fleet-wide, and every
-  invocation leaves a run manifest next to the artifact cache;
+  back with their results — spooled to temp files when a worker
+  crashes — so ``REPRO_PERF=1`` totals are fleet-wide; retried attempts'
+  telemetry is discarded so a retried cell is counted exactly once; and
+  every invocation leaves a run manifest (including the executor's
+  per-task attempt records) next to the artifact cache;
 * trace length is controlled by ``REPRO_WALK_BLOCKS`` (default 700 dynamic
   blocks, ~25-60k instructions per app) so benches run at laptop scale;
   the paper's full-scale methodology (100 x 500k-instruction samples) is
@@ -31,17 +36,24 @@ import os
 import tempfile
 import time
 import warnings
-from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro import perf, telemetry
 from repro.cache import artifact_key, get_cache
+from repro.dispatch import (
+    ENV_EXECUTOR,
+    ENV_FAULTS,
+    DispatchReport,
+    RetryPolicy,
+    TaskResult,
+    TaskSpec,
+)
 from repro.telemetry.manifest import record_run
 from repro.compiler import PassManager
 from repro.cpu import CpuConfig, GOOGLE_TABLET, SimStats, simulate
 from repro.profiler import CriticProfile, FinderConfig, find_critic_profile
-from repro.registry import SCHEME_RECIPES, component_identity
+from repro.registry import EXECUTORS, SCHEME_RECIPES, component_identity
 from repro.trace.dynamic import Trace
 from repro.workloads import Workload, WorkloadProfile, generate, get_profile
 
@@ -309,7 +321,7 @@ def _run_cell_worker(
     name: str, blocks: int, schemes: Tuple[str, ...], config: CpuConfig,
     spool_dir: str,
 ) -> Tuple[str, str, Dict[str, SimStats], Dict]:
-    """Pool entry point: :func:`_run_cell` plus this cell's telemetry.
+    """Worker entry point: :func:`_run_cell` plus this cell's telemetry.
 
     Telemetry is reset on entry so the returned snapshot is a *delta*
     covering exactly this cell, even when the executor reuses one worker
@@ -325,6 +337,27 @@ def _run_cell_worker(
         _spool_snapshot(spool_dir, name, config.name)
         raise
     return name, config_name, cell, telemetry.snapshot()
+
+
+def _cell_task(
+    name: str, blocks: int, schemes: Tuple[str, ...], config: CpuConfig,
+    spool_dir: Optional[str] = None, capture_telemetry: bool = True,
+) -> Tuple[str, str, Dict[str, SimStats], Optional[Dict]]:
+    """The dispatch task body for one app x config cell.
+
+    Out-of-process attempts (``capture_telemetry=True``, the executors'
+    default kwargs) reset/snapshot telemetry and ship it back as a
+    delta; in-parent attempts (the inline executor and quarantine
+    fallback, via ``inline_kwargs``) record telemetry live under the
+    classic ``run_apps.serial`` phase and return no snapshot — merging
+    one would double-count the cell.
+    """
+    if not capture_telemetry:
+        with perf.phase("run_apps.serial"):
+            app, config_name, cell = _run_cell(name, blocks, schemes,
+                                               config)
+        return app, config_name, cell, None
+    return _run_cell_worker(name, blocks, schemes, config, spool_dir)
 
 
 def _drain_spool(spool_dir: str,
@@ -360,29 +393,49 @@ def _drain_spool(spool_dir: str,
         pass
 
 
+#: The dispatch report of the most recent :func:`run_apps` fan-out
+#: (``None`` when every cell was already cached).  The sweep engine
+#: reads this to fold executor provenance into its own manifest.
+_last_report: Optional[DispatchReport] = None
+
+
+def last_dispatch_report() -> Optional[DispatchReport]:
+    """Executor/attempt provenance of the last ``run_apps`` fan-out."""
+    return _last_report
+
+
 def run_apps(apps: Sequence[str],
              schemes: Sequence[str] = ("baseline",),
              jobs: Optional[int] = None,
              configs: Sequence[CpuConfig] = (GOOGLE_TABLET,),
              walk_blocks: Optional[int] = None,
+             executor: Optional[str] = None,
              ) -> Dict[str, Dict[Tuple[str, str], SimStats]]:
     """Compute stats for an app x scheme x config grid, in parallel.
 
     Already-cached cells (in-process memo or disk cache) are collected
     inline; only the cells that actually need generation/simulation are
-    fanned out over a ``ProcessPoolExecutor`` with ``jobs`` workers
-    (default: ``REPRO_JOBS`` or the CPU count; ``jobs=1`` or a pool
-    failure falls back to serial execution).  Results land both in the
-    returned mapping (``app -> (scheme, config.name) -> SimStats``) and in
-    the per-app in-process memos, so subsequent ``ctx.stats(...)`` calls
-    made by figure modules are hits.
+    fanned out through a registered execution backend
+    (:data:`repro.registry.EXECUTORS`) with ``jobs`` workers (default:
+    ``REPRO_JOBS`` or the CPU count).  The backend is chosen by the
+    ``executor`` argument, else ``REPRO_EXECUTOR``, else ``pool``; an
+    effective worker count of 1 always runs ``inline``.  Whatever the
+    backend — and whatever faults ``REPRO_DISPATCH_FAULTS`` injects into
+    a fleet — the returned stats are bit-identical: failed attempts are
+    retried with backoff, poison cells quarantine to the inline path,
+    and every attempt is recorded in the run manifest.  Results land
+    both in the returned mapping (``app -> (scheme, config.name) ->
+    SimStats``) and in the per-app in-process memos, so subsequent
+    ``ctx.stats(...)`` calls made by figure modules are hits.
 
     Each worker ships its telemetry snapshot (phases, counters, span
     trees) back with its result — with a temp-file spool as the fallback
-    channel for workers that raise — and the parent merges them, so a
-    ``REPRO_PERF=1`` report covers the whole fleet.  Every invocation
-    also writes a run manifest (config hash, seeds, cache hit/miss
-    counts, wall time, phase table) next to the artifact cache; see
+    channel for workers that raise — and the parent merges exactly one
+    snapshot per cell (retried attempts are discarded), so a
+    ``REPRO_PERF=1`` report covers the whole fleet without
+    double-counting.  Every invocation also writes a run manifest
+    (config hash, seeds, cache hit/miss counts, wall time, phase table,
+    executor attempt records) next to the artifact cache; see
     :mod:`repro.telemetry.manifest`.
     """
     blocks = walk_blocks if walk_blocks is not None else DEFAULT_WALK_BLOCKS
@@ -390,7 +443,9 @@ def run_apps(apps: Sequence[str],
     started = time.perf_counter()
     with telemetry.span("run_apps", apps=len(apps),
                         schemes=",".join(schemes)):
-        results = _run_apps_grid(apps, schemes, jobs, configs, blocks)
+        results = _run_apps_grid(apps, schemes, jobs, configs, blocks,
+                                 executor)
+    report = _last_report
     record_run(
         "run_apps",
         apps=list(apps),
@@ -402,6 +457,7 @@ def run_apps(apps: Sequence[str],
         wall_s=time.perf_counter() - started,
         components={config.name: component_identity(config)
                     for config in configs},
+        extra={"dispatch": report.to_dict()} if report else None,
     )
     return results
 
@@ -412,8 +468,10 @@ def _run_apps_grid(
     jobs: Optional[int],
     configs: Sequence[CpuConfig],
     blocks: int,
+    executor: Optional[str] = None,
 ) -> Dict[str, Dict[Tuple[str, str], SimStats]]:
-    """The probe + fan-out body of :func:`run_apps`."""
+    """The probe + executor fan-out body of :func:`run_apps`."""
+    global _last_report
     results: Dict[str, Dict[Tuple[str, str], SimStats]] = {
         name: {} for name in apps
     }
@@ -432,10 +490,20 @@ def _run_apps_grid(
                 if missing:
                     todo.append((name, config, tuple(missing)))
 
+    _last_report = None
     if not todo:
         return results
     workers = jobs if jobs is not None else default_jobs()
     workers = min(max(1, workers), len(todo))
+
+    backend = (executor or os.environ.get(ENV_EXECUTOR, "")).strip() \
+        or "pool"
+    EXECUTORS.entry(backend)  # unknown names fail loudly, did-you-mean
+    if workers == 1:
+        # A single worker is the serial path by definition; the inline
+        # executor keeps it deterministic and process-free regardless of
+        # which backend the environment asked for.
+        backend = "inline"
 
     def _absorb(name: str, config_name: str,
                 cell: Dict[str, SimStats]) -> None:
@@ -444,46 +512,61 @@ def _run_apps_grid(
             results[name][(scheme, config_name)] = stats
             ctx._stats[(scheme, config_name)] = stats
 
-    done: Set[Tuple[str, str]] = set()
-    if workers > 1:
-        spool = tempfile.mkdtemp(prefix="repro-telemetry-spool-")
-        try:
-            with perf.phase("run_apps.parallel"), \
-                    ProcessPoolExecutor(max_workers=workers) as pool:
-                futures = [
-                    pool.submit(_run_cell_worker, name, blocks, missing,
-                                config, spool)
-                    for name, config, missing in todo
-                ]
-                for future in futures:
-                    try:
-                        name, config_name, cell, snap = future.result()
-                    except Exception:
-                        # One crashed cell doesn't sink the rest of the
-                        # grid: the other futures still land here, and
-                        # the failed cell is retried serially below.
-                        continue
-                    telemetry.merge_snapshot(snap)
-                    _absorb(name, config_name, cell)
-                    done.add((name, config_name))
-        except Exception:
-            # Pool creation/pickling failure (1-core boxes, restricted
-            # environments): fall through to the serial path below.
-            pass
-        finally:
-            # Cells headed for serial retry will re-record their
-            # telemetry from scratch; merging their crashed attempt's
-            # spooled snapshot too would double-count the cell.
-            retried = {(name, config.name) for name, config, _ in todo
-                       if (name, config.name) not in done}
-            _drain_spool(spool, skip=retried)
+    spool = None if backend == "inline" \
+        else tempfile.mkdtemp(prefix="repro-telemetry-spool-")
+    tasks = [
+        TaskSpec(
+            id=f"{name}|{config.name}",
+            fn=_cell_task,
+            args=(name, blocks, missing, config),
+            kwargs={"spool_dir": spool, "capture_telemetry": True},
+            inline_kwargs={"capture_telemetry": False},
+        )
+        for name, config, missing in todo
+    ]
+    exec_obj = EXECUTORS.create(
+        backend, jobs=workers, policy=RetryPolicy.from_env(),
+    )
+    task_results: List[TaskResult] = []
+    try:
+        for task in tasks:
+            exec_obj.submit(task)
+        if backend == "inline":
+            task_results = exec_obj.drain()
+        else:
+            with perf.phase("run_apps.parallel"):
+                task_results = exec_obj.drain()
+    finally:
+        exec_obj.shutdown()
+        if spool is not None:
+            # Keep spooled snapshots only for cells that completed
+            # cleanly on their first out-of-process attempt.  Any cell
+            # that failed, retried, or quarantined re-records (or
+            # discards) its telemetry elsewhere; merging its crashed
+            # attempts' partial spools would double-count the cell.
+            clean = {
+                tuple(r.task_id.split("|", 1)) for r in task_results
+                if r.ok and len(r.attempts) == 1 and not r.quarantined
+            }
+            every = {(name, config.name) for name, config, _ in todo}
+            _drain_spool(spool, skip=every - clean)
 
-    for name, config, missing in todo:
-        if (name, config.name) in done:
-            continue
-        with perf.phase("run_apps.serial"):
-            _, config_name, cell = _run_cell(name, blocks, missing, config)
-        _absorb(name, config_name, cell)
+    for result in task_results:
+        if result.ok:
+            name, config_name, cell, snap = result.value
+            if snap is not None:
+                telemetry.merge_snapshot(snap)
+            _absorb(name, config_name, cell)
+
+    _last_report = DispatchReport(
+        executor=EXECUTORS.identity(backend),
+        workers=workers,
+        results=task_results,
+        faults=os.environ.get(ENV_FAULTS, "").strip() or None,
+    )
+    failures = [r for r in task_results if not r.ok]
+    if failures:
+        failures[0].raise_error()
     return results
 
 

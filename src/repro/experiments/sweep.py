@@ -36,10 +36,12 @@ from repro.experiments.runner import (
     app_context,
     format_table,
     geometric_mean,
+    last_dispatch_report,
     run_apps,
 )
 from repro.registry import (
     BRANCH_PREDICTORS,
+    EXECUTORS,
     HARDWARE_CONFIGS,
     ICACHE_POLICIES,
     PREFETCHERS,
@@ -67,6 +69,9 @@ class SweepSpec:
     branch_predictor: Optional[str] = None
     walk_blocks: Optional[int] = None
     jobs: Optional[int] = None
+    #: execution backend, by :data:`~repro.registry.EXECUTORS` name
+    #: (``None`` defers to ``REPRO_EXECUTOR`` / the runner default)
+    executor: Optional[str] = None
 
     def validate(self) -> None:
         """Resolve every name now so typos fail before any work starts
@@ -81,6 +86,8 @@ class SweepSpec:
             ICACHE_POLICIES.identity(self.icache_policy)
         if self.branch_predictor is not None:
             BRANCH_PREDICTORS.identity(self.branch_predictor)
+        if self.executor is not None:
+            EXECUTORS.identity(self.executor)
 
     def resolve_configs(self) -> Tuple[CpuConfig, ...]:
         """Materialize the named configs with the overrides applied."""
@@ -162,10 +169,11 @@ def run_sweep(spec: SweepSpec) -> SweepResult:
               configs=",".join(spec.configs)):
         grid = run_apps(
             spec.apps, spec.schemes, jobs=spec.jobs, configs=configs,
-            walk_blocks=spec.walk_blocks,
+            walk_blocks=spec.walk_blocks, executor=spec.executor,
         )
     blocks = spec.walk_blocks if spec.walk_blocks is not None \
         else DEFAULT_WALK_BLOCKS
+    report = last_dispatch_report()
     record_run(
         "sweep",
         apps=list(spec.apps),
@@ -177,6 +185,7 @@ def run_sweep(spec: SweepSpec) -> SweepResult:
         wall_s=time.perf_counter() - started,
         components={config.name: component_identity(config)
                     for config in configs},
+        extra={"dispatch": report.to_dict()} if report else None,
     )
     return SweepResult(spec=spec, configs=configs, grid=grid)
 
@@ -196,6 +205,7 @@ def list_components() -> str:
         ("branch predictors", BRANCH_PREDICTORS),
         ("i-cache policies", ICACHE_POLICIES),
         ("prefetchers", PREFETCHERS),
+        ("executors", EXECUTORS),
     )
     lines: List[str] = []
     for title, registry in sections:
@@ -235,6 +245,9 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--jobs", type=int, default=None,
                         help="parallel worker count (default REPRO_JOBS "
                              "or the CPU count)")
+    parser.add_argument("--executor", default=None, metavar="NAME",
+                        help="execution backend: inline, pool, or fleet "
+                             "(default REPRO_EXECUTOR or pool)")
     parser.add_argument("--list", action="store_true", dest="list_all",
                         help="list registered components and exit")
     return parser
@@ -258,6 +271,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         branch_predictor=args.branch_predictor,
         walk_blocks=args.walk_blocks,
         jobs=args.jobs,
+        executor=args.executor,
     )
     try:
         result = run_sweep(spec)

@@ -1,8 +1,8 @@
 """Pluggable component registries for the whole pipeline.
 
 The evaluation is a grid of apps x compiler schemes x hardware variants;
-every axis of that grid is a *named component* living in one of five
-registries:
+every axis of that grid — and the machinery that *executes* it — is a
+named component living in one of six registries:
 
 ==========================  ============================================
 registry                    components (built-ins)
@@ -19,6 +19,9 @@ registry                    components (built-ins)
                             ``perfect_branch``)
 :data:`ICACHE_POLICIES`     ``lru``, ``trrip`` (temperature-based RRIP)
 :data:`PREFETCHERS`         ``clpt``, ``efetch``, ``critical-nextline``
+:data:`EXECUTORS`           ``inline``, ``pool``, ``fleet`` (execution
+                            backends for the sweep engine; see
+                            :mod:`repro.dispatch`)
 ==========================  ============================================
 
 Built-ins self-register at import of their home modules; the registries
@@ -45,6 +48,7 @@ from typing import Any, Dict
 from repro.registry.core import Registry, RegistryEntry, RegistryError
 from repro.registry.protocols import (
     BranchPredictor,
+    Executor,
     HardwareConfigFactory,
     Prefetcher,
     PrefetcherBase,
@@ -77,6 +81,12 @@ PREFETCHERS = Registry(
     "prefetcher", providers=("repro.memory.prefetch",),
 )
 
+#: name -> factory(jobs=None, policy=None) producing an execution
+#: backend for :func:`repro.experiments.runner.run_apps`.
+EXECUTORS = Registry(
+    "executor", providers=("repro.dispatch.executors",),
+)
+
 
 def component_identity(config: Any) -> Dict[str, Any]:
     """The versioned component identity of one ``CpuConfig``.
@@ -100,6 +110,8 @@ def component_identity(config: Any) -> Dict[str, Any]:
 __all__ = [
     "BRANCH_PREDICTORS",
     "BranchPredictor",
+    "EXECUTORS",
+    "Executor",
     "HARDWARE_CONFIGS",
     "HardwareConfigFactory",
     "ICACHE_POLICIES",

@@ -18,6 +18,9 @@ which is what makes a registered third-party component a drop-in:
   lines) and returns addresses/lines to prefetch.  A component implements
   only the observation points it cares about; :class:`PrefetcherBase`
   provides inert defaults for the rest.
+* :class:`Executor` — how the sweep engine runs a batch of cells:
+  ``submit``/``drain``/``shutdown``, returning per-task attempt records
+  (see :mod:`repro.dispatch`).
 """
 
 from __future__ import annotations
@@ -106,6 +109,29 @@ class PrefetcherBase:
     def observe_fetch(self, line: int, critical: bool) -> List[int]:
         """New i-line entered fetch; return *line indices* to prefetch."""
         return []
+
+
+@runtime_checkable
+class Executor(Protocol):
+    """An execution backend for a batch of dispatch tasks.
+
+    Factories registered under :data:`repro.registry.EXECUTORS` take
+    ``(jobs=None, policy=None)`` and return an object with this surface.
+    The contract (documented in :mod:`repro.dispatch.base`): ``submit``
+    only queues; ``drain`` returns one
+    :class:`~repro.dispatch.base.TaskResult` per submitted task, in
+    submission order, with task failures *recorded* (attempt records,
+    ``error``/``error_exc``) rather than raised; ``shutdown`` is
+    idempotent and reclaims every worker.
+    """
+
+    name: str
+
+    def submit(self, task: Any) -> None: ...
+
+    def drain(self) -> List[Any]: ...
+
+    def shutdown(self) -> None: ...
 
 
 @runtime_checkable

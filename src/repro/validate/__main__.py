@@ -59,6 +59,10 @@ def main(argv=None) -> int:
                         help="validate a catalog app (repeatable)")
     parser.add_argument("--no-differential", action="store_true",
                         help="skip the in-order differential oracle")
+    parser.add_argument("--dispatch", action="store_true",
+                        help="end the fuzz campaign with the dispatch "
+                             "metamorphic (same grid under inline/pool/"
+                             "fleet-with-faults must agree bitwise)")
     parser.add_argument("--report", default="validate-report.json",
                         help="violation report path (written on failure)")
     args = parser.parse_args(argv)
@@ -89,6 +93,7 @@ def main(argv=None) -> int:
         result = run_fuzz(
             args.fuzz, seed=args.seed, walk_blocks=args.walk_blocks,
             differential=not args.no_differential,
+            dispatch=args.dispatch,
             progress=lambda line: print(line, flush=True),
         )
         checked += result.properties_checked

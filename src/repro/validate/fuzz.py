@@ -27,6 +27,12 @@ must hold between runs regardless of the absolute numbers:
   instruction prefetcher never *adds* demand i-cache misses beyond
   alignment/pollution noise: its fills install lines ahead of the fetch
   stream, they never count as demand accesses.
+* **Dispatch equivalence** — one grid, run once per execution backend
+  (``inline``, ``pool``, and ``fleet`` with seeded fault injection
+  active), must produce identical ``SimStats`` for every cell *and*
+  identical manifest ``config_hash`` values: how cells were executed —
+  including how many workers were SIGKILLed along the way — is
+  provenance, never part of the result.
 
 Both new registered components (the TRRIP i-cache policy and the
 critical-nextline prefetcher) are also run under the in-order
@@ -40,9 +46,11 @@ a reproducer.
 
 from __future__ import annotations
 
+import os
 import random
+import tempfile
 from dataclasses import dataclass, field, replace
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.cpu.config import (
     CpuConfig,
@@ -280,14 +288,119 @@ def fuzz_iteration(profile: WorkloadProfile, result: FuzzResult,
     return report
 
 
+#: Fault spec injected into the fleet leg of the dispatch metamorphic:
+#: aggressive enough that workers reliably die mid-campaign, seeded so a
+#: failure is a reproducer.
+DISPATCH_FAULTS = "kill:0.35,drop:0.25,corrupt:0.2;seed={seed}"
+
+
+def dispatch_metamorphic(rng: random.Random, result: FuzzResult,
+                         walk_blocks: int = 80) -> ValidationReport:
+    """One grid, three execution backends, bitwise-identical results.
+
+    Runs the same app x scheme x config grid under ``inline``, ``pool``,
+    and ``fleet`` — the fleet leg with seeded fault injection killing and
+    corrupting workers — each against its own throwaway artifact cache,
+    then demands identical :class:`SimStats` for every cell and an
+    identical manifest ``config_hash``: execution provenance (executor,
+    attempts, retries, quarantines) must never leak into results or
+    cache identity.
+    """
+    from repro.cache import ENV_DIR, ENV_ENABLE, reset_cache
+    from repro.dispatch import ENV_EXECUTOR, ENV_FAULTS
+    from repro.experiments import runner
+    from repro.telemetry.manifest import LAST_RUN, load_manifest, \
+        manifest_dir
+
+    report = ValidationReport(trace_name="dispatch", config_name="grid")
+    app = rng.choice(sorted(ALL_PROFILES)[:8])
+    scheme = rng.choice(["hoist", "critic", "opp16"])
+    faults = DISPATCH_FAULTS.format(seed=rng.randrange(1, 1 << 16))
+    legs: List[Tuple[str, Optional[str]]] = [
+        ("inline", None), ("pool", None), ("fleet", faults),
+    ]
+    grids: Dict[str, Dict] = {}
+    hashes: Dict[str, str] = {}
+    reports: Dict[str, Optional[Dict]] = {}
+    saved = {name: os.environ.get(name)
+             for name in (ENV_DIR, ENV_ENABLE, ENV_EXECUTOR, ENV_FAULTS)}
+    try:
+        with tempfile.TemporaryDirectory(prefix="repro-fuzz-dispatch-") \
+                as root:
+            for backend, fault_spec in legs:
+                os.environ[ENV_ENABLE] = "1"
+                os.environ[ENV_DIR] = os.path.join(root, backend)
+                os.environ.pop(ENV_EXECUTOR, None)
+                if fault_spec:
+                    os.environ[ENV_FAULTS] = fault_spec
+                else:
+                    os.environ.pop(ENV_FAULTS, None)
+                reset_cache()
+                runner.clear_cache()
+                grids[backend] = runner.run_apps(
+                    [app], schemes=("baseline", scheme), jobs=2,
+                    configs=(GOOGLE_TABLET, config_4x_icache()),
+                    walk_blocks=walk_blocks, executor=backend,
+                )
+                result.simulations += 4
+                manifest = load_manifest(
+                    str(manifest_dir() / LAST_RUN))
+                hashes[backend] = manifest["config_hash"]
+                reports[backend] = manifest.get("dispatch")
+    finally:
+        for name, value in saved.items():
+            if value is None:
+                os.environ.pop(name, None)
+            else:
+                os.environ[name] = value
+        reset_cache()
+        runner.clear_cache()
+
+    for backend, _ in legs[1:]:
+        _meta(
+            report, result, grids[backend] == grids["inline"],
+            "meta_dispatch_stats",
+            f"{backend} executor changed SimStats for {app}/{scheme} "
+            f"(faults={faults if backend == 'fleet' else None!r})",
+            backend=backend,
+        )
+        _meta(
+            report, result, hashes[backend] == hashes["inline"],
+            "meta_dispatch_manifest",
+            f"{backend} executor changed the manifest config_hash: "
+            f"{hashes[backend]} vs inline {hashes['inline']}",
+            backend=backend,
+        )
+    fleet = reports["fleet"] or {}
+    _meta(
+        report, result, fleet.get("executor") == "fleet@1",
+        "meta_dispatch_manifest",
+        f"fleet manifest lacks executor provenance: {fleet}",
+    )
+    _meta(
+        report, result, fleet.get("faults") == faults,
+        "meta_dispatch_manifest",
+        f"fleet manifest lost the active fault spec: {fleet}",
+    )
+    result.reports.append(report)
+    return report
+
+
 def run_fuzz(
     iterations: int,
     seed: int = 3,
     walk_blocks: int = 120,
     differential: bool = True,
+    dispatch: bool = False,
     progress: Optional[Callable[[str], None]] = None,
 ) -> FuzzResult:
-    """Run ``iterations`` fuzz rounds; deterministic for a given seed."""
+    """Run ``iterations`` fuzz rounds; deterministic for a given seed.
+
+    With ``dispatch=True`` the campaign ends with one
+    :func:`dispatch_metamorphic` round (the grid-under-every-executor
+    equivalence check) — off by default because it spawns real worker
+    processes and throwaway caches.
+    """
     rng = random.Random(seed)
     result = FuzzResult()
     for index in range(iterations):
@@ -301,4 +414,11 @@ def run_fuzz(
                 f"[{index + 1}/{iterations}] {profile.name} "
                 f"(seed={profile.seed}): {status}"
             )
+    if dispatch:
+        report = dispatch_metamorphic(rng, result,
+                                      walk_blocks=min(walk_blocks, 80))
+        result.iterations += 1
+        if progress is not None:
+            status = "ok" if report.ok else "FAIL"
+            progress(f"[dispatch] inline/pool/fleet equivalence: {status}")
     return result

@@ -4,14 +4,24 @@ Regression tests for the PR-1 parallel runner silently dropping
 ``repro.perf`` phases/counters recorded inside ``ProcessPoolExecutor``
 workers: fleet totals (e.g. ``simulate`` call counts) must match the
 serial run's, and even a *crashing* worker's telemetry must be recovered
-through the temp-file spool channel.
+through the temp-file spool channel.  With execution now behind the
+``EXECUTORS`` registry, the same exactly-once discipline is asserted for
+every backend — including a fleet whose workers are being killed by the
+fault injector mid-sweep.
 """
+
+import time
 
 import pytest
 
 from repro import telemetry
 from repro.cache import reset_cache
-from repro.experiments.runner import clear_cache, run_apps
+from repro.dispatch import CellTimeoutError
+from repro.experiments.runner import (
+    clear_cache,
+    last_dispatch_report,
+    run_apps,
+)
 from repro.registry import SCHEME_RECIPES
 from repro.telemetry.manifest import load_manifest, manifest_dir
 
@@ -25,6 +35,13 @@ def _exploding_recipe(ctx, max_length, profiled_fraction):
     references it."""
     ctx.workload
     raise ValueError("scheme recipe exploded (test crash injection)")
+
+
+def _sleeping_recipe(ctx, max_length, profiled_fraction):
+    """Hangs the cell long enough for the wall-clock deadline to fire."""
+    ctx.workload
+    time.sleep(30.0)
+    return []
 
 
 @pytest.fixture(autouse=True)
@@ -118,6 +135,111 @@ class TestWorkerMerge:
             run_apps(APPS, ("crtic",), jobs=1, walk_blocks=WALK)
         assert telemetry.phase_stats().get("generate", {}) \
             .get("calls", 0) == 0
+
+
+class TestPerExecutorTelemetry:
+    """Exactly-once telemetry for every registered execution backend."""
+
+    def _serial_reference(self, tmp_path, monkeypatch, schemes,
+                          raises=None):
+        """Phase totals from a plain jobs=1 run, then fresh state."""
+        if raises is None:
+            run_apps(APPS, schemes, jobs=1, walk_blocks=WALK)
+        else:
+            with pytest.raises(ValueError, match=raises):
+                run_apps(APPS, schemes, jobs=1, walk_blocks=WALK)
+        reference = telemetry.phase_stats()
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache2"))
+        reset_cache()
+        clear_cache()
+        telemetry.reset()
+        return reference
+
+    @pytest.mark.parametrize("executor", ["pool", "fleet"])
+    def test_simulate_counts_match_serial(self, tmp_path, monkeypatch,
+                                          executor):
+        serial = self._serial_reference(tmp_path, monkeypatch,
+                                        ("baseline",))
+        results = run_apps(APPS, ("baseline",), jobs=2, walk_blocks=WALK,
+                           executor=executor)
+        assert all(results[name] for name in APPS)
+        report = last_dispatch_report()
+        assert report is not None
+        assert report.executor == f"{executor}@1"
+        phases = telemetry.phase_stats()
+        if executor == "pool" and "run_apps.parallel" not in phases:
+            pytest.skip("process pool unavailable; degraded path ran")
+        for phase in ("simulate", "generate"):
+            assert phases.get(phase, {}).get("calls", 0) \
+                == serial.get(phase, {}).get("calls", 0), phase
+
+    def test_fleet_retried_cell_counted_exactly_once(self, tmp_path,
+                                                     monkeypatch):
+        """Fault injection forces retries; a retried cell's spans must
+        land in the parent exactly once — the successful attempt's.
+
+        Kill-only faults with the disk cache off keep the accounting
+        exact: each SIGKILLed attempt takes its whole process (and its
+        memo and telemetry) with it, so the successful retry in a fresh
+        worker recomputes — and reports — the full cell.  (With ``drop``
+        faults or a shared cache, a retry may legitimately *undercount*
+        by reusing the doomed attempt's work; the double-count direction
+        is what this test guards.)  Seed 7 kills both cells' first two
+        attempts and lets the third through."""
+        monkeypatch.setenv("REPRO_CACHE", "0")
+        reset_cache()
+        serial = self._serial_reference(tmp_path, monkeypatch,
+                                        ("baseline",))
+        monkeypatch.setenv("REPRO_DISPATCH_FAULTS", "kill:0.6;seed=7")
+        monkeypatch.setenv("REPRO_DISPATCH_BACKOFF", "0.01")
+        results = run_apps(APPS, ("baseline",), jobs=2, walk_blocks=WALK,
+                           executor="fleet")
+        assert all(results[name] for name in APPS)
+        report = last_dispatch_report()
+        assert report.to_dict()["retries"] >= 1, \
+            "fault plan injected nothing; pick a hotter seed"
+        assert report.faults == "kill:0.6;seed=7"
+        phases = telemetry.phase_stats()
+        for phase in ("simulate", "generate"):
+            assert phases.get(phase, {}).get("calls", 0) \
+                == serial.get(phase, {}).get("calls", 0), phase
+
+    @pytest.mark.parametrize("executor", ["pool", "fleet"])
+    def test_crashed_worker_totals_match_serial(self, tmp_path,
+                                                monkeypatch, executor):
+        """The exploding-recipe regression, per backend: every remote
+        attempt crashes, the cell quarantines to the parent, and the
+        parent's totals still match a plain serial run's."""
+        monkeypatch.setenv("REPRO_DISPATCH_BACKOFF", "0.01")
+        with SCHEME_RECIPES.scoped("explode-after-work",
+                                   _exploding_recipe):
+            serial = self._serial_reference(
+                tmp_path, monkeypatch, ("explode-after-work",),
+                raises="recipe exploded")
+            with pytest.raises(ValueError, match="recipe exploded"):
+                run_apps(APPS, ("explode-after-work",), jobs=2,
+                         walk_blocks=WALK, executor=executor)
+            report = last_dispatch_report()
+            assert report.to_dict()["quarantined"], \
+                "poison cells should have been quarantined"
+            assert telemetry.phase_stats() \
+                .get("generate", {}).get("calls", 0) \
+                == serial.get("generate", {}).get("calls", 0)
+
+
+class TestCellDeadline:
+    def test_wedged_cell_raises_structured_timeout(self, monkeypatch):
+        """A cell that stops making wall-clock progress fails loudly
+        with the cell id in the error instead of hanging the run."""
+        monkeypatch.setenv("REPRO_DISPATCH_TIMEOUT", "0.5")
+        with SCHEME_RECIPES.scoped("sleep-forever", _sleeping_recipe):
+            with pytest.raises(CellTimeoutError,
+                               match="Music.google-tablet") as excinfo:
+                run_apps(("Music",), ("sleep-forever",), jobs=1,
+                         walk_blocks=WALK)
+        assert excinfo.value.task_id == "Music|google-tablet"
+        report = last_dispatch_report()
+        assert report.to_dict()["timeouts"] >= 1
 
 
 class TestRunManifest:

@@ -48,6 +48,11 @@ class TestSweepSpec:
         with pytest.raises(RegistryError, match="trrip"):
             spec.validate()
 
+    def test_validate_unknown_executor(self):
+        spec = SweepSpec(apps=("Music",), executor="flete")
+        with pytest.raises(RegistryError, match="fleet"):
+            spec.validate()
+
     def test_resolve_plain_names(self):
         spec = SweepSpec(apps=("Music",),
                          configs=("google-tablet", "trrip-icache"))
@@ -105,6 +110,35 @@ class TestRunSweep:
         assert "baseline:cycles" in table
         assert "speedup" not in table
 
+    def test_executor_provenance_reaches_manifest(self):
+        spec = SweepSpec(apps=("Music", "Email"), schemes=("baseline",),
+                         walk_blocks=WALK, jobs=2, executor="fleet")
+        result = run_sweep(spec)
+        assert result.cell("Music", "baseline", "google-tablet").cycles > 0
+        manifest = load_manifest(str(manifest_dir() / "last_run.json"))
+        dispatch = manifest["dispatch"]
+        assert dispatch["executor"] == "fleet@1"
+        assert dispatch["tasks"] == 2
+        assert dispatch["workers"] == 2
+        # Executor identity is provenance, not invocation: the same spec
+        # run inline must produce the identical config_hash.
+        clear_cache()
+        inline = run_sweep(SweepSpec(
+            apps=("Music", "Email"), schemes=("baseline",),
+            walk_blocks=WALK, jobs=1, executor="inline",
+        ))
+        assert inline.grid == result.grid
+        warm = load_manifest(str(manifest_dir() / "last_run.json"))
+        assert warm["config_hash"] == manifest["config_hash"]
+
+    def test_warm_sweep_has_no_dispatch_record(self):
+        spec = SweepSpec(apps=("Music",), schemes=("baseline",),
+                         walk_blocks=WALK, jobs=1)
+        run_sweep(spec)
+        run_sweep(spec)  # every cell memoized: nothing dispatched
+        manifest = load_manifest(str(manifest_dir() / "last_run.json"))
+        assert "dispatch" not in manifest
+
 
 class TestCli:
     def test_csv_parsing(self):
@@ -113,11 +147,25 @@ class TestCli:
         assert args.apps == ("Music", "Email")
         assert args.schemes == ("baseline",)
 
+    def test_executor_flag_parsed(self):
+        args = build_parser().parse_args(
+            ["--apps", "Music", "--executor", "fleet"])
+        assert args.executor == "fleet"
+        assert build_parser().parse_args(["--apps", "Music"]) \
+            .executor is None
+
+    def test_unknown_executor_exits_2(self, capsys):
+        code = main(["--apps", "Music", "--executor", "flete",
+                     "--walk-blocks", str(WALK)])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "did you mean" in err and "fleet" in err
+
     def test_list_components_mentions_every_registry(self, capsys):
         assert main(["--list"]) == 0
         out = capsys.readouterr().out
         for needle in ("google-tablet@1", "critic@1", "two-level@1",
-                       "trrip@1", "critical-nextline@1"):
+                       "trrip@1", "critical-nextline@1", "fleet@1"):
             assert needle in out
         # list_components() is what --list prints
         assert list_components() in out
