@@ -1,0 +1,94 @@
+"""Measure the batch engine's aggregate throughput for BENCH_perf.json.
+
+Methodology (1-core container, matching the existing single-cell
+numbers): one fig11-style batch — the Music baseline trace under the
+Table I baseline, the six Fig-11 hardware variants, and the
+replacement-policy study config (8 cells, one trace) — timed warm
+(tables/profiles memoized, C kernel compiled) as the best of N repeats.
+The single-cell warm comparison runs the same trace inline under the
+baseline config.  The acceptance floor is >= 5x over the pinned 238,363
+warm instr/s single-cell number (Angrybirds@400, BENCH_perf.json).
+
+Usage: PYTHONPATH=src python scripts/bench_batch.py
+"""
+
+import json
+import os
+import sys
+import tempfile
+import time
+
+os.environ.setdefault("REPRO_CACHE_DIR",
+                      tempfile.mkdtemp(prefix="repro-bench-batch-"))
+
+from repro.cpu.batch import last_batch_report, simulate_batch  # noqa: E402
+from repro.cpu.config import (  # noqa: E402
+    GOOGLE_TABLET,
+    HARDWARE_VARIANTS,
+    config_trrip_icache,
+)
+from repro.cpu.pipeline import simulate  # noqa: E402
+from repro.experiments.runner import app_context  # noqa: E402
+
+APP = os.environ.get("REPRO_BENCH_APP", "Music")
+WALK = int(os.environ.get("REPRO_BENCH_WALK", "140"))
+REPEATS = int(os.environ.get("REPRO_BENCH_REPEATS", "5"))
+WARM_FLOOR = 238363  # single-cell warm instr/s pinned in BENCH_perf.json
+
+
+def main() -> int:
+    trace = app_context(APP, WALK).trace()
+    configs = [GOOGLE_TABLET] + [make() for make in
+                                 HARDWARE_VARIANTS.values()]
+    configs.append(config_trrip_icache())
+
+    # Warm everything once: trace tables, branch/memory profiles, numpy
+    # array caches, and the compiled C kernel.
+    stats = simulate_batch(trace, configs)
+    report = last_batch_report()
+    if report["fallbacks"]:
+        print(f"warning: fallback cells in bench batch: "
+              f"{report['fallbacks']}", file=sys.stderr)
+    instructions = sum(s.instructions for s in stats)
+
+    best_batch = min(
+        _timed(lambda: simulate_batch(trace, configs))
+        for _ in range(REPEATS)
+    )
+    simulate(trace, GOOGLE_TABLET, engine="inline")
+    best_inline = min(
+        _timed(lambda: simulate(trace, GOOGLE_TABLET, engine="inline"))
+        for _ in range(REPEATS)
+    )
+
+    aggregate = instructions / best_batch
+    inline_rate = len(trace) / best_inline
+    result = {
+        "app": APP,
+        "walk_blocks": WALK,
+        "cells": len(configs),
+        "kernel": last_batch_report()["kernel"],
+        "instructions_per_batch": instructions,
+        "warm_batch_s": round(best_batch, 4),
+        "warm_aggregate_instr_per_s": int(aggregate),
+        "warm_inline_single_cell_instr_per_s": int(inline_rate),
+        "floor_single_cell_instr_per_s": WARM_FLOOR,
+        "speedup_vs_floor_x": round(aggregate / WARM_FLOOR, 2),
+        "speedup_vs_inline_here_x": round(aggregate / inline_rate, 2),
+    }
+    print(json.dumps(result, indent=2))
+    if aggregate < 5 * WARM_FLOOR:
+        print(f"FAIL: aggregate {int(aggregate)} instr/s is below the "
+              f"5x floor ({5 * WARM_FLOOR})", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _timed(fn) -> float:
+    start = time.perf_counter()
+    fn()
+    return time.perf_counter() - start
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,597 @@
+/* C twin of the pure-Python cycle kernel in _batchkernel.py.
+ *
+ * Compiled on demand by repro.cpu._batchkernel.get_kernel() with the
+ * system C compiler (cc -O2 -shared -fPIC) and loaded via ctypes; it
+ * must stay a line-for-line transcription of advance_cell() — the
+ * Python kernel is the executable specification, and the test suite
+ * runs both against the inline simulator's golden numbers.
+ *
+ * Return codes: 0 done, 1 horizon reached, 2 deadlock, 3 ring overflow.
+ */
+
+/* register layout — must match _batchkernel.py exactly */
+#define R_NOW 0
+#define R_COMMITTED 1
+#define R_FETCH_POS 2
+#define R_ICACHE_READY 3
+#define R_FETCH_RESUME 4
+#define R_REDIRECT_POS 5
+#define R_ROB_HEAD 6
+#define R_ROB_TAIL 7
+#define R_FQ_HEAD 8
+#define R_FQ_TAIL 9
+#define R_DQ_HEAD 10
+#define R_DQ_TAIL 11
+#define R_PEND_HEAD 12
+#define R_PEND_TAIL 13
+#define R_READY_N 14
+#define R_READYC_N 15
+#define R_UNISSUED 16
+#define R_NEXT_EV 17
+#define R_INFLIGHT 18
+#define R_WD_COMMITTED 19
+#define R_WD_FETCH_POS 20
+#define R_F_ACTIVE 21
+#define R_F_ICACHE 22
+#define R_F_BRANCH 23
+#define R_F_SWITCH 24
+#define R_F_BP 25
+#define R_F_DRAINED 26
+#define R_FC_ACTIVE 27
+#define R_FC_ICACHE 28
+#define R_FC_BRANCH 29
+#define R_FC_SWITCH 30
+#define R_FC_BP 31
+#define R_IQ_OCC_SUM 32
+#define R_IQ_FULL 33
+#define R_ROB_OCC_SUM 34
+#define R_CDP_DECODED 35
+#define R_DC_ACC 36
+#define R_DC_MISS 37
+#define R_L2D_ACC 38
+#define R_COMMIT_W 39
+#define R_RENAME_W 40
+#define R_ISSUE_W 41
+#define R_ROB_ENTRIES 42
+#define R_IQ_ENTRIES 43
+#define R_DECODE_BYTES 44
+#define R_CDP_EXTRA 45
+#define R_FETCH_BYTES 46
+#define R_FQ_CAP 47
+#define R_DECODE_CAP 48
+#define R_SCHED_WIN 49
+#define R_BACKEND_PRIO 50
+#define R_REDIRECT_PEN 51
+#define R_SWITCH_BUBBLE 52
+#define R_FU_ALU 53
+#define R_FU_MUL 54
+#define R_FU_FP 55
+#define R_FU_MEM 56
+#define R_FU_BRANCH 57
+#define R_ICACHE_HIT 58
+#define R_L2_HIT 59
+#define R_DCACHE_HIT 60
+#define R_DC_SETS 61
+#define R_DC_ASSOC 62
+#define R_ROB_MASK 63
+#define R_FQ_MASK 64
+#define R_DQ_MASK 65
+#define R_PEND_MASK 66
+#define R_WHEEL_MASK 67
+
+#define FLAG_LOAD 1
+#define FLAG_STORE 2
+#define FLAG_CDP 4
+
+#define WD_MASK 8191
+
+typedef long long i64;
+typedef int i32;
+typedef unsigned char u8;
+
+i64 repro_batch_advance(
+    i64 n, i64 max_now,
+    /* shared (read-only) */
+    const i32 *sizes, const i32 *lats, const u8 *fus, const u8 *flags,
+    const u8 *bact, const u8 *crit,
+    const i32 *iev, const u8 *ev_kind, const i32 *ev_lat,
+    const i32 *ev_creator,
+    const i32 *prod_ptr, const i32 *prod_idx,
+    const i32 *cons_ptr, const i32 *cons_idx,
+    const i32 *d_set, const i64 *d_tag,
+    /* cell (mutable) */
+    i64 *regs, i64 *head_c, i64 *fetch_c, i64 *decode_c, i64 *dispatch_c,
+    i64 *issue_c, i64 *complete_c, i64 *commit_c,
+    u8 *completed, u8 *dispatched, i32 *remaining,
+    i32 *rob, i32 *fq, i32 *dq, i32 *pending, i32 *ready, i32 *readyc,
+    i32 *wheel_head, i32 *wheel_tail, i32 *next_comp, i64 *ev_time,
+    i64 *dc_tags, i32 *dc_occ, i32 *window)
+{
+    i64 now = regs[R_NOW];
+    i64 committed = regs[R_COMMITTED];
+    i64 fetch_pos = regs[R_FETCH_POS];
+    i64 icache_ready = regs[R_ICACHE_READY];
+    i64 fetch_resume = regs[R_FETCH_RESUME];
+    i64 redirect_pos = regs[R_REDIRECT_POS];
+    i64 rob_head = regs[R_ROB_HEAD];
+    i64 rob_tail = regs[R_ROB_TAIL];
+    i64 fq_head = regs[R_FQ_HEAD];
+    i64 fq_tail = regs[R_FQ_TAIL];
+    i64 dq_head = regs[R_DQ_HEAD];
+    i64 dq_tail = regs[R_DQ_TAIL];
+    i64 pend_head = regs[R_PEND_HEAD];
+    i64 pend_tail = regs[R_PEND_TAIL];
+    i64 nready = regs[R_READY_N];
+    i64 nreadyc = regs[R_READYC_N];
+    i64 unissued = regs[R_UNISSUED];
+    i64 next_ev = regs[R_NEXT_EV];
+    i64 in_flight = regs[R_INFLIGHT];
+    i64 wd_committed = regs[R_WD_COMMITTED];
+    i64 wd_fetch_pos = regs[R_WD_FETCH_POS];
+
+    i64 f_active = regs[R_F_ACTIVE];
+    i64 f_icache = regs[R_F_ICACHE];
+    i64 f_branch = regs[R_F_BRANCH];
+    i64 f_switch = regs[R_F_SWITCH];
+    i64 f_bp = regs[R_F_BP];
+    i64 f_drained = regs[R_F_DRAINED];
+    i64 fc_active = regs[R_FC_ACTIVE];
+    i64 fc_icache = regs[R_FC_ICACHE];
+    i64 fc_branch = regs[R_FC_BRANCH];
+    i64 fc_switch = regs[R_FC_SWITCH];
+    i64 fc_bp = regs[R_FC_BP];
+    i64 iq_occ_sum = regs[R_IQ_OCC_SUM];
+    i64 iq_full = regs[R_IQ_FULL];
+    i64 rob_occ_sum = regs[R_ROB_OCC_SUM];
+    i64 cdp_decoded = regs[R_CDP_DECODED];
+    i64 dc_acc = regs[R_DC_ACC];
+    i64 dc_miss = regs[R_DC_MISS];
+    i64 l2d_acc = regs[R_L2D_ACC];
+
+    const i64 commit_w = regs[R_COMMIT_W];
+    const i64 rename_w = regs[R_RENAME_W];
+    const i64 issue_w = regs[R_ISSUE_W];
+    const i64 rob_entries = regs[R_ROB_ENTRIES];
+    const i64 iq_entries = regs[R_IQ_ENTRIES];
+    const i64 decode_bytes_w = regs[R_DECODE_BYTES];
+    const i64 cdp_extra = regs[R_CDP_EXTRA];
+    const i64 fetch_bytes = regs[R_FETCH_BYTES];
+    const i64 fq_cap = regs[R_FQ_CAP];
+    const i64 decode_cap = regs[R_DECODE_CAP];
+    const i64 sched_win = regs[R_SCHED_WIN];
+    const i64 backend_prio = regs[R_BACKEND_PRIO];
+    const i64 redirect_pen = regs[R_REDIRECT_PEN];
+    const i64 switch_bubble = regs[R_SWITCH_BUBBLE];
+    i64 fu_base[5];
+    const i64 icache_hit = regs[R_ICACHE_HIT];
+    const i64 l2_hit = regs[R_L2_HIT];
+    const i64 dcache_hit = regs[R_DCACHE_HIT];
+    const i64 dc_assoc = regs[R_DC_ASSOC];
+    const i64 rob_mask = regs[R_ROB_MASK];
+    const i64 fq_mask = regs[R_FQ_MASK];
+    const i64 dq_mask = regs[R_DQ_MASK];
+    const i64 pend_mask = regs[R_PEND_MASK];
+    const i64 wheel_mask = regs[R_WHEEL_MASK];
+
+    i64 status = 1;
+    i64 caps[5];
+    fu_base[0] = regs[R_FU_ALU];
+    fu_base[1] = regs[R_FU_MUL];
+    fu_base[2] = regs[R_FU_FP];
+    fu_base[3] = regs[R_FU_MEM];
+    fu_base[4] = regs[R_FU_BRANCH];
+
+    for (;;) {
+        if (committed >= n) { status = 0; break; }
+        if (now >= max_now) { status = 1; break; }
+
+        /* ---- commit ---- */
+        {
+            i64 width = commit_w;
+            while (width && rob_head != rob_tail) {
+                i64 pos = rob[rob_head & rob_mask];
+                if (!completed[pos]) break;
+                commit_c[pos] = now;
+                rob_head += 1;
+                committed += 1;
+                width -= 1;
+            }
+        }
+
+        /* ---- writeback / wake-up ---- */
+        {
+            i64 slot = now & wheel_mask;
+            i64 link = wheel_head[slot];
+            if (link) {
+                wheel_head[slot] = 0;
+                wheel_tail[slot] = 0;
+                while (link) {
+                    i64 pos = link - 1;
+                    i64 k;
+                    completed[pos] = 1;
+                    complete_c[pos] = now;
+                    in_flight -= 1;
+                    for (k = cons_ptr[pos]; k < cons_ptr[pos + 1]; k++) {
+                        i64 consumer = cons_idx[k];
+                        if (dispatched[consumer]
+                                && !completed[consumer]) {
+                            i64 rem = remaining[consumer] - 1;
+                            remaining[consumer] = (i32)rem;
+                            if (rem == 0 && !sched_win) {
+                                if (backend_prio && crit[consumer]) {
+                                    readyc[nreadyc++] = (i32)consumer;
+                                } else {
+                                    ready[nready++] = (i32)consumer;
+                                }
+                            }
+                        }
+                    }
+                    link = next_comp[pos];
+                }
+            }
+        }
+
+        /* ---- issue ---- */
+        if (sched_win) {
+            i64 slots = issue_w;
+            i64 wn = 0, wcrit = 0, idx, i;
+            while (pend_head != pend_tail
+                    && issue_c[pending[pend_head & pend_mask]] >= 0)
+                pend_head += 1;
+            caps[0] = fu_base[0]; caps[1] = fu_base[1];
+            caps[2] = fu_base[2]; caps[3] = fu_base[3];
+            caps[4] = fu_base[4];
+            idx = pend_head;
+            while (idx != pend_tail && wn < sched_win) {
+                i64 pos = pending[idx & pend_mask];
+                if (issue_c[pos] < 0) window[wn++] = (i32)pos;
+                idx += 1;
+            }
+            if (backend_prio && wn) {
+                /* stable critical-first partition into the scratch
+                 * upper half, then copy back */
+                i64 m = 0;
+                for (i = 0; i < wn; i++)
+                    if (crit[window[i]]) window[wn + m++] = window[i];
+                wcrit = m;
+                for (i = 0; i < wn; i++)
+                    if (!crit[window[i]]) window[wn + m++] = window[i];
+                for (i = 0; i < wn; i++) window[i] = window[wn + i];
+                (void)wcrit;
+            }
+            for (i = 0; i < wn; i++) {
+                i64 pos = window[i];
+                i64 latency, t, slot2, tail;
+                i64 flag;
+                if (slots == 0) break;
+                if (remaining[pos] != 0) continue;
+                if (caps[fus[pos]] <= 0) continue;
+                caps[fus[pos]] -= 1;
+                slots -= 1;
+                unissued -= 1;
+                issue_c[pos] = now;
+                latency = lats[pos];
+                flag = flags[pos];
+                if (flag & 3) {
+                    i64 tag = d_tag[pos];
+                    if (tag >= 0) {
+                        i64 base = (i64)d_set[pos] * dc_assoc;
+                        i64 occ = dc_occ[d_set[pos]];
+                        i64 way = -1, w, mlat;
+                        dc_acc += 1;
+                        for (w = 0; w < occ; w++) {
+                            if (dc_tags[base + w] == tag) { way = w; break; }
+                        }
+                        if (way >= 0) {
+                            for (w = way; w > 0; w--)
+                                dc_tags[base + w] = dc_tags[base + w - 1];
+                            dc_tags[base] = tag;
+                            mlat = dcache_hit;
+                        } else {
+                            i64 end;
+                            dc_miss += 1;
+                            l2d_acc += 1;
+                            if (occ < dc_assoc) {
+                                dc_occ[d_set[pos]] = (i32)(occ + 1);
+                                end = occ;
+                            } else {
+                                end = dc_assoc - 1;
+                            }
+                            for (w = end; w > 0; w--)
+                                dc_tags[base + w] = dc_tags[base + w - 1];
+                            dc_tags[base] = tag;
+                            mlat = (flag & FLAG_LOAD)
+                                ? dcache_hit + l2_hit : dcache_hit;
+                        }
+                        if (mlat > latency) latency = mlat;
+                    }
+                }
+                if (latency < 1) latency = 1;
+                t = now + latency;
+                slot2 = t & wheel_mask;
+                tail = wheel_tail[slot2];
+                if (tail) next_comp[tail - 1] = (i32)(pos + 1);
+                else wheel_head[slot2] = (i32)(pos + 1);
+                wheel_tail[slot2] = (i32)(pos + 1);
+                next_comp[pos] = 0;
+                in_flight += 1;
+            }
+        } else if (nready || nreadyc) {
+            i64 slots = issue_w;
+            i64 q;
+            caps[0] = fu_base[0]; caps[1] = fu_base[1];
+            caps[2] = fu_base[2]; caps[3] = fu_base[3];
+            caps[4] = fu_base[4];
+            for (q = backend_prio ? 1 : 0; q >= 0; q--) {
+                i32 *queue = q ? readyc : ready;
+                i64 count = q ? nreadyc : nready;
+                i64 kept = 0, i;
+                if (!count) continue;
+                for (i = 0; i < count; i++) {
+                    i64 pos = queue[i];
+                    i64 latency, t, slot2, tail, flag;
+                    if (slots == 0 || caps[fus[pos]] <= 0) {
+                        queue[kept++] = (i32)pos;
+                        continue;
+                    }
+                    caps[fus[pos]] -= 1;
+                    slots -= 1;
+                    unissued -= 1;
+                    issue_c[pos] = now;
+                    latency = lats[pos];
+                    flag = flags[pos];
+                    if (flag & 3) {
+                        i64 tag = d_tag[pos];
+                        if (tag >= 0) {
+                            i64 base = (i64)d_set[pos] * dc_assoc;
+                            i64 occ = dc_occ[d_set[pos]];
+                            i64 way = -1, w, mlat;
+                            dc_acc += 1;
+                            for (w = 0; w < occ; w++) {
+                                if (dc_tags[base + w] == tag) {
+                                    way = w; break;
+                                }
+                            }
+                            if (way >= 0) {
+                                for (w = way; w > 0; w--)
+                                    dc_tags[base + w] =
+                                        dc_tags[base + w - 1];
+                                dc_tags[base] = tag;
+                                mlat = dcache_hit;
+                            } else {
+                                i64 end;
+                                dc_miss += 1;
+                                l2d_acc += 1;
+                                if (occ < dc_assoc) {
+                                    dc_occ[d_set[pos]] = (i32)(occ + 1);
+                                    end = occ;
+                                } else {
+                                    end = dc_assoc - 1;
+                                }
+                                for (w = end; w > 0; w--)
+                                    dc_tags[base + w] =
+                                        dc_tags[base + w - 1];
+                                dc_tags[base] = tag;
+                                mlat = (flag & FLAG_LOAD)
+                                    ? dcache_hit + l2_hit : dcache_hit;
+                            }
+                            if (mlat > latency) latency = mlat;
+                        }
+                    }
+                    if (latency < 1) latency = 1;
+                    t = now + latency;
+                    slot2 = t & wheel_mask;
+                    tail = wheel_tail[slot2];
+                    if (tail) next_comp[tail - 1] = (i32)(pos + 1);
+                    else wheel_head[slot2] = (i32)(pos + 1);
+                    wheel_tail[slot2] = (i32)(pos + 1);
+                    next_comp[pos] = 0;
+                    in_flight += 1;
+                }
+                if (q) nreadyc = kept;
+                else nready = kept;
+            }
+        }
+
+        /* ---- dispatch / rename ---- */
+        {
+            i64 width = rename_w;
+            while (width && dq_head != dq_tail
+                    && rob_tail - rob_head < rob_entries
+                    && unissued < iq_entries) {
+                i64 pos = dq[dq_head & dq_mask];
+                i64 rem = 0, k;
+                dq_head += 1;
+                unissued += 1;
+                dispatch_c[pos] = now;
+                dispatched[pos] = 1;
+                for (k = prod_ptr[pos]; k < prod_ptr[pos + 1]; k++)
+                    if (!completed[prod_idx[k]]) rem += 1;
+                remaining[pos] = (i32)rem;
+                if (rob_tail - rob_head > rob_mask) return 3;
+                rob[rob_tail & rob_mask] = (i32)pos;
+                rob_tail += 1;
+                if (sched_win) {
+                    if (pend_tail - pend_head > pend_mask) return 3;
+                    pending[pend_tail & pend_mask] = (i32)pos;
+                    pend_tail += 1;
+                } else if (rem == 0) {
+                    if (backend_prio && crit[pos]) {
+                        readyc[nreadyc++] = (i32)pos;
+                    } else {
+                        ready[nready++] = (i32)pos;
+                    }
+                }
+                width -= 1;
+            }
+        }
+
+        /* ---- decode ---- */
+        {
+            i64 decode_bytes = decode_bytes_w;
+            while (decode_bytes > 0 && fq_head != fq_tail
+                    && dq_tail - dq_head < decode_cap) {
+                i64 pos = fq[fq_head & fq_mask];
+                i64 size = sizes[pos];
+                if (size > decode_bytes) break;
+                if (flags[pos] & FLAG_CDP) {
+                    fq_head += 1;
+                    decode_c[pos] = now;
+                    cdp_decoded += 1;
+                    completed[pos] = 1;
+                    complete_c[pos] = now;
+                    dispatch_c[pos] = now;
+                    issue_c[pos] = now;
+                    if (rob_tail - rob_head > rob_mask) return 3;
+                    rob[rob_tail & rob_mask] = (i32)pos;
+                    rob_tail += 1;
+                    dispatched[pos] = 1;
+                    decode_bytes -= size + cdp_extra;
+                    continue;
+                }
+                fq_head += 1;
+                decode_c[pos] = now;
+                dq[dq_tail & dq_mask] = (i32)pos;
+                dq_tail += 1;
+                decode_bytes -= size;
+            }
+        }
+
+        /* ---- fetch ---- */
+        if (fetch_pos < n) {
+            i64 is_crit_head;
+            if (head_c[fetch_pos] < 0) head_c[fetch_pos] = now;
+            is_crit_head = crit[fetch_pos];
+            if (redirect_pos >= 0) {
+                i64 done_c = complete_c[redirect_pos];
+                if (done_c >= 0 && done_c + redirect_pen <= now)
+                    redirect_pos = -1;
+            }
+            if (redirect_pos >= 0) {
+                f_branch += 1;
+                if (is_crit_head) fc_branch += 1;
+            } else if (now < fetch_resume) {
+                f_switch += 1;
+                if (is_crit_head) fc_switch += 1;
+            } else if (now < icache_ready) {
+                f_icache += 1;
+                if (is_crit_head) fc_icache += 1;
+            } else if (fq_tail - fq_head >= fq_cap) {
+                f_bp += 1;
+                if (is_crit_head) fc_bp += 1;
+            } else {
+                i64 budget = fetch_bytes;
+                i64 fetched = 0;
+                i64 buffered = fq_tail - fq_head;
+                icache_ready = 0;
+                fetch_resume = 0;
+                redirect_pos = -1;
+                while (fetch_pos < n && budget > 0 && buffered < fq_cap) {
+                    i64 size = sizes[fetch_pos];
+                    i64 ev, pos, action;
+                    if (size > budget) break;
+                    ev = iev[fetch_pos];
+                    if (ev >= next_ev) {
+                        i64 latency;
+                        ev_time[ev] = now;
+                        next_ev = ev + 1;
+                        if (ev_kind[ev]) {
+                            i64 residual = ev_time[ev_creator[ev]]
+                                + l2_hit - now;
+                            if (residual < 0) residual = 0;
+                            latency = icache_hit + residual;
+                        } else {
+                            latency = ev_lat[ev];
+                        }
+                        if (latency > icache_hit) {
+                            icache_ready = now + latency;
+                            break;
+                        }
+                    }
+                    budget -= size;
+                    fq[fq_tail & fq_mask] = (i32)fetch_pos;
+                    fq_tail += 1;
+                    buffered += 1;
+                    fetch_c[fetch_pos] = now;
+                    if (head_c[fetch_pos] < 0) head_c[fetch_pos] = now;
+                    fetched = 1;
+                    pos = fetch_pos;
+                    fetch_pos += 1;
+                    action = bact[pos];
+                    if (action) {
+                        if (action == 1) break;
+                        if (action == 2) { redirect_pos = pos; break; }
+                        fetch_resume = now + 1 + switch_bubble;
+                        break;
+                    }
+                }
+                if (fetched) {
+                    f_active += 1;
+                    if (is_crit_head) fc_active += 1;
+                } else {
+                    f_icache += 1;
+                    if (is_crit_head) fc_icache += 1;
+                }
+            }
+        } else {
+            f_drained += 1;
+        }
+
+        iq_occ_sum += unissued;
+        if (unissued >= iq_entries) iq_full += 1;
+        rob_occ_sum += rob_tail - rob_head;
+
+        if ((now & WD_MASK) == WD_MASK) {
+            if (committed == wd_committed && fetch_pos == wd_fetch_pos
+                    && !in_flight) {
+                status = 2;
+                now += 1;
+                break;
+            }
+            wd_committed = committed;
+            wd_fetch_pos = fetch_pos;
+        }
+        now += 1;
+    }
+
+    regs[R_NOW] = now;
+    regs[R_COMMITTED] = committed;
+    regs[R_FETCH_POS] = fetch_pos;
+    regs[R_ICACHE_READY] = icache_ready;
+    regs[R_FETCH_RESUME] = fetch_resume;
+    regs[R_REDIRECT_POS] = redirect_pos;
+    regs[R_ROB_HEAD] = rob_head;
+    regs[R_ROB_TAIL] = rob_tail;
+    regs[R_FQ_HEAD] = fq_head;
+    regs[R_FQ_TAIL] = fq_tail;
+    regs[R_DQ_HEAD] = dq_head;
+    regs[R_DQ_TAIL] = dq_tail;
+    regs[R_PEND_HEAD] = pend_head;
+    regs[R_PEND_TAIL] = pend_tail;
+    regs[R_READY_N] = nready;
+    regs[R_READYC_N] = nreadyc;
+    regs[R_UNISSUED] = unissued;
+    regs[R_NEXT_EV] = next_ev;
+    regs[R_INFLIGHT] = in_flight;
+    regs[R_WD_COMMITTED] = wd_committed;
+    regs[R_WD_FETCH_POS] = wd_fetch_pos;
+    regs[R_F_ACTIVE] = f_active;
+    regs[R_F_ICACHE] = f_icache;
+    regs[R_F_BRANCH] = f_branch;
+    regs[R_F_SWITCH] = f_switch;
+    regs[R_F_BP] = f_bp;
+    regs[R_F_DRAINED] = f_drained;
+    regs[R_FC_ACTIVE] = fc_active;
+    regs[R_FC_ICACHE] = fc_icache;
+    regs[R_FC_BRANCH] = fc_branch;
+    regs[R_FC_SWITCH] = fc_switch;
+    regs[R_FC_BP] = fc_bp;
+    regs[R_IQ_OCC_SUM] = iq_occ_sum;
+    regs[R_IQ_FULL] = iq_full;
+    regs[R_ROB_OCC_SUM] = rob_occ_sum;
+    regs[R_CDP_DECODED] = cdp_decoded;
+    regs[R_DC_ACC] = dc_acc;
+    regs[R_DC_MISS] = dc_miss;
+    regs[R_L2D_ACC] = l2d_acc;
+    return status;
+}

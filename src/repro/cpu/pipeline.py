@@ -960,6 +960,7 @@ def simulate(
     recorder: Optional[FlightRecorder] = None,
     validator=None,
     validate: Optional[bool] = None,
+    engine: Optional[str] = None,
 ) -> SimStats:
     """Convenience wrapper: build a Simulator and run it.
 
@@ -967,7 +968,26 @@ def simulate(
     (``False`` forces it off; ``None`` defers to an explicit
     ``validator`` or the ``REPRO_VALIDATE`` environment switch).  See
     :mod:`repro.validate`.
+
+    ``engine`` selects the simulation engine from the
+    :data:`repro.registry.SIMULATORS` registry (``None`` defers to
+    ``REPRO_SIM_ENGINE``, else ``inline``).  Engines are bit-identical;
+    see :mod:`repro.cpu.engines`.
     """
+    resolved = (engine or os.environ.get("REPRO_SIM_ENGINE", "")).strip() \
+        or "inline"
+    if resolved != "inline":
+        from repro.registry import SIMULATORS
+        return SIMULATORS.create(resolved)(
+            trace, config,
+            critical_positions=critical_positions,
+            chain_positions=chain_positions,
+            max_cycles=max_cycles,
+            warm=warm,
+            recorder=recorder,
+            validator=validator,
+            validate=validate,
+        )
     sim = Simulator(
         trace, config,
         critical_positions=critical_positions,

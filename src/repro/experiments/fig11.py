@@ -52,13 +52,15 @@ class Fig11Result:
 
 @spanned("fig11.run")
 def run(apps: Optional[int] = None,
-        walk_blocks: Optional[int] = None) -> Fig11Result:
+        walk_blocks: Optional[int] = None,
+        engine: Optional[str] = None) -> Fig11Result:
     names = _group_names("mobile", apps)
     run_sweep(SweepSpec(
         apps=tuple(names),
         schemes=("baseline", "critic"),
         configs=("google-tablet",) + MECHANISMS,
         walk_blocks=walk_blocks,
+        engine=engine,
     ))
 
     def mean_speedup(scheme: str, config: CpuConfig) -> float:

@@ -101,6 +101,7 @@ def run_profile_sensitivity(
     fractions: Sequence[float] = (0.1, 0.33, 0.72, 1.0),
     apps: Optional[int] = 3,
     walk_blocks: Optional[int] = None,
+    engine: Optional[str] = None,
 ) -> List[Fig12bRow]:
     """Fig 12b: speedup vs profiled fraction of the execution."""
     names = _group_names("mobile", apps)
@@ -110,6 +111,7 @@ def run_profile_sensitivity(
         apps=tuple(names),
         schemes=("baseline", "critic"),
         walk_blocks=walk_blocks,
+        engine=engine,
     ))
     rows: List[Fig12bRow] = []
     for fraction in fractions:

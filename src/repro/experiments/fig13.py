@@ -42,13 +42,15 @@ class Fig13Result:
 
 @spanned("fig13.run")
 def run(apps: Optional[int] = None,
-        walk_blocks: Optional[int] = None) -> Fig13Result:
+        walk_blocks: Optional[int] = None,
+        engine: Optional[str] = None) -> Fig13Result:
     rows: List[Fig13Row] = []
     names = _group_names("mobile", apps)
     run_sweep(SweepSpec(
         apps=tuple(names),
         schemes=("baseline",) + SCHEMES,
         walk_blocks=walk_blocks,
+        engine=engine,
     ))
     for name in names:
         ctx = app_context(name, walk_blocks)

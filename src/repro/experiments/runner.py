@@ -52,8 +52,14 @@ from repro.dispatch import (
 from repro.telemetry.manifest import record_run
 from repro.compiler import PassManager
 from repro.cpu import CpuConfig, GOOGLE_TABLET, SimStats, simulate
+from repro.cpu.engines import ENV_ENGINE
 from repro.profiler import CriticProfile, FinderConfig, find_critic_profile
-from repro.registry import EXECUTORS, SCHEME_RECIPES, component_identity
+from repro.registry import (
+    EXECUTORS,
+    SCHEME_RECIPES,
+    SIMULATORS,
+    component_identity,
+)
 from repro.trace.dynamic import Trace
 from repro.workloads import Workload, WorkloadProfile, generate, get_profile
 
@@ -252,15 +258,22 @@ class AppContext:
     def stats(self, scheme: str = "baseline",
               config: CpuConfig = GOOGLE_TABLET,
               max_length: int = 5,
-              profiled_fraction: float = 1.0) -> SimStats:
-        """Simulate ``scheme`` on ``config`` (memo + disk cached)."""
+              profiled_fraction: float = 1.0,
+              engine: Optional[str] = None) -> SimStats:
+        """Simulate ``scheme`` on ``config`` (memo + disk cached).
+
+        ``engine`` picks the simulation engine (see
+        :data:`repro.registry.SIMULATORS`); engines are bit-identical,
+        so cache keys don't carry it and a cached cell satisfies any
+        engine's request.
+        """
         stats = self.cached_stats(scheme, config, max_length,
                                   profiled_fraction)
         if stats is not None:
             return stats
         trace = self.scheme_trace(scheme, max_length, profiled_fraction)
         with perf.phase("simulate"):
-            stats = simulate(trace, config)
+            stats = simulate(trace, config, engine=engine)
         get_cache().store_stats(
             self._stats_key(scheme, config, max_length, profiled_fraction),
             stats,
@@ -293,10 +306,38 @@ def clear_cache() -> None:
 
 
 def _run_cell(name: str, blocks: int, schemes: Tuple[str, ...],
-              config: CpuConfig) -> Tuple[str, str, Dict[str, SimStats]]:
+              config: CpuConfig, engine: Optional[str] = None,
+              ) -> Tuple[str, str, Dict[str, SimStats]]:
     """Worker body: compute all ``schemes`` for one app x config cell."""
     ctx = app_context(name, blocks)
-    return name, config.name, {s: ctx.stats(s, config) for s in schemes}
+    return name, config.name, {
+        s: ctx.stats(s, config, engine=engine) for s in schemes
+    }
+
+
+#: Task-id suffix marking a batched (one trace x many configs) cell.
+_BATCH_TAG = "batch"
+
+
+def _run_batch_cell(
+    name: str, blocks: int, scheme: str, configs: Tuple[CpuConfig, ...],
+) -> Tuple[str, str, Dict[str, SimStats]]:
+    """Worker body for one batched app x scheme cell: all ``configs``
+    advance through the batch engine together (per-cell inline fallback
+    happens inside :func:`repro.cpu.batch.simulate_batch`)."""
+    from repro.cpu.batch import simulate_batch
+
+    ctx = app_context(name, blocks)
+    trace = ctx.scheme_trace(scheme)
+    with perf.phase("simulate"):
+        all_stats = simulate_batch(trace, list(configs))
+    cache = get_cache()
+    cell: Dict[str, SimStats] = {}
+    for config, stats in zip(configs, all_stats):
+        cache.store_stats(ctx._stats_key(scheme, config, 5, 1.0), stats)
+        ctx._stats[(scheme, config.name)] = stats
+        cell[config.name] = stats
+    return name, f"{scheme}|{_BATCH_TAG}", cell
 
 
 def _spool_snapshot(spool_dir: str, name: str, config_name: str) -> None:
@@ -317,30 +358,11 @@ def _spool_snapshot(spool_dir: str, name: str, config_name: str) -> None:
         pass
 
 
-def _run_cell_worker(
-    name: str, blocks: int, schemes: Tuple[str, ...], config: CpuConfig,
-    spool_dir: str,
-) -> Tuple[str, str, Dict[str, SimStats], Dict]:
-    """Worker entry point: :func:`_run_cell` plus this cell's telemetry.
-
-    Telemetry is reset on entry so the returned snapshot is a *delta*
-    covering exactly this cell, even when the executor reuses one worker
-    process for several cells (or the worker forked with the parent's
-    counters already populated).  If the cell raises, the partial
-    snapshot is spooled to ``spool_dir`` instead, so the parent can still
-    merge the phases/counters of a failed worker.
-    """
-    telemetry.reset()
-    try:
-        name, config_name, cell = _run_cell(name, blocks, schemes, config)
-    except BaseException:
-        _spool_snapshot(spool_dir, name, config.name)
-        raise
-    return name, config_name, cell, telemetry.snapshot()
 
 
 def _cell_task(
     name: str, blocks: int, schemes: Tuple[str, ...], config: CpuConfig,
+    engine: Optional[str] = None,
     spool_dir: Optional[str] = None, capture_telemetry: bool = True,
 ) -> Tuple[str, str, Dict[str, SimStats], Optional[Dict]]:
     """The dispatch task body for one app x config cell.
@@ -355,9 +377,37 @@ def _cell_task(
     if not capture_telemetry:
         with perf.phase("run_apps.serial"):
             app, config_name, cell = _run_cell(name, blocks, schemes,
-                                               config)
+                                               config, engine)
         return app, config_name, cell, None
-    return _run_cell_worker(name, blocks, schemes, config, spool_dir)
+    telemetry.reset()
+    try:
+        result = _run_cell(name, blocks, schemes, config, engine)
+    except BaseException:
+        _spool_snapshot(spool_dir, name, config.name)
+        raise
+    return (*result, telemetry.snapshot())
+
+
+def _batch_cell_task(
+    name: str, blocks: int, scheme: str, configs: Tuple[CpuConfig, ...],
+    spool_dir: Optional[str] = None, capture_telemetry: bool = True,
+) -> Tuple[str, str, Dict[str, SimStats], Optional[Dict]]:
+    """The dispatch task body for one batched app x scheme cell — the
+    batch-engine counterpart of :func:`_cell_task`, with the same
+    telemetry reset/snapshot/spool protocol (spool tag
+    ``(name, "<scheme>|batch")`` matches the task id)."""
+    if not capture_telemetry:
+        with perf.phase("run_apps.serial"):
+            app, tag, cell = _run_batch_cell(name, blocks, scheme,
+                                             configs)
+        return app, tag, cell, None
+    telemetry.reset()
+    try:
+        result = _run_batch_cell(name, blocks, scheme, configs)
+    except BaseException:
+        _spool_snapshot(spool_dir, name, f"{scheme}|{_BATCH_TAG}")
+        raise
+    return (*result, telemetry.snapshot())
 
 
 def _drain_spool(spool_dir: str,
@@ -410,6 +460,7 @@ def run_apps(apps: Sequence[str],
              configs: Sequence[CpuConfig] = (GOOGLE_TABLET,),
              walk_blocks: Optional[int] = None,
              executor: Optional[str] = None,
+             engine: Optional[str] = None,
              ) -> Dict[str, Dict[Tuple[str, str], SimStats]]:
     """Compute stats for an app x scheme x config grid, in parallel.
 
@@ -440,12 +491,23 @@ def run_apps(apps: Sequence[str],
     """
     blocks = walk_blocks if walk_blocks is not None else DEFAULT_WALK_BLOCKS
     schemes = tuple(schemes)
+    engine_name = (engine or os.environ.get(ENV_ENGINE, "")).strip() \
+        or "inline"
+    SIMULATORS.entry(engine_name)  # unknown engines fail loudly
     started = time.perf_counter()
     with telemetry.span("run_apps", apps=len(apps),
                         schemes=",".join(schemes)):
         results = _run_apps_grid(apps, schemes, jobs, configs, blocks,
-                                 executor)
+                                 executor, engine_name)
     report = _last_report
+    # Engine identity rides in ``extra`` — recorded in the manifest but
+    # outside the invocation record, so ``config_hash`` (and with it the
+    # artifact cache) is engine-blind: engines are bit-identical.
+    extra: Dict[str, object] = {
+        "engine": SIMULATORS.identity(engine_name),
+    }
+    if report:
+        extra["dispatch"] = report.to_dict()
     record_run(
         "run_apps",
         apps=list(apps),
@@ -457,7 +519,7 @@ def run_apps(apps: Sequence[str],
         wall_s=time.perf_counter() - started,
         components={config.name: component_identity(config)
                     for config in configs},
-        extra={"dispatch": report.to_dict()} if report else None,
+        extra=extra,
     )
     return results
 
@@ -469,6 +531,7 @@ def _run_apps_grid(
     configs: Sequence[CpuConfig],
     blocks: int,
     executor: Optional[str] = None,
+    engine: str = "inline",
 ) -> Dict[str, Dict[Tuple[str, str], SimStats]]:
     """The probe + executor fan-out body of :func:`run_apps`."""
     global _last_report
@@ -514,16 +577,37 @@ def _run_apps_grid(
 
     spool = None if backend == "inline" \
         else tempfile.mkdtemp(prefix="repro-telemetry-spool-")
-    tasks = [
-        TaskSpec(
-            id=f"{name}|{config.name}",
-            fn=_cell_task,
-            args=(name, blocks, missing, config),
-            kwargs={"spool_dir": spool, "capture_telemetry": True},
-            inline_kwargs={"capture_telemetry": False},
-        )
-        for name, config, missing in todo
-    ]
+    if engine == "batch":
+        # The batch engine amortizes the cycle loop across configs of one
+        # trace, so the task axis flips: one task per app x scheme cell
+        # covering every config still missing it (the engine handles
+        # per-config inline fallbacks internally).
+        grouped: Dict[Tuple[str, str], List[CpuConfig]] = {}
+        for name, config, missing in todo:
+            for scheme in missing:
+                grouped.setdefault((name, scheme), []).append(config)
+        tasks = [
+            TaskSpec(
+                id=f"{name}|{scheme}|{_BATCH_TAG}",
+                fn=_batch_cell_task,
+                args=(name, blocks, scheme, tuple(batch_configs)),
+                kwargs={"spool_dir": spool, "capture_telemetry": True},
+                inline_kwargs={"capture_telemetry": False},
+            )
+            for (name, scheme), batch_configs in grouped.items()
+        ]
+    else:
+        tasks = [
+            TaskSpec(
+                id=f"{name}|{config.name}",
+                fn=_cell_task,
+                args=(name, blocks, missing, config,
+                      None if engine == "inline" else engine),
+                kwargs={"spool_dir": spool, "capture_telemetry": True},
+                inline_kwargs={"capture_telemetry": False},
+            )
+            for name, config, missing in todo
+        ]
     exec_obj = EXECUTORS.create(
         backend, jobs=workers, policy=RetryPolicy.from_env(),
     )
@@ -548,15 +632,27 @@ def _run_apps_grid(
                 tuple(r.task_id.split("|", 1)) for r in task_results
                 if r.ok and len(r.attempts) == 1 and not r.quarantined
             }
-            every = {(name, config.name) for name, config, _ in todo}
+            # Task ids are "<app>|<config>" or "<app>|<scheme>|batch";
+            # one split mirrors the spool tags for both shapes.
+            every = {tuple(t.id.split("|", 1)) for t in tasks}
             _drain_spool(spool, skip=every - clean)
 
+    batch_suffix = f"|{_BATCH_TAG}"
     for result in task_results:
         if result.ok:
-            name, config_name, cell, snap = result.value
+            name, tag, cell, snap = result.value
             if snap is not None:
                 telemetry.merge_snapshot(snap)
-            _absorb(name, config_name, cell)
+            if tag.endswith(batch_suffix):
+                # Batched cell: tag is "<scheme>|batch" and the payload
+                # maps config names (not schemes) to stats.
+                scheme = tag[: -len(batch_suffix)]
+                ctx = app_context(name, blocks)
+                for config_name, stats in cell.items():
+                    results[name][(scheme, config_name)] = stats
+                    ctx._stats[(scheme, config_name)] = stats
+            else:
+                _absorb(name, tag, cell)
 
     _last_report = DispatchReport(
         executor=EXECUTORS.identity(backend),

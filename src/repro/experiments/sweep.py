@@ -25,12 +25,14 @@ post-processing.  The CLI makes ad-hoc studies one-liners::
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.cpu import CpuConfig, SimStats, speedup
+from repro.cpu.engines import ENV_ENGINE
 from repro.experiments.runner import (
     DEFAULT_WALK_BLOCKS,
     app_context,
@@ -46,6 +48,7 @@ from repro.registry import (
     ICACHE_POLICIES,
     PREFETCHERS,
     SCHEME_RECIPES,
+    SIMULATORS,
     component_identity,
 )
 from repro.telemetry import span
@@ -72,6 +75,10 @@ class SweepSpec:
     #: execution backend, by :data:`~repro.registry.EXECUTORS` name
     #: (``None`` defers to ``REPRO_EXECUTOR`` / the runner default)
     executor: Optional[str] = None
+    #: simulation engine, by :data:`~repro.registry.SIMULATORS` name
+    #: (``None`` defers to ``REPRO_SIM_ENGINE`` / ``inline``); engines
+    #: are bit-identical, so this changes wall time, never numbers
+    engine: Optional[str] = None
 
     def validate(self) -> None:
         """Resolve every name now so typos fail before any work starts
@@ -88,6 +95,8 @@ class SweepSpec:
             BRANCH_PREDICTORS.identity(self.branch_predictor)
         if self.executor is not None:
             EXECUTORS.identity(self.executor)
+        if self.engine is not None:
+            SIMULATORS.identity(self.engine)
 
     def resolve_configs(self) -> Tuple[CpuConfig, ...]:
         """Materialize the named configs with the overrides applied."""
@@ -170,10 +179,20 @@ def run_sweep(spec: SweepSpec) -> SweepResult:
         grid = run_apps(
             spec.apps, spec.schemes, jobs=spec.jobs, configs=configs,
             walk_blocks=spec.walk_blocks, executor=spec.executor,
+            engine=spec.engine,
         )
     blocks = spec.walk_blocks if spec.walk_blocks is not None \
         else DEFAULT_WALK_BLOCKS
     report = last_dispatch_report()
+    engine_name = (spec.engine or os.environ.get(ENV_ENGINE, "")).strip() \
+        or "inline"
+    # Like the runner manifest: engine identity recorded, config_hash
+    # engine-blind (engines are bit-identical).
+    extra: Dict[str, object] = {
+        "engine": SIMULATORS.identity(engine_name),
+    }
+    if report:
+        extra["dispatch"] = report.to_dict()
     record_run(
         "sweep",
         apps=list(spec.apps),
@@ -185,7 +204,7 @@ def run_sweep(spec: SweepSpec) -> SweepResult:
         wall_s=time.perf_counter() - started,
         components={config.name: component_identity(config)
                     for config in configs},
-        extra={"dispatch": report.to_dict()} if report else None,
+        extra=extra,
     )
     return SweepResult(spec=spec, configs=configs, grid=grid)
 
@@ -206,6 +225,7 @@ def list_components() -> str:
         ("i-cache policies", ICACHE_POLICIES),
         ("prefetchers", PREFETCHERS),
         ("executors", EXECUTORS),
+        ("simulators", SIMULATORS),
     )
     lines: List[str] = []
     for title, registry in sections:
@@ -248,6 +268,10 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--executor", default=None, metavar="NAME",
                         help="execution backend: inline, pool, or fleet "
                              "(default REPRO_EXECUTOR or pool)")
+    parser.add_argument("--engine", default=None, metavar="NAME",
+                        help="simulation engine: inline or batch "
+                             "(default REPRO_SIM_ENGINE or inline; "
+                             "bit-identical results either way)")
     parser.add_argument("--list", action="store_true", dest="list_all",
                         help="list registered components and exit")
     return parser
@@ -272,6 +296,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         walk_blocks=args.walk_blocks,
         jobs=args.jobs,
         executor=args.executor,
+        engine=args.engine,
     )
     try:
         result = run_sweep(spec)

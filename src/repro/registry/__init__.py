@@ -2,7 +2,7 @@
 
 The evaluation is a grid of apps x compiler schemes x hardware variants;
 every axis of that grid — and the machinery that *executes* it — is a
-named component living in one of six registries:
+named component living in one of seven registries:
 
 ==========================  ============================================
 registry                    components (built-ins)
@@ -22,6 +22,8 @@ registry                    components (built-ins)
 :data:`EXECUTORS`           ``inline``, ``pool``, ``fleet`` (execution
                             backends for the sweep engine; see
                             :mod:`repro.dispatch`)
+:data:`SIMULATORS`          ``inline``, ``batch`` (cycle-simulation
+                            engines; see :mod:`repro.cpu.engines`)
 ==========================  ============================================
 
 Built-ins self-register at import of their home modules; the registries
@@ -87,6 +89,17 @@ EXECUTORS = Registry(
     "executor", providers=("repro.dispatch.executors",),
 )
 
+#: name -> zero-arg factory producing a ``simulate()``-compatible
+#: callable (a *simulation engine*): ``inline`` is the reference
+#: cycle-loop simulator, ``batch`` the lockstep many-cells-per-trace
+#: engine.  Engines are bit-identical by contract — the golden-stats
+#: gate and the ``--engine`` fuzz metamorphic enforce it — so engine
+#: identity is recorded in run manifests but excluded from cache keys
+#: and ``config_hash``.
+SIMULATORS = Registry(
+    "simulation engine", providers=("repro.cpu.engines",),
+)
+
 
 def component_identity(config: Any) -> Dict[str, Any]:
     """The versioned component identity of one ``CpuConfig``.
@@ -123,6 +136,7 @@ __all__ = [
     "RegistryError",
     "ReplacementPolicy",
     "SCHEME_RECIPES",
+    "SIMULATORS",
     "SchemeRecipe",
     "component_identity",
 ]

@@ -63,6 +63,11 @@ def main(argv=None) -> int:
                         help="end the fuzz campaign with the dispatch "
                              "metamorphic (same grid under inline/pool/"
                              "fleet-with-faults must agree bitwise)")
+    parser.add_argument("--engine", action="store_true",
+                        help="end the fuzz campaign with the engine "
+                             "metamorphic (same grid under the inline "
+                             "and batch simulation engines must agree "
+                             "bitwise, including manifest config_hash)")
     parser.add_argument("--report", default="validate-report.json",
                         help="violation report path (written on failure)")
     args = parser.parse_args(argv)
@@ -94,6 +99,7 @@ def main(argv=None) -> int:
             args.fuzz, seed=args.seed, walk_blocks=args.walk_blocks,
             differential=not args.no_differential,
             dispatch=args.dispatch,
+            engines=args.engine,
             progress=lambda line: print(line, flush=True),
         )
         checked += result.properties_checked

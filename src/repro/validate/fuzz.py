@@ -386,12 +386,89 @@ def dispatch_metamorphic(rng: random.Random, result: FuzzResult,
     return report
 
 
+def engine_metamorphic(rng: random.Random, result: FuzzResult,
+                       walk_blocks: int = 80) -> ValidationReport:
+    """One grid, every simulation engine, bitwise-identical results.
+
+    Runs the same app x scheme x config grid under the ``inline`` and
+    ``batch`` engines — each against its own throwaway artifact cache —
+    and demands identical :class:`SimStats` for every cell plus an
+    identical manifest ``config_hash``: the engine is provenance (the
+    manifest must *record* it), never part of the result or the cache
+    identity.  The config list deliberately mixes plain cells (batched
+    fast path) with a CLPT config whose load-observing prefetcher cannot
+    be vectorized, so the per-cell inline fallback inside a batch is
+    exercised every round.
+    """
+    from repro.cache import ENV_DIR, ENV_ENABLE, reset_cache
+    from repro.experiments import runner
+    from repro.telemetry.manifest import LAST_RUN, load_manifest, \
+        manifest_dir
+
+    report = ValidationReport(trace_name="engine", config_name="grid")
+    app = rng.choice(sorted(ALL_PROFILES)[:8])
+    scheme = rng.choice(["hoist", "critic", "opp16"])
+    configs = (GOOGLE_TABLET, config_4x_icache(),
+               config_critical_prefetch())
+    legs = ("inline", "batch")
+    grids: Dict[str, Dict] = {}
+    hashes: Dict[str, str] = {}
+    identities: Dict[str, Optional[str]] = {}
+    saved = {name: os.environ.get(name) for name in (ENV_DIR, ENV_ENABLE)}
+    try:
+        with tempfile.TemporaryDirectory(prefix="repro-fuzz-engine-") \
+                as root:
+            for engine in legs:
+                os.environ[ENV_ENABLE] = "1"
+                os.environ[ENV_DIR] = os.path.join(root, engine)
+                reset_cache()
+                runner.clear_cache()
+                grids[engine] = runner.run_apps(
+                    [app], schemes=("baseline", scheme), jobs=1,
+                    configs=configs, walk_blocks=walk_blocks,
+                    engine=engine,
+                )
+                result.simulations += 2 * len(configs)
+                manifest = load_manifest(str(manifest_dir() / LAST_RUN))
+                hashes[engine] = manifest["config_hash"]
+                identities[engine] = manifest.get("engine")
+    finally:
+        for name, value in saved.items():
+            if value is None:
+                os.environ.pop(name, None)
+            else:
+                os.environ[name] = value
+        reset_cache()
+        runner.clear_cache()
+
+    _meta(
+        report, result, grids["batch"] == grids["inline"],
+        "meta_engine_stats",
+        f"batch engine changed SimStats for {app}/{scheme}: the engines "
+        f"must be bit-identical",
+    )
+    _meta(
+        report, result, hashes["batch"] == hashes["inline"],
+        "meta_engine_manifest",
+        f"engine choice changed the manifest config_hash: "
+        f"{hashes['batch']} vs inline {hashes['inline']}",
+    )
+    _meta(
+        report, result, identities["batch"] == "batch@1",
+        "meta_engine_manifest",
+        f"batch manifest lacks engine provenance: {identities['batch']!r}",
+    )
+    result.reports.append(report)
+    return report
+
+
 def run_fuzz(
     iterations: int,
     seed: int = 3,
     walk_blocks: int = 120,
     differential: bool = True,
     dispatch: bool = False,
+    engines: bool = False,
     progress: Optional[Callable[[str], None]] = None,
 ) -> FuzzResult:
     """Run ``iterations`` fuzz rounds; deterministic for a given seed.
@@ -399,7 +476,9 @@ def run_fuzz(
     With ``dispatch=True`` the campaign ends with one
     :func:`dispatch_metamorphic` round (the grid-under-every-executor
     equivalence check) — off by default because it spawns real worker
-    processes and throwaway caches.
+    processes and throwaway caches.  With ``engines=True`` it ends with
+    one :func:`engine_metamorphic` round (the grid-under-every-engine
+    equivalence check; in-process, but needs a throwaway cache pair).
     """
     rng = random.Random(seed)
     result = FuzzResult()
@@ -421,4 +500,11 @@ def run_fuzz(
         if progress is not None:
             status = "ok" if report.ok else "FAIL"
             progress(f"[dispatch] inline/pool/fleet equivalence: {status}")
+    if engines:
+        report = engine_metamorphic(rng, result,
+                                    walk_blocks=min(walk_blocks, 80))
+        result.iterations += 1
+        if progress is not None:
+            status = "ok" if report.ok else "FAIL"
+            progress(f"[engine] inline/batch equivalence: {status}")
     return result

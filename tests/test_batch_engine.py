@@ -1,0 +1,270 @@
+"""Tests for the batched lockstep simulation engine (``repro.cpu.batch``).
+
+The engine's contract is *bit-identity*: a batch must produce exactly
+the ``SimStats`` the inline simulator produces cell by cell, whatever
+mix of fast-path and fallback cells the batch contains.  These tests
+exercise that contract on small grids, plus the memoization-sharing and
+heterogeneous-grouping guarantees, engine selection, and the loud
+numpy error.  The full 56-cell golden comparison runs in CI under
+``REPRO_SIM_ENGINE=batch`` (the ``batch-smoke`` job).
+"""
+
+import sys
+
+import pytest
+
+from repro import telemetry
+from repro.cache import reset_cache
+from repro.cpu import batch as batch_mod
+from repro.cpu import pipeline
+from repro.cpu.batch import last_batch_report, simulate_batch
+from repro.cpu.config import (
+    GOOGLE_TABLET,
+    config_backend_prio,
+    config_critical_prefetch,
+    config_efetch,
+    config_perfect_br,
+)
+from repro.cpu.pipeline import simulate
+from repro.experiments import runner
+from repro.registry import PREFETCHERS, SIMULATORS, RegistryError
+from repro.registry.protocols import PrefetcherBase
+from repro.telemetry.manifest import LAST_RUN, load_manifest, manifest_dir
+from repro.trace.dynamic import Trace
+
+WALK = 100
+
+
+@pytest.fixture(autouse=True)
+def _fresh_state(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+    monkeypatch.delenv("REPRO_SIM_ENGINE", raising=False)
+    reset_cache()
+    runner.clear_cache()
+    yield
+    runner.clear_cache()
+    reset_cache()
+
+
+def _fresh_trace(name="Music", blocks=WALK):
+    """A ``Trace`` object no prior test memoized against.
+
+    The weak memos (``pipeline._trace_tables``, ``batch._profiles``) are
+    keyed by Trace identity; copying the entries into a new object gives
+    each test a clean memoization slate.
+    """
+    src = runner.app_context(name, blocks).trace()
+    return Trace(src.entries, name=src.name, program_name=src.program_name)
+
+
+def _inline(trace, config, **kwargs):
+    return simulate(trace, config, engine="inline", **kwargs)
+
+
+class TestBitIdentity:
+    def test_batch_matches_inline_grid(self):
+        trace = _fresh_trace()
+        configs = [GOOGLE_TABLET, config_efetch(), config_perfect_br(),
+                   config_backend_prio()]
+        batch = simulate_batch(trace, configs)
+        for config, stats in zip(configs, batch):
+            assert stats.to_dict() == _inline(trace, config).to_dict(), \
+                config.name
+        report = last_batch_report()
+        assert report["width"] == len(configs)
+        assert report["fast"] == len(configs)
+        assert report["fallbacks"] == []
+
+    def test_python_kernel_matches_selected_kernel(self, monkeypatch):
+        trace = _fresh_trace()
+        configs = [GOOGLE_TABLET, config_efetch()]
+        default = [s.to_dict() for s in simulate_batch(trace, configs)]
+        monkeypatch.setenv("REPRO_BATCH_CKERNEL", "py")
+        forced = simulate_batch(trace, configs)
+        assert last_batch_report()["kernel"] == "py"
+        assert [s.to_dict() for s in forced] == default
+
+    def test_batch_counts_telemetry(self):
+        trace = _fresh_trace()
+        telemetry.reset()
+        stats = simulate_batch(trace, [GOOGLE_TABLET, config_efetch()])
+        counts = telemetry.counters()
+        assert counts["simulate.batch.cells"] == 2
+        assert counts["simulate.batch.instructions"] == \
+            sum(s.instructions for s in stats)
+
+
+class TestMemoizationSharing:
+    def test_trace_tables_built_once_and_shared(self, monkeypatch):
+        """Satellite: ``_TraceTables`` are built once per trace, shared
+        by every cell of a batch, and reused by a later inline run."""
+        trace = _fresh_trace()
+        builds = []
+        real = pipeline._TraceTables
+
+        class Counting(real):
+            def __init__(self, t):
+                builds.append(t)
+                super().__init__(t)
+
+        monkeypatch.setattr(pipeline, "_TraceTables", Counting)
+        batch = simulate_batch(
+            trace, [GOOGLE_TABLET, config_efetch(), config_backend_prio()])
+        assert len(builds) == 1
+        tables = pipeline._tables_for(trace)
+
+        # Batch-then-inline on the same Trace: no rebuild, same object,
+        # identical stats.
+        inline_stats = _inline(trace, GOOGLE_TABLET)
+        assert len(builds) == 1
+        assert pipeline._tables_for(trace) is tables
+        assert inline_stats.to_dict() == batch[0].to_dict()
+
+    def test_profiles_shared_within_and_across_batches(self):
+        trace = _fresh_trace()
+        configs = [GOOGLE_TABLET, config_backend_prio(), config_efetch()]
+        simulate_batch(trace, configs)
+        memo = batch_mod._profiles[trace]
+        bp_keys = [k for k in memo if k[0] == "bp"]
+        mem_keys = [k for k in memo if k[0] == "mem"]
+        # All three configs share one branch profile; google-tablet and
+        # backend-prio share a memory profile, efetch gets its own.
+        assert len(bp_keys) == 1
+        assert len(mem_keys) == 2
+        # A second batch over the same trace is a pure memo hit.
+        simulate_batch(trace, configs)
+        assert len(batch_mod._profiles[trace]) == len(bp_keys) + \
+            len(mem_keys)
+
+
+class _LoadSpy(PrefetcherBase):
+    """Custom registry prefetcher that observes loads (never issues):
+    the batch engine cannot vectorize it and must fall back inline."""
+
+    name = "load-spy"
+
+    def __init__(self):
+        self.issued = 0
+
+    def observe_load(self, pc, addr, critical):
+        return []
+
+
+class TestHeterogeneousGrouping:
+    def test_mixed_traces_and_custom_prefetcher_match_inline(
+            self, tmp_path, monkeypatch):
+        """Satellite: a sweep mixing two traces and a non-vectorizable
+        custom prefetcher splits into per-trace batch groups plus inline
+        fallbacks, and matches a pure-inline sweep bitwise — including
+        the manifest ``config_hash``."""
+        apps = ("Music", "Email")
+        configs = (GOOGLE_TABLET,
+                   GOOGLE_TABLET.with_components(prefetchers=("load-spy",)))
+        grids = {}
+        hashes = {}
+        identities = {}
+        with PREFETCHERS.scoped("load-spy", lambda config: _LoadSpy()):
+            for engine in ("batch", "inline"):
+                # Private cache per leg: the second leg must recompute,
+                # not read the first leg's artifacts.
+                monkeypatch.setenv("REPRO_CACHE_DIR",
+                                   str(tmp_path / engine))
+                reset_cache()
+                runner.clear_cache()
+                grids[engine] = runner.run_apps(
+                    apps, schemes=("baseline",), jobs=1, configs=configs,
+                    walk_blocks=WALK, engine=engine,
+                )
+                if engine == "batch":
+                    report = last_batch_report()
+                manifest = load_manifest(str(manifest_dir() / LAST_RUN))
+                hashes[engine] = manifest["config_hash"]
+                identities[engine] = manifest["engine"]
+
+        for app in apps:
+            for key, stats in grids["inline"][app].items():
+                assert grids["batch"][app][key].to_dict() == \
+                    stats.to_dict(), (app, key)
+        # Engine identity is recorded in the manifest but excluded from
+        # the config hash (engines are bit-identical provenance).
+        assert hashes["batch"] == hashes["inline"]
+        assert identities["batch"] == "batch@1"
+        assert identities["inline"] == "inline@1"
+        # The batch groups really did exist — and the custom prefetcher
+        # cell really did take the inline fallback.
+        assert report["width"] == len(configs)
+        assert report["fast"] == 1
+        [(config_name, reason)] = report["fallbacks"]
+        assert config_name == configs[1].name
+        assert "load-observing" in reason
+
+
+class TestFallbacks:
+    def test_max_cycles_falls_back_bit_identically(self):
+        trace = _fresh_trace()
+        batch, = simulate_batch(trace, [GOOGLE_TABLET], max_cycles=500)
+        assert last_batch_report()["fallbacks"] == \
+            [(GOOGLE_TABLET.name, "max-cycles")]
+        assert batch.to_dict() == \
+            _inline(trace, GOOGLE_TABLET, max_cycles=500).to_dict()
+
+    def test_cold_start_falls_back_bit_identically(self):
+        trace = _fresh_trace()
+        batch, = simulate_batch(trace, [GOOGLE_TABLET], warm=False)
+        assert last_batch_report()["fallbacks"] == \
+            [(GOOGLE_TABLET.name, "cold-start")]
+        assert batch.to_dict() == \
+            _inline(trace, GOOGLE_TABLET, warm=False).to_dict()
+
+    def test_load_observing_prefetcher_falls_back(self):
+        trace = _fresh_trace()
+        config = config_critical_prefetch()
+        batch, = simulate_batch(trace, [config])
+        [(name, reason)] = last_batch_report()["fallbacks"]
+        assert name == config.name
+        assert "load-observing" in reason
+        assert batch.to_dict() == _inline(trace, config).to_dict()
+
+
+class TestEngineSelection:
+    def test_registry_lists_both_engines(self):
+        assert "inline" in SIMULATORS.names()
+        assert "batch" in SIMULATORS.names()
+        assert SIMULATORS.identity("batch") == "batch@1"
+
+    def test_engine_kwarg(self):
+        trace = _fresh_trace()
+        assert simulate(trace, GOOGLE_TABLET, engine="batch").to_dict() \
+            == _inline(trace, GOOGLE_TABLET).to_dict()
+
+    def test_engine_env(self, monkeypatch):
+        trace = _fresh_trace()
+        baseline = _inline(trace, GOOGLE_TABLET).to_dict()
+        monkeypatch.setenv("REPRO_SIM_ENGINE", "batch")
+        assert simulate(trace, GOOGLE_TABLET).to_dict() == baseline
+        # The kwarg wins over the env.
+        assert simulate(
+            trace, GOOGLE_TABLET, engine="inline").to_dict() == baseline
+
+    def test_unknown_engine_fails_loudly(self):
+        trace = _fresh_trace()
+        with pytest.raises(RegistryError, match="batch"):
+            simulate(trace, GOOGLE_TABLET, engine="bacth")
+
+
+class TestNumpyDependency:
+    def test_missing_numpy_names_the_engine(self, monkeypatch):
+        monkeypatch.setitem(sys.modules, "numpy", None)
+        with pytest.raises(ImportError) as excinfo:
+            batch_mod._require_numpy()
+        message = str(excinfo.value)
+        assert "batch" in message
+        assert "REPRO_SIM_ENGINE=inline" in message
+
+    def test_inline_engine_importable_without_numpy(self):
+        # The inline path must never touch repro.cpu.batch: listing the
+        # registry and creating the inline engine import nothing heavy.
+        factory = SIMULATORS.create("inline")
+        trace = _fresh_trace(blocks=40)
+        stats = factory(trace, GOOGLE_TABLET)
+        assert stats.instructions == len(trace)
