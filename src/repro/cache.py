@@ -33,7 +33,7 @@ import tempfile
 from pathlib import Path
 from typing import Any, Dict, Optional
 
-from repro import perf
+from repro import telemetry
 from repro.cpu.stats import SimStats
 from repro.profiler.profile_table import CriticProfile
 from repro.trace.dynamic import Trace
@@ -118,11 +118,29 @@ class ArtifactCache:
             text = path.read_text()
         except (OSError, UnicodeDecodeError):
             self.misses += 1
-            perf.count(f"cache.miss.{kind}")
+            telemetry.count(f"cache.miss.{kind}")
+            telemetry.inc("repro_cache_requests_total",
+                          help="Artifact cache lookups by outcome.",
+                          kind=kind, result="miss")
+            telemetry.emit("cache.miss", artifact=kind, key=key[:12])
             return None
         self.hits += 1
-        perf.count(f"cache.hit.{kind}")
+        telemetry.count(f"cache.hit.{kind}")
+        telemetry.inc("repro_cache_requests_total",
+                      help="Artifact cache lookups by outcome.",
+                      kind=kind, result="hit")
+        telemetry.emit("cache.hit", artifact=kind, key=key[:12])
         return text
+
+    def _corrupt(self, kind: str, key: str) -> None:
+        """A stored artifact parsed as garbage: degrade to a miss, but
+        leave a trail — silent corruption is how caches rot."""
+        telemetry.count(f"cache.corrupt.{kind}")
+        telemetry.inc("repro_cache_corrupt_total",
+                      help="Cache artifacts that failed to parse and "
+                           "degraded to a miss.",
+                      kind=kind)
+        telemetry.emit("cache.corrupt", artifact=kind, key=key[:12])
 
     def _write(self, kind: str, key: str, text: str) -> None:
         if not self.enabled:
@@ -153,16 +171,17 @@ class ArtifactCache:
         text = self._read("trace", key)
         if text is None:
             return None
-        with perf.phase("cache.load_trace"):
+        with telemetry.phase("cache.load_trace"):
             try:
                 return load_trace(io.StringIO(text))
             except ValueError:
+                self._corrupt("trace", key)
                 return None  # torn/stale artifact: treat as a miss
 
     def store_trace(self, key: str, trace: Trace) -> None:
         if not self.enabled:
             return
-        with perf.phase("cache.store_trace"):
+        with telemetry.phase("cache.store_trace"):
             buf = io.StringIO()
             dump_trace(trace, buf)
             self._write("trace", key, buf.getvalue())
@@ -174,6 +193,7 @@ class ArtifactCache:
         try:
             return CriticProfile.from_json(text)
         except (ValueError, KeyError):
+            self._corrupt("critic_profile", key)
             return None
 
     def store_profile(self, key: str, profile: CriticProfile) -> None:
@@ -186,6 +206,7 @@ class ArtifactCache:
         try:
             return SimStats.from_dict(json.loads(text))
         except (ValueError, KeyError, TypeError):
+            self._corrupt("stats", key)
             return None
 
     def store_stats(self, key: str, stats: SimStats) -> None:
@@ -199,6 +220,7 @@ class ArtifactCache:
         try:
             return json.loads(text)
         except ValueError:
+            self._corrupt(kind, key)
             return None
 
     def store_json(self, kind: str, key: str, payload: Any) -> None:

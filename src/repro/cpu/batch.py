@@ -870,13 +870,44 @@ def simulate_batch(
                     sum(1 for p in plans if p.reason is not None))
     telemetry.count("simulate.batch.instructions",
                     sum(r.instructions for r in results))
+    fast_cells = sum(1 for p in plans if p.reason is None)
+    fallbacks = [(p.config.name, p.reason) for p in plans
+                 if p.reason is not None]
+    occupancy = (round(active_cell_rounds / (rounds * len(plans)), 4)
+                 if rounds else 0.0)
+    telemetry.inc("repro_batch_groups_total",
+                  help="Lockstep batch groups simulated, by kernel.",
+                  kernel=kernel_name)
+    telemetry.observe("repro_batch_group_width", len(plans),
+                      buckets=telemetry.metrics.WIDTH_BUCKETS,
+                      help="Cells per lockstep batch group.")
+    telemetry.inc("repro_batch_cells_total", fast_cells,
+                  help="Cells by batch execution path.", path="fast")
+    if fallbacks:
+        telemetry.inc("repro_batch_cells_total", len(fallbacks),
+                      help="Cells by batch execution path.",
+                      path="fallback")
+    for config_name, reason in fallbacks:
+        telemetry.inc("repro_batch_fallback_total",
+                      help="Per-cell inline fallbacks by reason.",
+                      reason=reason)
+        telemetry.emit("batch.fallback", config=config_name,
+                       reason=reason, trace_len=len(trace.entries))
+    if rounds:
+        telemetry.observe("repro_batch_occupancy", occupancy,
+                          buckets=telemetry.metrics.RATIO_BUCKETS,
+                          help="Mean fraction of a batch group still "
+                               "active per lockstep round.")
+    telemetry.emit("batch.group", width=len(plans), fast=fast_cells,
+                   fallbacks=len(fallbacks), rounds=rounds,
+                   kernel=kernel_name, occupancy=occupancy)
     _last_report = {
         "width": len(plans),
-        "fast": sum(1 for p in plans if p.reason is None),
-        "fallbacks": [(p.config.name, p.reason) for p in plans
-                      if p.reason is not None],
+        "fast": fast_cells,
+        "fallbacks": fallbacks,
         "rounds": rounds,
         "kernel": kernel_name,
+        "occupancy": occupancy,
     }
     return results  # type: ignore[return-value]
 

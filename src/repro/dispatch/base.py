@@ -33,6 +33,8 @@ import warnings
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
+from repro import telemetry
+
 
 class DispatchError(RuntimeError):
     """Base class for structured dispatch failures (carries a task id)."""
@@ -297,6 +299,25 @@ class DispatchReport:
         return record
 
 
+def observe_attempt(task_id: str, attempt: Attempt) -> None:
+    """Record one finished attempt in the metrics registry and the
+    structured event stream.
+
+    Every executor calls this at its attempt chokepoint, so the
+    fleet-wide ``repro_dispatch_attempts_total{outcome=...}`` breakdown
+    and the ``dispatch.attempt`` event narration exist no matter which
+    backend ran the sweep.  Pure provenance: never raises, never feeds
+    back into retry decisions.
+    """
+    telemetry.inc("repro_dispatch_attempts_total",
+                  help="Task attempts by outcome.",
+                  outcome=attempt.outcome)
+    telemetry.emit("dispatch.attempt", task=task_id,
+                   index=attempt.index, worker=attempt.worker,
+                   outcome=attempt.outcome,
+                   wall_s=round(attempt.wall_s, 6))
+
+
 def quarantine_inline(tasks: List[Tuple[TaskSpec, TaskResult]],
                       policy: RetryPolicy) -> None:
     """Degrade exhausted tasks to the parent's inline path, fail-fast.
@@ -312,12 +333,19 @@ def quarantine_inline(tasks: List[Tuple[TaskSpec, TaskResult]],
     failed = False
     for task, result in tasks:
         result.quarantined = True
+        telemetry.inc("repro_dispatch_quarantined_total",
+                      help="Tasks degraded to the parent inline path "
+                           "after exhausting their attempt budget.")
+        telemetry.emit("dispatch.quarantine", task=task.id,
+                       attempts=len(result.attempts))
         if failed:
-            result.attempts.append(Attempt(
+            skipped = Attempt(
                 index=len(result.attempts) + 1, worker="inline",
                 outcome="skipped",
                 error="not attempted: an earlier quarantined task failed",
-            ))
+            )
+            result.attempts.append(skipped)
+            observe_attempt(task.id, skipped)
             result.error = result.error or \
                 "skipped after an earlier quarantine failure"
             continue
@@ -326,6 +354,7 @@ def quarantine_inline(tasks: List[Tuple[TaskSpec, TaskResult]],
             timeout_s=task.effective_timeout(policy),
         )
         result.attempts.append(attempt)
+        observe_attempt(task.id, attempt)
         if exc is None:
             result.value = value
             result.error = None
@@ -346,5 +375,6 @@ __all__ = [
     "TaskFailedError",
     "TaskResult",
     "TaskSpec",
+    "observe_attempt",
     "quarantine_inline",
 ]

@@ -50,12 +50,14 @@ import time
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Set, Tuple
 
+from repro import telemetry
 from repro.dispatch import wire
 from repro.dispatch.base import (
     Attempt,
     RetryPolicy,
     TaskResult,
     TaskSpec,
+    observe_attempt,
     quarantine_inline,
 )
 from repro.dispatch.faults import ENV_FAULTS
@@ -153,10 +155,12 @@ class Broker:
     def _record_attempt(self, task_id: str, attempt_no: int, worker: str,
                         outcome: str, wall: float,
                         error: Optional[str] = None) -> None:
-        self._records[task_id].attempts.append(Attempt(
+        attempt = Attempt(
             index=attempt_no, worker=worker, outcome=outcome,
             wall_s=wall, error=error,
-        ))
+        )
+        self._records[task_id].attempts.append(attempt)
+        observe_attempt(task_id, attempt)
 
     def _requeue(self, task_id: str, attempt_no: int) -> None:
         """Queue the next attempt, or exhaust the task's budget."""
@@ -329,6 +333,11 @@ class Broker:
                     "payload": self._payloads[task_id],
                     "heartbeat_s": self.policy.heartbeat_s,
                 })
+                telemetry.inc("repro_dispatch_leases_total",
+                              help="Task leases granted to fleet "
+                                   "workers.")
+                telemetry.emit("dispatch.lease", task=task_id,
+                               worker=worker, attempt=attempt_no)
                 return
             wire.send_msg(conn, {"type": "idle", "sleep": _TICK_S})
 
@@ -337,6 +346,8 @@ class Broker:
             lease = self._leases.get(task_id or "")
             if lease is not None and lease.worker == worker:
                 lease.last_beat = time.monotonic()
+                telemetry.emit("dispatch.heartbeat", task=task_id,
+                               worker=worker)
 
     def _on_result(self, worker: str, message: Dict[str, Any]) -> None:
         task_id = message.get("id", "")
@@ -429,6 +440,11 @@ class FleetExecutor:
             return None
         worker = _WorkerProc(name=name, proc=proc)
         self._procs.append(worker)
+        telemetry.inc("repro_dispatch_worker_spawns_total",
+                      help="Fleet worker processes launched "
+                           "(initial complement plus respawns).")
+        telemetry.emit("dispatch.worker.spawn", worker=name,
+                       worker_pid=proc.pid)
         return worker
 
     def _kill_pid(self, pid: int) -> None:
@@ -449,6 +465,12 @@ class FleetExecutor:
                 live += 1
             else:
                 worker.dead = True
+                telemetry.inc("repro_dispatch_worker_deaths_total",
+                              help="Fleet workers that exited before "
+                                   "the drain finished.")
+                telemetry.emit("dispatch.worker.death",
+                               worker=worker.name,
+                               returncode=worker.proc.returncode)
         while live < self.jobs and spawn_budget[0] > 0 \
                 and not broker.finished():
             spawn_budget[0] -= 1
@@ -456,6 +478,9 @@ class FleetExecutor:
             if spawned is None:
                 break
             live += 1
+        telemetry.set_gauge("repro_dispatch_workers", live,
+                            help="Live fleet workers (gauge; merges as "
+                                 "max across processes).")
         return live
 
     # -- the drain loop ------------------------------------------------------

@@ -24,6 +24,7 @@ from repro.dispatch.base import (
     RetryPolicy,
     TaskResult,
     TaskSpec,
+    observe_attempt,
 )
 from repro.dispatch.watchdog import run_attempt
 
@@ -50,10 +51,12 @@ class InlineExecutor:
         for task in self._tasks:
             result = TaskResult(task_id=task.id)
             if failed:
-                result.attempts.append(Attempt(
+                skipped = Attempt(
                     index=1, worker="inline", outcome="skipped",
                     error="not attempted: an earlier task failed",
-                ))
+                )
+                result.attempts.append(skipped)
+                observe_attempt(task.id, skipped)
                 result.error = "skipped after an earlier task failure"
                 results.append(result)
                 continue
@@ -62,6 +65,7 @@ class InlineExecutor:
                 timeout_s=task.effective_timeout(self.policy),
             )
             result.attempts.append(attempt)
+            observe_attempt(task.id, attempt)
             if exc is None:
                 result.value = value
             else:

@@ -35,6 +35,7 @@ from repro.dispatch.base import (
     RetryPolicy,
     TaskResult,
     TaskSpec,
+    observe_attempt,
     quarantine_inline,
 )
 from repro.dispatch.watchdog import run_attempt
@@ -97,10 +98,12 @@ class PoolExecutor:
         for task in tasks:
             result = results[task.id]
             if failed:
-                result.attempts.append(Attempt(
+                skipped = Attempt(
                     index=1, worker="inline", outcome="skipped",
                     error="not attempted: an earlier task failed",
-                ))
+                )
+                result.attempts.append(skipped)
+                observe_attempt(task.id, skipped)
                 result.error = "skipped after an earlier task failure"
                 continue
             attempt, value, exc = run_attempt(
@@ -108,6 +111,7 @@ class PoolExecutor:
                 timeout_s=task.effective_timeout(self.policy),
             )
             result.attempts.append(attempt)
+            observe_attempt(task.id, attempt)
             if exc is None:
                 result.value = value
             else:
@@ -137,10 +141,12 @@ class PoolExecutor:
                           outcome: str, wall: float, error: str) -> None:
             nonlocal seq
             result = results[task.id]
-            result.attempts.append(Attempt(
+            attempt = Attempt(
                 index=attempt_no, worker="pool", outcome=outcome,
                 wall_s=wall, error=error,
-            ))
+            )
+            result.attempts.append(attempt)
+            observe_attempt(task.id, attempt)
             # Timeouts never go back into the pool (the worker that
             # timed out is still wedged inside it); everything else
             # retries until the budget is spent.
@@ -200,10 +206,12 @@ class PoolExecutor:
                 exc = future.exception()
                 if exc is None:
                     result = results[task.id]
-                    result.attempts.append(Attempt(
+                    attempt = Attempt(
                         index=attempt_no, worker="pool", outcome="ok",
                         wall_s=wall,
-                    ))
+                    )
+                    result.attempts.append(attempt)
+                    observe_attempt(task.id, attempt)
                     result.value = future.result()
                     continue
                 if isinstance(exc, BrokenExecutor):

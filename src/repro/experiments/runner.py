@@ -39,7 +39,7 @@ import warnings
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
-from repro import perf, telemetry
+from repro import telemetry
 from repro.cache import artifact_key, get_cache
 from repro.dispatch import (
     ENV_EXECUTOR,
@@ -126,7 +126,7 @@ class AppContext:
     def workload(self) -> Workload:
         """The generated program/walk/memory (built on first touch)."""
         if self._workload is None:
-            with perf.phase("generate"):
+            with telemetry.phase("generate"):
                 self._workload = generate(self.app_profile)
         return self._workload
 
@@ -140,7 +140,7 @@ class AppContext:
                            scheme="baseline")
         trace = cache.load_trace(key)
         if trace is None:
-            with perf.phase("materialize"):
+            with telemetry.phase("materialize"):
                 trace = self.workload.trace()
             cache.store_trace(key, trace)
         else:
@@ -165,7 +165,7 @@ class AppContext:
                            finder=config)
         profile = cache.load_profile(key)
         if profile is None:
-            with perf.phase("find_critic_profile"):
+            with telemetry.phase("find_critic_profile"):
                 profile = find_critic_profile(
                     self.trace(), self.workload.program, config,
                     app_name=self.name,
@@ -211,11 +211,11 @@ class AppContext:
         key = self._scheme_key(scheme, max_length, profiled_fraction)
         trace = cache.load_trace(key)
         if trace is None:
-            with perf.phase("compile"):
+            with telemetry.phase("compile"):
                 result = PassManager(
                     self._passes(scheme, max_length, profiled_fraction)
                 ).run(self.workload.program)
-            with perf.phase("materialize"):
+            with telemetry.phase("materialize"):
                 trace = self.workload.trace_for(result.program)
             cache.store_trace(key, trace)
         if default:
@@ -272,7 +272,7 @@ class AppContext:
         if stats is not None:
             return stats
         trace = self.scheme_trace(scheme, max_length, profiled_fraction)
-        with perf.phase("simulate"):
+        with telemetry.phase("simulate"):
             stats = simulate(trace, config, engine=engine)
         get_cache().store_stats(
             self._stats_key(scheme, config, max_length, profiled_fraction),
@@ -305,14 +305,43 @@ def clear_cache() -> None:
 # -- parallel fan-out ----------------------------------------------------------
 
 
+def _observe_cell(name: str, scheme: str, config_name: str,
+                  stats: SimStats, wall: float) -> None:
+    """Metrics + event for one computed app x scheme x config cell.
+
+    Fires in whichever process ran the cell; the worker's registry rides
+    its result snapshot back to the parent, where retried attempts are
+    discarded — so fleet-wide totals count every cell exactly once.
+    Events, by contrast, narrate *attempts* as they happen: a killed
+    worker's ``sweep.cell.start`` stays in the log (that is the point).
+    """
+    telemetry.inc("repro_cells_total",
+                  help="Sweep cells by completion status.",
+                  status="done")
+    telemetry.inc("repro_sim_instructions_total", stats.instructions,
+                  help="Instructions committed by cell simulations.")
+    telemetry.observe("repro_cell_wall_seconds", wall,
+                      help="Wall seconds per computed cell.")
+    telemetry.emit("sweep.cell.done", app=name, scheme=scheme,
+                   config=config_name, instructions=stats.instructions,
+                   cycles=stats.cycles, wall_s=round(wall, 6))
+
+
 def _run_cell(name: str, blocks: int, schemes: Tuple[str, ...],
               config: CpuConfig, engine: Optional[str] = None,
               ) -> Tuple[str, str, Dict[str, SimStats]]:
     """Worker body: compute all ``schemes`` for one app x config cell."""
     ctx = app_context(name, blocks)
-    return name, config.name, {
-        s: ctx.stats(s, config, engine=engine) for s in schemes
-    }
+    cell: Dict[str, SimStats] = {}
+    for scheme in schemes:
+        telemetry.emit("sweep.cell.start", app=name, scheme=scheme,
+                       config=config.name)
+        started = time.perf_counter()
+        stats = ctx.stats(scheme, config, engine=engine)
+        _observe_cell(name, scheme, config.name, stats,
+                      time.perf_counter() - started)
+        cell[scheme] = stats
+    return name, config.name, cell
 
 
 #: Task-id suffix marking a batched (one trace x many configs) cell.
@@ -329,14 +358,21 @@ def _run_batch_cell(
 
     ctx = app_context(name, blocks)
     trace = ctx.scheme_trace(scheme)
-    with perf.phase("simulate"):
+    telemetry.emit("sweep.cell.start", app=name, scheme=scheme,
+                   config=",".join(c.name for c in configs),
+                   batched=True)
+    started = time.perf_counter()
+    with telemetry.phase("simulate"):
         all_stats = simulate_batch(trace, list(configs))
+    wall = time.perf_counter() - started
     cache = get_cache()
     cell: Dict[str, SimStats] = {}
     for config, stats in zip(configs, all_stats):
         cache.store_stats(ctx._stats_key(scheme, config, 5, 1.0), stats)
         ctx._stats[(scheme, config.name)] = stats
         cell[config.name] = stats
+        _observe_cell(name, scheme, config.name, stats,
+                      wall / len(configs))
     return name, f"{scheme}|{_BATCH_TAG}", cell
 
 
@@ -375,7 +411,7 @@ def _cell_task(
     one would double-count the cell.
     """
     if not capture_telemetry:
-        with perf.phase("run_apps.serial"):
+        with telemetry.phase("run_apps.serial"):
             app, config_name, cell = _run_cell(name, blocks, schemes,
                                                config, engine)
         return app, config_name, cell, None
@@ -397,7 +433,7 @@ def _batch_cell_task(
     telemetry reset/snapshot/spool protocol (spool tag
     ``(name, "<scheme>|batch")`` matches the task id)."""
     if not capture_telemetry:
-        with perf.phase("run_apps.serial"):
+        with telemetry.phase("run_apps.serial"):
             app, tag, cell = _run_batch_cell(name, blocks, scheme,
                                              configs)
         return app, tag, cell, None
@@ -441,6 +477,57 @@ def _drain_spool(spool_dir: str,
         os.rmdir(spool_dir)
     except OSError:
         pass
+
+
+def _batch_manifest_block() -> Optional[Dict[str, object]]:
+    """Batch-engine provenance for the run manifest, aggregated from the
+    merged metrics registry.
+
+    ``repro.cpu.batch.last_batch_report()`` is process-local — under the
+    pool/fleet executors the interesting report lives (and dies) in a
+    worker.  The ``repro_batch_*`` metric families ride each worker's
+    result snapshot back to the parent with exactly-once merge
+    semantics, so aggregating *them* here yields fleet-wide group
+    shapes and fallback reasons no matter which backend ran the sweep.
+    Lands in the manifest's ``extra`` — outside the invocation record,
+    so ``config_hash`` never sees it.
+    """
+    families = telemetry.metrics.REGISTRY.families()
+    groups = families.get("repro_batch_groups_total")
+    if groups is None or not groups.samples:
+        return None
+    block: Dict[str, object] = {
+        "groups_by_kernel": {
+            dict(key).get("kernel", ""): count
+            for key, count in sorted(groups.samples.items())
+        },
+    }
+    fallbacks = families.get("repro_batch_fallback_total")
+    block["fallbacks_by_reason"] = {
+        dict(key).get("reason", ""): count
+        for key, count in sorted(fallbacks.samples.items())
+    } if fallbacks is not None else {}
+    cells = families.get("repro_batch_cells_total")
+    if cells is not None:
+        block["cells_by_path"] = {
+            dict(key).get("path", ""): count
+            for key, count in sorted(cells.samples.items())
+        }
+    width = families.get("repro_batch_group_width")
+    if width is not None and width.samples and width.buckets:
+        agg: Optional[List[float]] = None
+        for cell in width.samples.values():
+            agg = list(cell) if agg is None \
+                else [a + b for a, b in zip(agg, cell)]
+        assert agg is not None
+        bounds = [str(int(b)) if float(b).is_integer() else str(b)
+                  for b in width.buckets] + ["+Inf"]
+        block["group_width"] = {
+            "count": int(agg[-2]),
+            "sum": agg[-1],
+            "buckets": dict(zip(bounds, (int(c) for c in agg[:-2]))),
+        }
+    return block
 
 
 #: The dispatch report of the most recent :func:`run_apps` fan-out
@@ -508,6 +595,9 @@ def run_apps(apps: Sequence[str],
     }
     if report:
         extra["dispatch"] = report.to_dict()
+    batch_block = _batch_manifest_block()
+    if batch_block:
+        extra["batch"] = batch_block
     record_run(
         "run_apps",
         apps=list(apps),
@@ -539,7 +629,7 @@ def _run_apps_grid(
         name: {} for name in apps
     }
     todo: List[Tuple[str, CpuConfig, Tuple[str, ...]]] = []
-    with perf.phase("run_apps.probe"):
+    with telemetry.phase("run_apps.probe"):
         for name in apps:
             ctx = app_context(name, blocks)
             for config in configs:
@@ -550,6 +640,13 @@ def _run_apps_grid(
                         missing.append(scheme)
                     else:
                         results[name][(scheme, config.name)] = stats
+                        telemetry.inc(
+                            "repro_cells_total",
+                            help="Sweep cells by completion status.",
+                            status="cached",
+                        )
+                        telemetry.emit("sweep.cell.cached", app=name,
+                                       scheme=scheme, config=config.name)
                 if missing:
                     todo.append((name, config, tuple(missing)))
 
@@ -618,7 +715,7 @@ def _run_apps_grid(
         if backend == "inline":
             task_results = exec_obj.drain()
         else:
-            with perf.phase("run_apps.parallel"):
+            with telemetry.phase("run_apps.parallel"):
                 task_results = exec_obj.drain()
     finally:
         exec_obj.shutdown()

@@ -35,6 +35,7 @@ from repro.cpu import CpuConfig, SimStats, speedup
 from repro.cpu.engines import ENV_ENGINE
 from repro.experiments.runner import (
     DEFAULT_WALK_BLOCKS,
+    _batch_manifest_block,
     app_context,
     format_table,
     geometric_mean,
@@ -193,6 +194,9 @@ def run_sweep(spec: SweepSpec) -> SweepResult:
     }
     if report:
         extra["dispatch"] = report.to_dict()
+    batch_block = _batch_manifest_block()
+    if batch_block:
+        extra["batch"] = batch_block
     record_run(
         "sweep",
         apps=list(spec.apps),
@@ -272,6 +276,11 @@ def build_parser() -> argparse.ArgumentParser:
                         help="simulation engine: inline or batch "
                              "(default REPRO_SIM_ENGINE or inline; "
                              "bit-identical results either way)")
+    parser.add_argument("--progress", action="store_true",
+                        help="render a live progress line (cells done/"
+                             "cached/retried/fallback, instr/s) from "
+                             "the structured event stream while the "
+                             "sweep runs")
     parser.add_argument("--list", action="store_true", dest="list_all",
                         help="list registered components and exit")
     return parser
@@ -299,12 +308,47 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         engine=args.engine,
     )
     try:
-        result = run_sweep(spec)
+        if args.progress:
+            result = _run_with_progress(spec)
+        else:
+            result = run_sweep(spec)
     except KeyError as err:
         print(f"error: {err}", file=sys.stderr)
         return 2
     print(result.comparison_table())
     return 0
+
+
+def _run_with_progress(spec: SweepSpec) -> SweepResult:
+    """:func:`run_sweep` with a live event-stream progress line.
+
+    When ``REPRO_EVENTS`` is already set the renderer tails that log;
+    otherwise a temporary event log is wired up (exported through the
+    environment so pool/fleet workers inherit it) and removed after the
+    final summary line.
+    """
+    import tempfile
+
+    from repro.telemetry.events import ENV_EVENTS
+    from repro.telemetry.live import ProgressRenderer
+
+    path = os.environ.get(ENV_EVENTS, "").strip()
+    ephemeral = not path or path == "0"
+    if ephemeral:
+        fd, path = tempfile.mkstemp(prefix="repro-events-",
+                                    suffix=".jsonl")
+        os.close(fd)
+        os.environ[ENV_EVENTS] = path
+    try:
+        with ProgressRenderer(path):
+            return run_sweep(spec)
+    finally:
+        if ephemeral:
+            os.environ.pop(ENV_EVENTS, None)
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
 
 
 if __name__ == "__main__":

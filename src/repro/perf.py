@@ -6,11 +6,23 @@ span trees with self-vs-cumulative accounting, and merge across the
 parallel runner's worker processes.  Existing call sites (``perf.phase``,
 ``perf.count``, ``perf.counters`` ...) keep working through this module;
 new code should import :mod:`repro.telemetry` directly.
+
+Importing this module raises a single :class:`DeprecationWarning`; the
+repo itself no longer imports it anywhere.
 """
 
 from __future__ import annotations
 
-from repro.telemetry.spans import (
+import warnings
+
+warnings.warn(
+    "repro.perf is deprecated; import repro.telemetry "
+    "(repro.telemetry.spans) instead",
+    DeprecationWarning,
+    stacklevel=2,
+)
+
+from repro.telemetry.spans import (  # noqa: E402
     count,
     counters,
     enabled,

@@ -1,31 +1,56 @@
-"""Telemetry for the reproduction pipeline: spans, counters, flight
-recorder, run manifests.
+"""Telemetry for the reproduction pipeline: spans, typed metrics,
+structured events, flight recorder, run manifests, trace export.
 
-Four pieces, one import surface:
+One import surface over several pieces:
 
 * **spans/counters** (:mod:`repro.telemetry.spans`) — ``span(name,
   **attrs)`` context managers form trees with self-vs-cumulative time,
   aggregate into an always-on phase table, and serialize across process
   boundaries (``snapshot()`` / ``merge_snapshot()``) so the parallel
   runner reports fleet-wide totals.  ``REPRO_PERF=1`` prints the report
-  at exit; ``REPRO_SPANS=1`` additionally retains span trees for
-  :func:`dump_spans`.
+  at exit; ``REPRO_SPANS=1`` retains span trees for :func:`dump_spans`,
+  and ``REPRO_SPANS=<path>`` dumps them as JSONL at exit.
+* **typed metrics** (:mod:`repro.telemetry.metrics`) — labeled counters,
+  gauges, and fixed-bucket histograms in a process-local registry that
+  rides the span snapshot/merge channel, so fleet-wide totals obey the
+  same exactly-once-across-retries discipline.  Rendered as Prometheus
+  text exposition (``metrics.txt`` next to the run manifest).
+* **structured events** (:mod:`repro.telemetry.events`) — append-only
+  JSONL narration of the hot operational paths (``REPRO_EVENTS=path``):
+  dispatch attempts/leases/quarantines, worker deaths, batch groups and
+  fallbacks, cache hits/misses, sweep cell lifecycle.
 * **flight recorder** (:mod:`repro.telemetry.recorder`) — opt-in
   per-instruction pipeline event stream (``REPRO_FLIGHT_RECORDER=path``),
   rendered by ``python -m repro.telemetry.view``.
 * **run manifests** (:mod:`repro.telemetry.manifest`) — every
   ``run_apps`` invocation records config hash, seeds, cache hit/miss
-  counts, wall time, and the phase table next to the artifact cache.
+  counts, wall time, the phase table, and the metrics snapshot next to
+  the artifact cache.
 * **compare** (:mod:`repro.telemetry.compare`) — diff a manifest against
   ``BENCH_perf.json`` (or another manifest) and flag phase-time
-  regressions: ``python -m repro.telemetry.compare``.
+  regressions: ``python -m repro.telemetry.compare`` (``--json`` for a
+  machine-readable gate).
+* **export/live** (:mod:`repro.telemetry.export`,
+  :mod:`repro.telemetry.live`) — Chrome-trace/Perfetto JSON export of
+  span dumps (``python -m repro.telemetry.export``) and a live sweep
+  progress view over the event stream
+  (``python -m repro.telemetry.live``, or ``--progress`` on the sweep
+  CLI).
 
 ``manifest`` and ``compare`` are deliberately *not* imported here: they
-depend on :mod:`repro.cache`, which itself uses the span/counter API via
-the legacy :mod:`repro.perf` shim — importing them at package level would
-be circular.  Import them as submodules where needed.
+depend on :mod:`repro.cache`, which itself uses the span/counter API —
+importing them at package level would be circular.  Import them as
+submodules where needed.
 """
 
+from repro.telemetry import events, metrics
+from repro.telemetry.events import emit, iter_events
+from repro.telemetry.metrics import (
+    inc,
+    observe,
+    render_prometheus,
+    set_gauge,
+)
 from repro.telemetry.recorder import (
     ENV_RECORDER,
     FlightRecorder,
@@ -62,14 +87,22 @@ __all__ = [
     "counters",
     "dropped_spans",
     "dump_spans",
+    "emit",
     "enabled",
+    "events",
+    "inc",
+    "iter_events",
     "merge_snapshot",
+    "metrics",
+    "observe",
     "parse_jsonl",
     "phase",
     "phase_stats",
     "phases",
+    "render_prometheus",
     "report",
     "reset",
+    "set_gauge",
     "snapshot",
     "span",
     "spanned",

@@ -16,7 +16,10 @@ Phases present on only one side are ignored (a new phase is not a
 regression; a baseline phase a small run never reached is not a win).
 By default the exit code is 0 even when regressions are found (CI
 timing noise on shared runners makes hard-failing misleading); pass
-``--strict`` to exit 1 on any flagged phase.
+``--strict`` to exit 1 on any flagged phase.  ``--json`` emits the full
+row set as machine-readable JSON instead of the table *and* implies
+strict exit semantics — a ``--json`` consumer is a gate, not a human
+squinting at noise.
 """
 
 from __future__ import annotations
@@ -113,6 +116,9 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="regression threshold (0.2 = +20%%)")
     parser.add_argument("--strict", action="store_true",
                         help="exit 1 when any phase regressed")
+    parser.add_argument("--json", action="store_true",
+                        help="emit JSON rows instead of the table; "
+                             "implies --strict exit semantics")
     args = parser.parse_args(argv)
 
     manifest = load_manifest(args.manifest)
@@ -120,11 +126,19 @@ def main(argv: Optional[List[str]] = None) -> int:
         baseline = json.load(handle)
 
     rows = compare(manifest, baseline, args.threshold)
+    flagged = [row for row in rows if row["regressed"]]
+    if args.json:
+        print(json.dumps({
+            "threshold": args.threshold,
+            "phases": rows,
+            "regressed": len(flagged),
+            "compared": len(rows),
+        }, sort_keys=True, indent=2))
+        return 1 if flagged else 0
     if not rows:
         print("no comparable phases between manifest and baseline")
         return 0
     print(format_rows(rows))
-    flagged = [row for row in rows if row["regressed"]]
     print(f"\n{len(flagged)} of {len(rows)} phases regressed "
           f"(threshold +{args.threshold * 100:.0f}%)")
     if flagged and args.strict:

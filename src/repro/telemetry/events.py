@@ -1,0 +1,142 @@
+"""Append-only structured JSONL event stream for the hot operational
+paths.
+
+Metrics (:mod:`repro.telemetry.metrics`) aggregate; *events* narrate:
+one JSON line per operational fact, in order, with enough fields to
+reconstruct what a sweep actually did — task leases, retries and
+quarantines, worker deaths, batch-group formation and per-cell
+fallbacks, cache hits/misses/corruption, and sweep cell lifecycle.
+Consumers: ``python -m repro.telemetry.live`` (the ``--progress``
+renderer), the Perfetto exporter's counter tracks, and CI assertions
+over fault-injected runs.
+
+Enable by pointing ``REPRO_EVENTS`` at a file path.  Every process in a
+run — the parent, pool workers, fleet workers (they inherit the
+environment) — appends to the same file; each line is a single
+``write()`` of an ``O_APPEND`` stream, so concurrent writers interleave
+whole lines, never fragments.  Each record carries::
+
+    {"ts": <unix seconds>, "pid": <writer pid>, "seq": <per-process#>,
+     "kind": "<dotted.event.kind>", ...fields}
+
+When ``REPRO_EVENTS`` is unset the emit path is one dict lookup and a
+truthiness check — near-zero overhead, and nothing is ever written.
+Event emission is strictly best-effort provenance: an unwritable sink
+degrades to disabled rather than failing the run, and no simulation
+semantics may ever depend on it.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from typing import Any, Dict, Iterator, Optional, TextIO, Union
+
+ENV_EVENTS = "REPRO_EVENTS"
+
+#: programmatic override of the env knob (``None`` defers to the env;
+#: ``""`` forces disabled)
+_override: Optional[str] = None
+#: open sink, keyed by (path, pid) so forked children re-open
+_sink: Optional[TextIO] = None
+_sink_key: Optional[tuple] = None
+#: paths that failed to open (don't retry every emit)
+_broken: set = set()
+_seq = 0
+
+
+def set_path(path: Optional[str]) -> None:
+    """Programmatically select the event sink (``None`` restores the
+    ``REPRO_EVENTS`` env behaviour, ``""`` disables).  Note the override
+    is process-local: worker processes only see the *environment*, so
+    cross-process capture should set ``REPRO_EVENTS`` instead."""
+    global _override, _sink, _sink_key
+    _override = path
+    _sink = None
+    _sink_key = None
+
+
+def active_path() -> Optional[str]:
+    """The event-log path emits would append to right now, if any."""
+    path = _override if _override is not None \
+        else os.environ.get(ENV_EVENTS, "")
+    if not path or path == "0" or path in _broken:
+        return None
+    return path
+
+
+def enabled() -> bool:
+    return active_path() is not None
+
+
+def emit(kind: str, **fields: Any) -> None:
+    """Append one event (no-op when no sink is configured)."""
+    global _sink, _sink_key, _seq
+    path = active_path()
+    if path is None:
+        return
+    key = (path, os.getpid())
+    if _sink is None or _sink_key != key:
+        try:
+            _sink = open(path, "a", encoding="utf-8")
+        except OSError:
+            _broken.add(path)
+            _sink = None
+            _sink_key = None
+            return
+        _sink_key = key
+        _seq = 0
+    _seq += 1
+    record: Dict[str, Any] = {
+        "ts": time.time(),
+        "pid": key[1],
+        "seq": _seq,
+        "kind": kind,
+    }
+    record.update(fields)
+    try:
+        _sink.write(json.dumps(record, sort_keys=True,
+                               default=str) + "\n")
+        _sink.flush()
+    except (OSError, ValueError):
+        _broken.add(path)
+        _sink = None
+        _sink_key = None
+
+
+def iter_events(source: Union[str, TextIO]) -> Iterator[Dict[str, Any]]:
+    """Parse an event log, skipping torn/foreign lines (a live tail can
+    race the writer's final newline)."""
+    if isinstance(source, str):
+        try:
+            handle: TextIO = open(source, encoding="utf-8")
+        except OSError:
+            return
+        with handle:
+            yield from _iter_stream(handle)
+    else:
+        yield from _iter_stream(source)
+
+
+def _iter_stream(stream: TextIO) -> Iterator[Dict[str, Any]]:
+    for line in stream:
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+        except ValueError:
+            continue
+        if isinstance(record, dict) and "kind" in record:
+            yield record
+
+
+__all__ = [
+    "ENV_EVENTS",
+    "active_path",
+    "emit",
+    "enabled",
+    "iter_events",
+    "set_path",
+]

@@ -11,9 +11,18 @@ live inside the artifact-cache namespace::
     $REPRO_CACHE_DIR/v<SCHEMA_VERSION>/manifests/manifests.jsonl (append log)
 
 ``last_run.json`` is replaced atomically; the JSONL log accumulates one
-line per run, which is what CI uploads as a workflow artifact.  Use
+line per run, which is what CI uploads as a workflow artifact.  Next to
+``last_run.json`` the writer also drops ``metrics.txt`` — the typed
+metrics registry rendered in Prometheus text exposition format, the
+scrape-shaped view of the same run.  Use
 ``python -m repro.telemetry.compare`` to diff a manifest against
 ``BENCH_perf.json`` and flag phase-time regressions.
+
+Everything recorded here is provenance, not identity: the ``metrics``
+block (like ``cache``/``wall_s``/``phases``/``counters``) sits *outside*
+the invocation record that ``config_hash`` is computed over, so two runs
+with identical inputs hash identically no matter what their telemetry
+looked like.
 """
 
 from __future__ import annotations
@@ -26,6 +35,7 @@ from pathlib import Path
 from typing import Any, Dict, Optional, Sequence
 
 from repro.cache import SCHEMA_VERSION, artifact_key, get_cache
+from repro.telemetry import metrics as _metrics
 from repro.telemetry.spans import counters as _counters
 from repro.telemetry.spans import phase_stats as _phase_stats
 
@@ -34,6 +44,7 @@ MANIFEST_SCHEMA = 1
 
 LAST_RUN = "last_run.json"
 LOG = "manifests.jsonl"
+METRICS = "metrics.txt"
 
 
 def manifest_dir(root: Optional[Path] = None) -> Path:
@@ -85,14 +96,32 @@ def build_manifest(
         "wall_s": wall_s,
         "phases": _phase_stats(),
         "counters": _counters(),
+        "metrics": _metrics.REGISTRY.snapshot(),
     }
     if extra:
         manifest.update(extra)
     return manifest
 
 
+def _write_atomic(target: Path, text: str) -> None:
+    fd, tmp = tempfile.mkstemp(
+        dir=str(target.parent), prefix=".tmp-", suffix=target.suffix,
+    )
+    try:
+        with os.fdopen(fd, "w") as handle:
+            handle.write(text)
+        os.replace(tmp, target)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+
+
 def write_manifest(manifest: Dict[str, Any]) -> Optional[Path]:
-    """Persist ``manifest`` (atomic ``last_run.json`` + JSONL log line).
+    """Persist ``manifest`` (atomic ``last_run.json`` + JSONL log line),
+    plus the Prometheus-format ``metrics.txt`` snapshot alongside.
 
     Returns the ``last_run.json`` path, or ``None`` when the artifact
     cache is disabled or unwritable (manifests are best-effort telemetry,
@@ -105,21 +134,12 @@ def write_manifest(manifest: Dict[str, Any]) -> Optional[Path]:
     target = manifest_dir() / LAST_RUN
     try:
         target.parent.mkdir(parents=True, exist_ok=True)
-        fd, tmp = tempfile.mkstemp(
-            dir=str(target.parent), prefix=".tmp-", suffix=".json",
-        )
-        try:
-            with os.fdopen(fd, "w") as handle:
-                handle.write(line + "\n")
-            os.replace(tmp, target)
-        except BaseException:
-            try:
-                os.unlink(tmp)
-            except OSError:
-                pass
-            raise
+        _write_atomic(target, line + "\n")
         with open(target.parent / LOG, "a") as handle:
             handle.write(line + "\n")
+        exposition = _metrics.REGISTRY.render_prometheus()
+        if exposition:
+            _write_atomic(target.parent / METRICS, exposition)
     except OSError:
         return None
     return target

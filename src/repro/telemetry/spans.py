@@ -17,7 +17,17 @@ forming a tree per top-level region.  Two views are maintained:
 Both views are picklable through :func:`snapshot` and re-foldable with
 :func:`merge_snapshot`, which is how worker processes in the parallel
 experiment runner report their telemetry back to the parent (spans from a
-worker are tagged with the worker's pid).
+worker are tagged with the worker's pid).  The typed metrics registry
+(:mod:`repro.telemetry.metrics`) rides the same channel: its state is
+folded into every snapshot under ``"metrics"``, merged and reset
+alongside phases/counters, so labeled counters inherit the runner's
+exactly-once-across-retries discipline.
+
+Spans also record their wall-clock start (``start_unix``), which is what
+lets ``python -m repro.telemetry.export`` lay the retained trees out on
+a Chrome-trace/Perfetto timeline.  Setting ``REPRO_SPANS`` to a *path*
+(anything other than ``0``/``1``) retains trees **and** dumps them as
+JSONL to that path at exit, ready for the exporter.
 
 State is process-local and single-threaded by design, matching the rest
 of the pipeline; the legacy :mod:`repro.perf` module re-exports this API.
@@ -35,6 +45,8 @@ from contextlib import contextmanager
 from typing import Any, Callable, Dict, Iterator, List, Optional, TextIO, \
     Tuple
 
+from repro.telemetry import metrics as _metrics
+
 _ENV = "REPRO_PERF"
 _ENV_SPANS = "REPRO_SPANS"
 
@@ -45,12 +57,14 @@ MAX_ROOT_SPANS = 4096
 class Span:
     """One closed (or still-open) timed region of the pipeline."""
 
-    __slots__ = ("name", "attrs", "dur", "children")
+    __slots__ = ("name", "attrs", "dur", "start", "children")
 
     def __init__(self, name: str, attrs: Optional[Dict[str, Any]] = None):
         self.name = name
         self.attrs = attrs
         self.dur = 0.0
+        #: wall-clock entry time (unix seconds; 0.0 for legacy records)
+        self.start = 0.0
         self.children: List["Span"] = []
 
     @property
@@ -71,6 +85,8 @@ class Span:
             "dur_s": self.dur,
             "self_s": self.self_time,
         }
+        if self.start:
+            record["start_unix"] = self.start
         if self.attrs:
             record["attrs"] = self.attrs
         if self.children:
@@ -81,6 +97,7 @@ class Span:
     def from_dict(cls, data: Dict[str, Any]) -> "Span":
         span = cls(str(data.get("name", "?")), data.get("attrs") or None)
         span.dur = float(data.get("dur_s", 0.0))
+        span.start = float(data.get("start_unix", 0.0))
         span.children = [cls.from_dict(c) for c in data.get("children", [])]
         return span
 
@@ -112,6 +129,7 @@ def span(name: str, **attrs: Any) -> Iterator[Span]:
     :class:`Span` so callers can attach attributes mid-flight."""
     global _dropped_roots
     current = Span(name, attrs or None)
+    current.start = time.time()
     parent = _stack[-1] if _stack else None
     _stack.append(current)
     start = time.perf_counter()
@@ -203,13 +221,14 @@ def dump_spans(stream: TextIO) -> int:
 
 
 def reset() -> None:
-    """Clear all spans/timings/counters (tests use this)."""
+    """Clear all spans/timings/counters/metrics (tests use this)."""
     global _dropped_roots
     _stack.clear()
     _roots.clear()
     _dropped_roots = 0
     _phases.clear()
     _counters.clear()
+    _metrics.REGISTRY.reset()
 
 
 # -- cross-process aggregation -------------------------------------------------
@@ -226,6 +245,7 @@ def snapshot() -> Dict[str, Any]:
         "pid": os.getpid(),
         "phases": {name: list(cell) for name, cell in _phases.items()},
         "counters": dict(_counters),
+        "metrics": _metrics.REGISTRY.snapshot(),
         "spans": [root.to_dict() for root in _roots],
         "dropped_spans": _dropped_roots,
     }
@@ -249,6 +269,7 @@ def merge_snapshot(snap: Optional[Dict[str, Any]]) -> None:
             mine[2] += self_t
     for name, value in snap.get("counters", {}).items():
         _counters[name] = _counters.get(name, 0) + int(value)
+    _metrics.REGISTRY.merge(snap.get("metrics"))
     _dropped_roots += int(snap.get("dropped_spans", 0))
     roots = snap.get("spans") or []
     if roots and _retain_trees():
@@ -304,7 +325,34 @@ def report() -> str:
     return "\n".join(lines)
 
 
+def spans_out_path() -> Optional[str]:
+    """The JSONL dump path, when ``REPRO_SPANS`` names one (any value
+    other than the retention toggles ``0``/``1``)."""
+    raw = os.environ.get(_ENV_SPANS, "").strip()
+    return raw if raw not in ("", "0", "1") else None
+
+
+def _dump_spans_at_exit() -> None:
+    path = spans_out_path()
+    if path is None or not _roots:
+        return
+    try:
+        with open(path, "a", encoding="utf-8") as handle:
+            dump_spans(handle)
+            # A trailing meta line carries the final counter values so
+            # the Chrome-trace exporter can render counter tracks.
+            handle.write(json.dumps({
+                "_meta": {
+                    "pid": os.getpid(),
+                    "counters": dict(_counters),
+                },
+            }, sort_keys=True) + "\n")
+    except OSError:
+        pass
+
+
 def _report_at_exit() -> None:
+    _dump_spans_at_exit()
     if enabled() and (_phases or _counters):
         print(report(), file=sys.stderr)
 

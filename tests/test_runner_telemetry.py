@@ -227,6 +227,77 @@ class TestPerExecutorTelemetry:
                 == serial.get("generate", {}).get("calls", 0)
 
 
+class TestMetricsExactlyOnce:
+    """The typed metrics registry must obey the same exactly-once
+    discipline as phase stats: a fleet sweep under fault injection ends
+    with counters bit-equal to an inline run's, because only the
+    successful attempt's snapshot is merged."""
+
+    def _counters(self):
+        from repro.telemetry import metrics
+
+        flat = metrics.REGISTRY.counters_flat("repro_cells_total")
+        flat.update(
+            metrics.REGISTRY.counters_flat("repro_sim_instructions_total"))
+        return flat
+
+    def _inline_reference(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE", "0")
+        reset_cache()
+        run_apps(APPS, ("baseline",), jobs=1, walk_blocks=WALK)
+        reference = self._counters()
+        assert reference.get("repro_cells_total{status=done}") == len(APPS)
+        assert reference.get("repro_sim_instructions_total{}", 0) > 0
+        clear_cache()
+        telemetry.reset()
+        return reference
+
+    @pytest.mark.parametrize("faults", ["kill:0.6;seed=7",
+                                        "corrupt:0.9;seed=3"])
+    def test_fleet_faulted_counters_bit_equal_inline(self, monkeypatch,
+                                                     faults):
+        """Killed attempts die with their registry; corrupted payloads
+        are discarded snapshot and all.  Either way the retry's snapshot
+        is the only one merged, so cell and instruction totals match the
+        inline run exactly — not approximately."""
+        inline = self._inline_reference(monkeypatch)
+        monkeypatch.setenv("REPRO_DISPATCH_FAULTS", faults)
+        monkeypatch.setenv("REPRO_DISPATCH_BACKOFF", "0.01")
+        results = run_apps(APPS, ("baseline",), jobs=2, walk_blocks=WALK,
+                           executor="fleet")
+        assert all(results[name] for name in APPS)
+        assert last_dispatch_report().to_dict()["retries"] >= 1, \
+            "fault plan injected nothing; pick a hotter seed"
+        assert self._counters() == inline
+
+    def test_events_narrate_attempts_metrics_stay_exact(self, tmp_path,
+                                                        monkeypatch):
+        """Events and metrics deliberately disagree under retries: the
+        event log keeps every attempt (including the doomed ones), while
+        the metrics registry counts each cell once."""
+        from repro.telemetry import events
+
+        inline = self._inline_reference(monkeypatch)
+        log = tmp_path / "events.jsonl"
+        monkeypatch.setenv(events.ENV_EVENTS, str(log))
+        events.set_path(None)  # re-read the env
+        monkeypatch.setenv("REPRO_DISPATCH_FAULTS", "kill:0.6;seed=7")
+        monkeypatch.setenv("REPRO_DISPATCH_BACKOFF", "0.01")
+        try:
+            run_apps(APPS, ("baseline",), jobs=2, walk_blocks=WALK,
+                     executor="fleet")
+        finally:
+            events.set_path("")
+        attempts = [r for r in events.iter_events(str(log))
+                    if r["kind"] == "dispatch.attempt"]
+        outcomes = {r["outcome"] for r in attempts}
+        assert "worker-died" in outcomes and "ok" in outcomes
+        assert len([r for r in attempts if r["outcome"] == "ok"]) \
+            == len(APPS)
+        assert len(attempts) > len(APPS)  # doomed attempts stay logged
+        assert self._counters() == inline
+
+
 class TestCellDeadline:
     def test_wedged_cell_raises_structured_timeout(self, monkeypatch):
         """A cell that stops making wall-clock progress fails loudly

@@ -130,6 +130,30 @@ class TestCompare:
                               "--strict", "--threshold", "0.5"])
         assert code == 0
 
+    def test_cli_json_output(self, tmp_path, capsys):
+        """--json prints a machine-readable report and gates on
+        regressions (it implies --strict)."""
+        manifest_path = tmp_path / "last_run.json"
+        manifest_path.write_text(json.dumps(self.MANIFEST))
+        baseline_path = tmp_path / "BENCH_perf.json"
+        baseline_path.write_text(json.dumps(self.BASELINE))
+
+        code = tcompare.main([str(manifest_path), str(baseline_path),
+                              "--json"])
+        report = json.loads(capsys.readouterr().out)
+        assert code == 1
+        assert report["regressed"] == 1 and report["compared"] == 2
+        by_name = {r["phase"]: r for r in report["phases"]}
+        assert by_name["simulate"]["regressed"]
+        assert by_name["simulate"]["ratio"] == pytest.approx(1.25)
+
+        code = tcompare.main([str(manifest_path), str(baseline_path),
+                              "--json", "--threshold", "0.5"])
+        report = json.loads(capsys.readouterr().out)
+        assert code == 0
+        assert report["regressed"] == 0
+        assert report["threshold"] == pytest.approx(0.5)
+
 
 class TestBenchBaselineFile:
     def test_repo_bench_file_is_comparable(self):

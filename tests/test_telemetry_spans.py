@@ -3,11 +3,17 @@
 import io
 import json
 import time
+import warnings
 
 import pytest
 
-from repro import perf, telemetry
+from repro import telemetry
 from repro.telemetry import Span
+
+with warnings.catch_warnings():
+    # the deprecated shim is itself under test here
+    warnings.simplefilter("ignore", DeprecationWarning)
+    from repro import perf
 
 
 @pytest.fixture(autouse=True)
