@@ -229,7 +229,12 @@ class ArtifactCache:
     # -- maintenance ---------------------------------------------------------
 
     def clear(self) -> int:
-        """Delete every artifact in the current schema namespace."""
+        """Delete every artifact in the current schema namespace.
+
+        Returns the number of *artifacts* removed.  Orphaned ``.tmp-*``
+        files left behind by interrupted atomic writes are deleted too,
+        but never counted — they were never artifacts.
+        """
         removed = 0
         base = self.root / f"v{SCHEMA_VERSION}"
         if not base.exists():
@@ -240,7 +245,8 @@ class ArtifactCache:
                     path.rmdir()
                 else:
                     path.unlink()
-                    removed += 1
+                    if not path.name.startswith(".tmp-"):
+                        removed += 1
             except OSError:
                 pass
         return removed

@@ -83,10 +83,26 @@ class _WorkerProc:
 
 
 class Broker:
-    """Task queue + lease table behind a loopback TCP listener."""
+    """Task queue + lease table behind a loopback TCP listener.
 
-    def __init__(self, policy: RetryPolicy) -> None:
+    Two lifetimes:
+
+    * **one-shot** (default) — built for a single ``drain()``: once every
+      submitted task is done, idle workers are told to exit.  This is
+      the :class:`FleetExecutor` path.
+    * **persistent** (``persistent=True``) — a multi-request lifetime
+      for :class:`PersistentFleet` / ``repro.serve``: an empty queue
+      means *idle*, not *done*; tasks may be added at any time;
+      completed tasks are handed out (and their tables reclaimed)
+      through :meth:`take_completed`; and a graceful
+      :meth:`begin_drain` finishes in-flight leases before workers are
+      released.
+    """
+
+    def __init__(self, policy: RetryPolicy,
+                 persistent: bool = False) -> None:
         self.policy = policy
+        self.persistent = persistent
         self._listener = socket.create_server(("127.0.0.1", 0))
         self._listener.settimeout(0.2)
         self.address: Tuple[str, int] = self._listener.getsockname()
@@ -104,6 +120,9 @@ class Broker:
         self._worker_pids: Dict[str, int] = {}
         self._conns: List[socket.socket] = []
         self._exhausted: Set[str] = set()
+        #: task ids in completion order, not yet taken (persistent mode)
+        self._completed: List[str] = []
+        self._draining = False
         self._closed = False
         self._threads: List[threading.Thread] = []
 
@@ -150,6 +169,51 @@ class Broker:
             return [(self._tasks[tid], self._records[tid])
                     for tid in self._order if tid in self._exhausted]
 
+    def idle(self) -> bool:
+        """No queued work, no active leases, nothing waiting to be
+        taken — the moment a persistent broker can be drained for free."""
+        with self._lock:
+            return (not self._leases and not self._completed
+                    and not any(tid in self._tasks
+                                for _, _, tid, _ in self._queue))
+
+    def take_completed(self) -> List[Tuple[TaskSpec, TaskResult, bool]]:
+        """Hand out newly finished tasks in completion order and reclaim
+        their tables (persistent mode's result channel).
+
+        Returns ``(spec, result, exhausted)`` triples; ``exhausted``
+        tasks burned their whole attempt budget and still need the
+        caller's quarantine decision.  Each task is returned exactly
+        once; afterwards the broker forgets it entirely, which is what
+        keeps a long-running fleet's memory bounded.
+        """
+        with self._lock:
+            out: List[Tuple[TaskSpec, TaskResult, bool]] = []
+            for task_id in self._completed:
+                record = self._records[task_id]
+                if task_id in self._results:
+                    record.value = self._results[task_id]
+                out.append((self._tasks[task_id], record,
+                            task_id in self._exhausted))
+                self._tasks.pop(task_id, None)
+                self._payloads.pop(task_id, None)
+                self._results.pop(task_id, None)
+                self._records.pop(task_id, None)
+                self._exhausted.discard(task_id)
+                try:
+                    self._order.remove(task_id)
+                except ValueError:
+                    pass
+            self._completed.clear()
+            return out
+
+    def begin_drain(self) -> None:
+        """Graceful shutdown, step one: in-flight leases finish, queued
+        tasks still get leased, but a worker asking for work when none
+        is left is released with ``exit`` instead of parked on ``idle``."""
+        with self._lock:
+            self._draining = True
+
     # -- lease lifecycle -----------------------------------------------------
 
     def _record_attempt(self, task_id: str, attempt_no: int, worker: str,
@@ -166,6 +230,7 @@ class Broker:
         """Queue the next attempt, or exhaust the task's budget."""
         if attempt_no >= self.policy.max_attempts:
             self._exhausted.add(task_id)
+            self._completed.append(task_id)
             record = self._records[task_id]
             record.error = (
                 f"task {task_id!r} exhausted its "
@@ -237,6 +302,7 @@ class Broker:
                         or task_id in self._exhausted):
                     continue
                 self._exhausted.add(task_id)
+                self._completed.append(task_id)
                 record = self._records[task_id]
                 if record.error is None:
                     record.error = reason
@@ -307,13 +373,14 @@ class Broker:
                     f"worker {worker} surrendered the lease without a "
                     f"result",
                 )
-            if self.finished():
+            if not self.persistent and self.finished():
                 wire.send_msg(conn, {"type": "exit"})
                 return
             now = time.monotonic()
             while self._queue:
                 ready, _seq, task_id, attempt_no = self._queue[0]
-                if task_id in self._results \
+                if task_id not in self._tasks \
+                        or task_id in self._results \
                         or task_id in self._exhausted \
                         or task_id in self._leases:
                     heapq.heappop(self._queue)
@@ -338,6 +405,12 @@ class Broker:
                                    "workers.")
                 telemetry.emit("dispatch.lease", task=task_id,
                                worker=worker, attempt=attempt_no)
+                return
+            if self._draining and not self._queue and not self._leases:
+                # Graceful drain: nothing left this worker could ever be
+                # handed (active leases may still requeue, so keep spare
+                # workers parked until the last lease resolves).
+                wire.send_msg(conn, {"type": "exit"})
                 return
             wire.send_msg(conn, {"type": "idle", "sleep": _TICK_S})
 
@@ -379,6 +452,7 @@ class Broker:
             self._record_attempt(task_id, lease.attempt_no, worker,
                                  "ok", wall)
             self._results[task_id] = value
+            self._completed.append(task_id)
             record = self._records[task_id]
             record.error = None
             record.error_exc = None
@@ -398,6 +472,43 @@ class Broker:
                 conn.close()
             except OSError:
                 pass
+
+
+def _spawn_worker(address: Tuple[str, int],
+                  name: str) -> Optional[subprocess.Popen]:
+    """Launch one ``repro.dispatch.worker`` against ``address``.
+
+    Workers must resolve the same modules the parent can (the task
+    payloads pickle functions *by reference*), regardless of the
+    worker's cwd — so the parent's import path ships in the
+    environment.
+    """
+    host, port = address
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(p for p in sys.path if p)
+    try:
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro.dispatch.worker",
+             "--connect", f"{host}:{port}", "--worker", name],
+            env=env,
+            stdout=subprocess.DEVNULL,
+            stderr=subprocess.DEVNULL,
+        )
+    except Exception:
+        return None
+    telemetry.inc("repro_dispatch_worker_spawns_total",
+                  help="Fleet worker processes launched "
+                       "(initial complement plus respawns).")
+    telemetry.emit("dispatch.worker.spawn", worker=name,
+                   worker_pid=proc.pid)
+    return proc
+
+
+def _kill_pid(pid: int) -> None:
+    try:
+        os.kill(pid, signal.SIGKILL)
+    except (ProcessLookupError, PermissionError, OSError):
+        pass
 
 
 class FleetExecutor:
@@ -421,37 +532,16 @@ class FleetExecutor:
     # -- worker process management -------------------------------------------
 
     def _spawn(self, broker: Broker, index: int) -> Optional[_WorkerProc]:
-        host, port = broker.address
-        env = dict(os.environ)
-        # Workers must resolve the same modules the parent can (the
-        # task payloads pickle functions *by reference*), regardless of
-        # the worker's cwd — ship the parent's import path.
-        env["PYTHONPATH"] = os.pathsep.join(p for p in sys.path if p)
         name = f"fleet-{index}"
-        try:
-            proc = subprocess.Popen(
-                [sys.executable, "-m", "repro.dispatch.worker",
-                 "--connect", f"{host}:{port}", "--worker", name],
-                env=env,
-                stdout=subprocess.DEVNULL,
-                stderr=subprocess.DEVNULL,
-            )
-        except Exception:
+        proc = _spawn_worker(broker.address, name)
+        if proc is None:
             return None
         worker = _WorkerProc(name=name, proc=proc)
         self._procs.append(worker)
-        telemetry.inc("repro_dispatch_worker_spawns_total",
-                      help="Fleet worker processes launched "
-                           "(initial complement plus respawns).")
-        telemetry.emit("dispatch.worker.spawn", worker=name,
-                       worker_pid=proc.pid)
         return worker
 
     def _kill_pid(self, pid: int) -> None:
-        try:
-            os.kill(pid, signal.SIGKILL)
-        except (ProcessLookupError, PermissionError, OSError):
-            pass
+        _kill_pid(pid)
 
     def _reap_and_respawn(self, broker: Broker,
                           spawn_budget: List[int]) -> int:
@@ -566,4 +656,158 @@ class FleetExecutor:
         self._tasks = []
 
 
-__all__ = ["Broker", "FleetExecutor"]
+class PersistentFleet:
+    """A warm, multi-request worker fleet for ``repro.serve``.
+
+    Where :class:`FleetExecutor` builds a broker, drains one batch, and
+    tears everything down, this keeps one persistent :class:`Broker` and
+    a stable complement of ``jobs`` workers alive across arbitrarily
+    many requests — so the second request never pays process spawn or
+    import cost again.  The interface is a task pump, not a batch
+    barrier:
+
+    * :meth:`submit` enqueues a task at any time;
+    * :meth:`poll` returns whatever finished since the last poll, in
+      completion order (exhausted tasks are quarantined to the caller's
+      inline path first, same contract as the executors);
+    * a background monitor thread expires stale leases, SIGKILLs wedged
+      workers, reaps the dead, and respawns replacements for as long as
+      the fleet is up (a persistent service heals; it does not budget);
+    * :meth:`shutdown` drains gracefully — in-flight leases finish,
+      idle workers are released with ``exit`` — and hard-kills whatever
+      outlives the grace period.
+
+    Thread-safe: submit/poll may be called from any thread (the serve
+    front calls them from the asyncio event loop).
+    """
+
+    def __init__(self, jobs: Optional[int] = None,
+                 policy: Optional[RetryPolicy] = None) -> None:
+        self.jobs = max(1, jobs if jobs is not None
+                        else (os.cpu_count() or 1))
+        self.policy = policy if policy is not None \
+            else RetryPolicy.from_env()
+        self.broker = Broker(self.policy, persistent=True)
+        self.broker.start()
+        self._procs: List[_WorkerProc] = []
+        self._procs_lock = threading.Lock()
+        self._spawned = 0
+        self._closed = False
+        self._draining = False
+        self._monitor = threading.Thread(
+            target=self._monitor_loop, name="serve-fleet-monitor",
+            daemon=True,
+        )
+        self._monitor.start()
+
+    # -- task pump -----------------------------------------------------------
+
+    def submit(self, task: TaskSpec) -> None:
+        if self._closed or self._draining:
+            raise RuntimeError("fleet is shutting down")
+        self.broker.add_task(task)
+
+    def poll(self) -> List[TaskResult]:
+        """Newly completed tasks since the last poll, completion order.
+
+        Tasks that exhausted their fleet attempt budget degrade to one
+        inline attempt in the calling process (the executors'
+        poison-task quarantine), so every submitted task eventually
+        comes back exactly once — as a value or a structured error,
+        never silence.
+        """
+        done = self.broker.take_completed()
+        exhausted = [(task, record) for task, record, dead in done
+                     if dead]
+        if exhausted:
+            quarantine_inline(exhausted, self.policy)
+        return [record for _task, record, _dead in done]
+
+    def workers_alive(self) -> int:
+        with self._procs_lock:
+            return sum(1 for w in self._procs
+                       if not w.dead and w.proc.poll() is None)
+
+    def workers_spawned(self) -> int:
+        return self._spawned
+
+    # -- monitor -------------------------------------------------------------
+
+    def _spawn(self) -> None:
+        name = f"serve-fleet-{self._spawned}"
+        proc = _spawn_worker(self.broker.address, name)
+        if proc is None:
+            return
+        self._spawned += 1
+        with self._procs_lock:
+            self._procs.append(_WorkerProc(name=name, proc=proc))
+
+    def _monitor_loop(self) -> None:
+        for _ in range(self.jobs):
+            self._spawn()
+        while not self._closed:
+            for pid in self.broker.expire_stale():
+                _kill_pid(pid)
+            live = 0
+            with self._procs_lock:
+                procs = list(self._procs)
+            for worker in procs:
+                if worker.dead:
+                    continue
+                if worker.proc.poll() is None:
+                    live += 1
+                    continue
+                worker.dead = True
+                telemetry.inc("repro_dispatch_worker_deaths_total",
+                              help="Fleet workers that exited before "
+                                   "the drain finished.")
+                telemetry.emit("dispatch.worker.death",
+                               worker=worker.name,
+                               returncode=worker.proc.returncode)
+            if not self._draining:
+                while live < self.jobs:
+                    self._spawn()
+                    live += 1
+            telemetry.set_gauge("repro_dispatch_workers", live,
+                                help="Live fleet workers (gauge; merges "
+                                     "as max across processes).")
+            time.sleep(_TICK_S)
+
+    # -- teardown ------------------------------------------------------------
+
+    def shutdown(self, grace_s: float = 10.0) -> None:
+        """Graceful drain, then hard stop.  Idempotent."""
+        if self._closed:
+            return
+        self._draining = True
+        self.broker.begin_drain()
+        deadline = time.monotonic() + max(0.0, grace_s)
+        while time.monotonic() < deadline:
+            if self.broker.idle() and self.workers_alive() == 0:
+                break
+            time.sleep(_TICK_S)
+        self._closed = True
+        self._monitor.join(timeout=2.0)
+        self.broker.close()
+        with self._procs_lock:
+            procs = list(self._procs)
+        for worker in procs:
+            if worker.dead or worker.proc.poll() is not None:
+                worker.dead = True
+                continue
+            worker.proc.terminate()
+        for worker in procs:
+            if worker.dead:
+                continue
+            try:
+                worker.proc.wait(timeout=1.0)
+            except subprocess.TimeoutExpired:
+                _kill_pid(worker.proc.pid)
+                try:
+                    worker.proc.wait(timeout=1.0)
+                except subprocess.TimeoutExpired:
+                    pass
+            worker.dead = True
+
+
+__all__ = ["Broker", "FleetExecutor", "PersistentFleet"]

@@ -25,6 +25,7 @@ post-processing.  The CLI makes ad-hoc studies one-liners::
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import os
 import sys
 import time
@@ -80,6 +81,54 @@ class SweepSpec:
     #: (``None`` defers to ``REPRO_SIM_ENGINE`` / ``inline``); engines
     #: are bit-identical, so this changes wall time, never numbers
     engine: Optional[str] = None
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-safe payload form — what ``repro.serve`` jobs and the
+        loadgen ship over the wire.  Only non-default fields are
+        emitted, so payloads stay small and diff-friendly."""
+        record: Dict[str, object] = {"apps": list(self.apps)}
+        if self.schemes != ("baseline",):
+            record["schemes"] = list(self.schemes)
+        if self.configs != ("google-tablet",):
+            record["configs"] = list(self.configs)
+        if self.prefetchers:
+            record["prefetchers"] = list(self.prefetchers)
+        for key in ("icache_policy", "branch_predictor", "walk_blocks",
+                    "jobs", "executor", "engine"):
+            value = getattr(self, key)
+            if value is not None:
+                record[key] = value
+        return record
+
+    @classmethod
+    def from_dict(cls, record: Dict[str, object]) -> "SweepSpec":
+        """Rebuild a spec from :meth:`to_dict` output (or hand-written
+        JSON).  Unknown keys raise ``ValueError`` naming them — a job
+        payload with a typoed field should fail loudly at admission,
+        not silently sweep the default grid."""
+        if not isinstance(record, dict):
+            raise ValueError(
+                f"sweep spec must be a JSON object, got "
+                f"{type(record).__name__}"
+            )
+        known = {f.name for f in dataclasses.fields(cls)}
+        unknown = sorted(set(record) - known)
+        if unknown:
+            raise ValueError(
+                f"unknown sweep spec field(s): {', '.join(unknown)} "
+                f"(expected a subset of {', '.join(sorted(known))})"
+            )
+        if not record.get("apps"):
+            raise ValueError("sweep spec needs a non-empty 'apps' list")
+        kwargs: Dict[str, object] = dict(record)
+        for key in ("apps", "schemes", "configs", "prefetchers"):
+            if key in kwargs:
+                value = kwargs[key]
+                if isinstance(value, str):
+                    value = [part.strip() for part in value.split(",")
+                             if part.strip()]
+                kwargs[key] = tuple(str(v) for v in value)
+        return cls(**kwargs)  # type: ignore[arg-type]
 
     def validate(self) -> None:
         """Resolve every name now so typos fail before any work starts

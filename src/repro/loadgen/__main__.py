@@ -1,0 +1,115 @@
+"""CLI driver: ``python -m repro.loadgen --requests 50 ...``.
+
+Targets a running ``python -m repro.serve`` wire front (pass
+``--ready-file`` to pick up the port the server wrote, or ``--port``
+directly), offers a request stream over the named sweep grid, prints a
+latency/throughput summary, and writes the full JSON report.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.loadgen.base import SweepGridWorkload, parse_mix
+from repro.loadgen.engines import ClosedLoopEngine, OpenLoopEngine
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.loadgen",
+        description="Offer sweep traffic to a repro.serve instance and "
+                    "report throughput + latency percentiles.",
+    )
+    target = parser.add_argument_group("target")
+    target.add_argument("--host", default="127.0.0.1")
+    target.add_argument("--port", type=int, default=7017,
+                        help="serve wire-front port (default: 7017)")
+    target.add_argument("--ready-file", default=None,
+                        help="read host/port from a serve --ready-file "
+                             "instead")
+    grid = parser.add_argument_group("workload grid")
+    grid.add_argument("--apps", default="Facebook,Maps",
+                      help="comma-separated app names")
+    grid.add_argument("--schemes", default="baseline,critic")
+    grid.add_argument("--configs", default="google-tablet")
+    grid.add_argument("--walk-blocks", type=int, default=None)
+    grid.add_argument("--mix", default="cell=1",
+                      help="request-shape mix, e.g. 'cell=8,app=1,"
+                           "full=1' (default: all cell requests)")
+    load = parser.add_argument_group("offered load")
+    load.add_argument("--engine", choices=("closed", "open"),
+                      default="closed")
+    load.add_argument("--concurrency", type=int, default=4)
+    load.add_argument("--rate-hz", type=float, default=8.0,
+                      help="open-loop arrival rate (default: 8)")
+    load.add_argument("--requests", type=int, default=32)
+    load.add_argument("--duration-s", type=float, default=None,
+                      help="stop issuing after this many seconds")
+    load.add_argument("--timeout-s", type=float, default=120.0,
+                      help="per-connection socket timeout")
+    parser.add_argument("--out", default=None,
+                        help="write the JSON report here")
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    host, port = args.host, args.port
+    if args.ready_file:
+        with open(args.ready_file) as handle:
+            ready = json.load(handle)
+        host = ready.get("host", host)
+        port = ready["wire_port"]
+
+    spec = {
+        "apps": [a for a in args.apps.split(",") if a],
+        "schemes": [s for s in args.schemes.split(",") if s],
+        "configs": [c for c in args.configs.split(",") if c],
+    }
+    if args.walk_blocks is not None:
+        spec["walk_blocks"] = args.walk_blocks
+    workload = SweepGridWorkload(spec=spec, mix=parse_mix(args.mix))
+
+    if args.engine == "open":
+        engine = OpenLoopEngine(rate_hz=args.rate_hz,
+                                concurrency=args.concurrency,
+                                timeout_s=args.timeout_s)
+    else:
+        engine = ClosedLoopEngine(concurrency=args.concurrency,
+                                  timeout_s=args.timeout_s)
+
+    report = engine.run((host, port), workload, args.requests,
+                        duration_s=args.duration_s)
+    _print_summary(report)
+    if args.out:
+        with open(args.out, "w") as handle:
+            json.dump(report, handle, sort_keys=True, indent=2)
+            handle.write("\n")
+        print(f"report: {args.out}")
+    return 0 if report["requests"]["failed"] == 0 else 1
+
+
+def _print_summary(report: dict) -> None:
+    reqs, cells = report["requests"], report["cells"]
+    lat, thr = report["latency_s"], report["throughput"]
+    print(f"engine      {report['engine']}  "
+          f"(workload {report['workload']})")
+    print(f"requests    {reqs['ok']}/{reqs['issued']} ok, "
+          f"{reqs['failed']} failed in {report['wall_s']:.2f}s")
+    print(f"cells       {cells['served']} served "
+          f"({cells['cached']} cached, {cells['computed']} computed, "
+          f"{cells['failed']} failed)")
+    print(f"throughput  {thr['req_per_s']:.2f} req/s, "
+          f"{thr['cells_per_s']:.2f} cells/s")
+    print(f"latency     p50 {lat['p50'] * 1e3:.1f} ms   "
+          f"p95 {lat['p95'] * 1e3:.1f} ms   "
+          f"p99 {lat['p99'] * 1e3:.1f} ms   "
+          f"max {lat['max'] * 1e3:.1f} ms")
+    for error in report.get("errors", []):
+        print(f"error       {error}", file=sys.stderr)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

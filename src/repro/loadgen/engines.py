@@ -1,0 +1,199 @@
+"""Closed-loop and open-loop request-generation engines.
+
+Both engines drive the serve wire front through blocking
+:class:`~repro.serve.client.ServeClient` connections (one per worker
+thread, opened once and reused — connection setup is not part of the
+measured latency).
+
+* :class:`ClosedLoopEngine` — ``concurrency`` workers, each issuing its
+  next request only after the previous reply.  Measures *service*
+  latency under a bounded number of outstanding requests; offered load
+  adapts to the server.
+* :class:`OpenLoopEngine` — requests arrive on a fixed schedule
+  (``rate_hz``), independent of completions, and wait in a queue for a
+  free worker.  Latency is measured from the *scheduled* arrival time,
+  so queueing delay shows up in the percentiles instead of being
+  coordinated-omission'd away.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.loadgen.base import Req, Sample, Workload, summarize
+from repro.serve.client import ServeClient, ServeError
+
+
+def _drive(client: ServeClient, req: Req) -> Tuple[bool, str,
+                                                   Dict[str, int]]:
+    """Send one request, drain its stream, return (ok, error, tallies)."""
+    tallies = {"cells": 0, "cached": 0, "computed": 0, "failed": 0}
+    try:
+        for record in client.sweep(req.spec, job_id=f"req-{req.index}"):
+            if record.get("type") == "done":
+                tallies["cells"] = record.get("cells", 0)
+                tallies["cached"] = record.get("cached", 0)
+                tallies["computed"] = record.get("computed", 0)
+                tallies["failed"] = record.get("failed", 0)
+        return tallies["failed"] == 0, "", tallies
+    except (ServeError, ConnectionError, OSError) as exc:
+        return False, f"{type(exc).__name__}: {exc}", tallies
+
+
+class ReqGenEngine:
+    """Issue requests from a workload against a serve address and
+    measure per-request latency."""
+
+    name = "engine"
+
+    def __init__(self, concurrency: int = 1,
+                 timeout_s: float = 120.0) -> None:
+        self.concurrency = max(1, concurrency)
+        self.timeout_s = timeout_s
+
+    def run(self, address: Tuple[str, int], workload: Workload,
+            requests: int,
+            duration_s: Optional[float] = None) -> Dict[str, Any]:
+        raise NotImplementedError
+
+    def _offered(self, requests: int,
+                 duration_s: Optional[float]) -> Dict[str, Any]:
+        offered: Dict[str, Any] = {
+            "requests": requests,
+            "concurrency": self.concurrency,
+        }
+        if duration_s is not None:
+            offered["duration_s"] = duration_s
+        return offered
+
+
+class ClosedLoopEngine(ReqGenEngine):
+    """Fixed worker pool; next request only after the last reply."""
+
+    name = "closed-loop"
+
+    def run(self, address: Tuple[str, int], workload: Workload,
+            requests: int,
+            duration_s: Optional[float] = None) -> Dict[str, Any]:
+        stream = workload.reqs()
+        feed_lock = threading.Lock()
+        issued = [0]
+        samples: List[Sample] = []
+        samples_lock = threading.Lock()
+        started = time.perf_counter()
+        deadline = started + duration_s if duration_s else None
+
+        def next_req() -> Optional[Req]:
+            with feed_lock:
+                if issued[0] >= requests:
+                    return None
+                if deadline and time.perf_counter() >= deadline:
+                    return None
+                issued[0] += 1
+                return next(stream)
+
+        def worker() -> None:
+            with ServeClient(address, timeout_s=self.timeout_s) as client:
+                while True:
+                    req = next_req()
+                    if req is None:
+                        return
+                    t0 = time.perf_counter()
+                    ok, error, tallies = _drive(client, req)
+                    latency = time.perf_counter() - t0
+                    sample = Sample(
+                        index=req.index, shape=req.shape,
+                        start_s=t0 - started, latency_s=latency,
+                        ok=ok, error=error, **tallies)
+                    with samples_lock:
+                        samples.append(sample)
+
+        threads = [threading.Thread(target=worker,
+                                    name=f"loadgen-{n}", daemon=True)
+                   for n in range(self.concurrency)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        wall = time.perf_counter() - started
+        samples.sort(key=lambda s: s.index)
+        return summarize(samples, wall, self.name, workload.name,
+                         self._offered(requests, duration_s))
+
+
+class OpenLoopEngine(ReqGenEngine):
+    """Fixed arrival rate; latency charged from the scheduled arrival."""
+
+    name = "open-loop"
+
+    def __init__(self, rate_hz: float, concurrency: int = 4,
+                 timeout_s: float = 120.0) -> None:
+        super().__init__(concurrency=concurrency, timeout_s=timeout_s)
+        if rate_hz <= 0:
+            raise ValueError("open-loop rate_hz must be > 0")
+        self.rate_hz = rate_hz
+
+    def run(self, address: Tuple[str, int], workload: Workload,
+            requests: int,
+            duration_s: Optional[float] = None) -> Dict[str, Any]:
+        if duration_s is not None:
+            requests = min(requests,
+                           max(1, int(duration_s * self.rate_hz)))
+        pending: "queue.Queue[Optional[Req]]" = queue.Queue()
+        samples: List[Sample] = []
+        samples_lock = threading.Lock()
+        started = time.perf_counter()
+
+        def pacer() -> None:
+            stream = workload.reqs()
+            for n in range(requests):
+                req = next(stream)
+                req.scheduled_s = n / self.rate_hz
+                now = time.perf_counter() - started
+                if req.scheduled_s > now:
+                    time.sleep(req.scheduled_s - now)
+                pending.put(req)
+            for _ in range(self.concurrency):
+                pending.put(None)
+
+        def worker() -> None:
+            with ServeClient(address, timeout_s=self.timeout_s) as client:
+                while True:
+                    req = pending.get()
+                    if req is None:
+                        return
+                    t0 = time.perf_counter()
+                    ok, error, tallies = _drive(client, req)
+                    end = time.perf_counter()
+                    latency = end - started - (req.scheduled_s or 0.0)
+                    sample = Sample(
+                        index=req.index, shape=req.shape,
+                        start_s=req.scheduled_s or (t0 - started),
+                        latency_s=latency, ok=ok, error=error,
+                        **tallies)
+                    with samples_lock:
+                        samples.append(sample)
+
+        threads = [threading.Thread(target=worker,
+                                    name=f"loadgen-{n}", daemon=True)
+                   for n in range(self.concurrency)]
+        pace = threading.Thread(target=pacer, name="loadgen-pacer",
+                                daemon=True)
+        for thread in threads:
+            thread.start()
+        pace.start()
+        pace.join()
+        for thread in threads:
+            thread.join()
+        wall = time.perf_counter() - started
+        samples.sort(key=lambda s: s.index)
+        offered = self._offered(requests, duration_s)
+        offered["rate_hz"] = self.rate_hz
+        return summarize(samples, wall, self.name, workload.name,
+                         offered)
+
+
+__all__ = ["ClosedLoopEngine", "OpenLoopEngine", "ReqGenEngine"]

@@ -1,0 +1,654 @@
+"""The persistent sweep/cell job server behind ``python -m repro.serve``.
+
+One :class:`ServeServer` owns:
+
+* a **persistent fleet** (:class:`repro.dispatch.fleet.PersistentFleet`)
+  — or, with ``executor="inline"``, a serialized in-process execution
+  lane — that stays warm across requests;
+* a **wire front** (length-prefixed pickle messages, see
+  :mod:`repro.serve.protocol`) and an **HTTP/JSON front**
+  (``/healthz``, ``/metrics``, ``POST /sweep``, ``POST /shutdown``);
+* a **job engine** that admits :class:`~repro.experiments.sweep.
+  SweepSpec` payloads, answers warm cells straight from the artifact
+  cache, fans cold cells out to the fleet, and streams every cell back
+  the moment it completes.
+
+Cells run through the exact same
+:func:`repro.experiments.runner._cell_task` body the batch sweep engine
+uses, so a served grid is bit-identical to an inline sweep of the same
+spec — the acceptance gate the loadgen asserts.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import tempfile
+import time
+from dataclasses import dataclass, field
+from typing import Any, AsyncIterator, Dict, List, Optional, Set, Tuple
+
+from repro import telemetry
+from repro.cache import get_cache
+from repro.cpu import CpuConfig
+from repro.dispatch import RetryPolicy, TaskResult, TaskSpec
+from repro.dispatch.fleet import PersistentFleet
+from repro.experiments.runner import (
+    DEFAULT_WALK_BLOCKS,
+    _cell_task,
+    _drain_spool,
+    app_context,
+)
+from repro.experiments.sweep import SweepSpec
+from repro.registry import component_identity
+from repro.workloads import get_profile
+from repro.serve.protocol import (
+    PROTOCOL_VERSION,
+    ProtocolError,
+    read_msg,
+    write_msg,
+)
+
+#: How often the result pump polls the fleet, seconds.
+_PUMP_S = 0.02
+
+#: Executor lanes the server knows how to drive.
+EXECUTOR_CHOICES = ("fleet", "inline")
+
+
+class JobError(ValueError):
+    """A job failed admission (bad spec, unknown name, draining)."""
+
+
+@dataclass
+class _Job:
+    """Book-keeping for one in-flight sweep job."""
+
+    id: str
+    client_id: str
+    front: str
+    spec: SweepSpec
+    configs: Tuple[CpuConfig, ...]
+    blocks: int
+    queue: "asyncio.Queue[TaskResult]" = field(
+        default_factory=asyncio.Queue)
+    pending: Set[str] = field(default_factory=set)
+    cached: int = 0
+    computed: int = 0
+    failed: int = 0
+
+
+class ServeServer:
+    """Persistent simulation service: warm fleet + hot cache + two
+    streaming job fronts."""
+
+    def __init__(self, workers: Optional[int] = None,
+                 executor: str = "fleet",
+                 host: str = "127.0.0.1",
+                 wire_port: int = 0,
+                 http_port: int = 0,
+                 policy: Optional[RetryPolicy] = None) -> None:
+        if executor not in EXECUTOR_CHOICES:
+            raise ValueError(
+                f"unknown serve executor {executor!r} "
+                f"(choose from {', '.join(EXECUTOR_CHOICES)})"
+            )
+        self.executor = executor
+        self.workers = workers
+        self.host = host
+        self._wire_port = wire_port
+        self._http_port = http_port
+        self.policy = policy if policy is not None \
+            else RetryPolicy.from_env()
+        self.fleet: Optional[PersistentFleet] = None
+        self.started_unix = time.time()
+        self._jobs: Dict[str, _Job] = {}
+        self._job_seq = 0
+        self._jobs_total = 0
+        self._jobs_failed = 0
+        self._cells = {"cached": 0, "computed": 0, "failed": 0}
+        self._draining = False
+        self._stopped = asyncio.Event()
+        self._wire_server: Optional[asyncio.base_events.Server] = None
+        self._http_server: Optional[asyncio.base_events.Server] = None
+        self._pump_task: Optional[asyncio.Task] = None
+        self._inline_lock = asyncio.Lock()
+
+    # -- lifecycle -----------------------------------------------------------
+
+    async def start(self) -> None:
+        """Bind both fronts and warm the fleet."""
+        if self.executor == "fleet":
+            self.fleet = await asyncio.to_thread(
+                PersistentFleet, self.workers, self.policy,
+            )
+            self._pump_task = asyncio.create_task(self._pump_fleet())
+        self._wire_server = await asyncio.start_server(
+            self._handle_wire, self.host, self._wire_port)
+        self._http_server = await asyncio.start_server(
+            self._handle_http, self.host, self._http_port)
+        telemetry.emit("serve.start", host=self.host,
+                       wire_port=self.wire_port,
+                       http_port=self.http_port,
+                       executor=self.executor)
+        telemetry.set_gauge("repro_serve_up", 1,
+                            help="1 while the serve front is accepting "
+                                 "jobs.")
+
+    @property
+    def wire_port(self) -> int:
+        assert self._wire_server is not None
+        return self._wire_server.sockets[0].getsockname()[1]
+
+    @property
+    def http_port(self) -> int:
+        assert self._http_server is not None
+        return self._http_server.sockets[0].getsockname()[1]
+
+    async def serve_forever(self) -> None:
+        """Run until :meth:`stop` completes."""
+        await self._stopped.wait()
+
+    async def stop(self, grace_s: float = 10.0) -> None:
+        """Graceful drain: stop admitting, let in-flight jobs finish
+        (bounded by ``grace_s``), release the fleet, close the fronts."""
+        if self._draining:
+            return
+        self._draining = True
+        telemetry.set_gauge("repro_serve_up", 0,
+                            help="1 while the serve front is accepting "
+                                 "jobs.")
+        deadline = time.monotonic() + max(0.0, grace_s)
+        while self._jobs and time.monotonic() < deadline:
+            await asyncio.sleep(_PUMP_S)
+        if self._pump_task is not None:
+            self._pump_task.cancel()
+        if self.fleet is not None:
+            await asyncio.to_thread(self.fleet.shutdown, grace_s)
+        for server in (self._wire_server, self._http_server):
+            if server is not None:
+                server.close()
+                await server.wait_closed()
+        telemetry.emit("serve.stop", jobs_total=self._jobs_total)
+        self._stopped.set()
+
+    # -- health --------------------------------------------------------------
+
+    def health(self) -> Dict[str, Any]:
+        cache = get_cache()
+        record: Dict[str, Any] = {
+            "ok": True,
+            "status": "draining" if self._draining else "serving",
+            "pid": os.getpid(),
+            "protocol": PROTOCOL_VERSION,
+            "uptime_s": round(time.time() - self.started_unix, 3),
+            "executor": self.executor,
+            "jobs": {
+                "active": len(self._jobs),
+                "total": self._jobs_total,
+                "failed": self._jobs_failed,
+            },
+            "cells": dict(self._cells),
+            "cache": {"hits": cache.hits, "misses": cache.misses},
+        }
+        if self.fleet is not None:
+            record["workers"] = {
+                "configured": self.fleet.jobs,
+                "alive": self.fleet.workers_alive(),
+                "spawned": self.fleet.workers_spawned(),
+            }
+        else:
+            record["workers"] = {"configured": 1, "alive": 1,
+                                 "spawned": 0}
+        return record
+
+    # -- the job engine ------------------------------------------------------
+
+    def _admit(self, payload: Any, client_id: str, front: str) -> _Job:
+        """Validate a sweep payload and register the job, or raise
+        :class:`JobError` with a client-presentable message."""
+        if self._draining:
+            raise JobError("server is draining; job rejected")
+        try:
+            spec = SweepSpec.from_dict(payload)
+            spec.validate()
+            configs = spec.resolve_configs()
+            for name in spec.apps:
+                get_profile(name)
+        except (ValueError, KeyError) as exc:
+            raise JobError(str(exc).strip("\"'")) from exc
+        blocks = spec.walk_blocks if spec.walk_blocks is not None \
+            else DEFAULT_WALK_BLOCKS
+        self._job_seq += 1
+        job = _Job(
+            id=f"job-{self._job_seq}", client_id=client_id, front=front,
+            spec=spec, configs=configs, blocks=blocks,
+        )
+        self._jobs[job.id] = job
+        self._jobs_total += 1
+        telemetry.inc("repro_serve_jobs_total",
+                      help="Sweep jobs admitted, by front.", front=front)
+        telemetry.set_gauge("repro_serve_active_jobs", len(self._jobs),
+                            help="Jobs currently streaming results.")
+        telemetry.emit("serve.job.start", job=job.id, front=front,
+                       apps=",".join(spec.apps),
+                       schemes=",".join(spec.schemes),
+                       configs=",".join(c.name for c in configs))
+        return job
+
+    def _cell_record(self, job: _Job, app: str, scheme: str,
+                     config: str, *, cached: bool, wall_s: float,
+                     stats: Any = None,
+                     error: Optional[str] = None) -> Dict[str, Any]:
+        source = "failed" if error is not None else (
+            "cached" if cached else "computed")
+        self._cells[source] += 1
+        if error is not None:
+            job.failed += 1
+        elif cached:
+            job.cached += 1
+        else:
+            job.computed += 1
+        telemetry.inc("repro_serve_cells_total",
+                      help="Cells served, by source.", source=source)
+        record: Dict[str, Any] = {
+            "type": "cell", "id": job.client_id, "app": app,
+            "scheme": scheme, "config": config, "cached": cached,
+            "wall_s": round(wall_s, 6),
+        }
+        if error is not None:
+            record["error"] = error
+        else:
+            record["stats"] = stats.to_dict()
+        return record
+
+    async def run_job(self, payload: Any, client_id: str,
+                      front: str) -> AsyncIterator[Dict[str, Any]]:
+        """Admit + execute one sweep job, yielding JSON-safe
+        ``accepted``/``cell``/``done`` records as cells complete (or a
+        single ``error`` record on admission failure)."""
+        started = time.perf_counter()
+        try:
+            job = self._admit(payload, client_id, front)
+        except JobError as exc:
+            self._jobs_failed += 1
+            telemetry.inc("repro_serve_jobs_rejected_total",
+                          help="Jobs that failed admission.")
+            telemetry.emit("serve.job.rejected", front=front,
+                           error=str(exc))
+            yield {"type": "error", "id": client_id, "error": str(exc)}
+            return
+        try:
+            try:
+                async for record in self._execute(job):
+                    yield record
+            except asyncio.CancelledError:
+                raise
+            except Exception as exc:  # server-side bug, not cell error
+                telemetry.emit("serve.job.error", job=job.id,
+                               error=f"{type(exc).__name__}: {exc}")
+                yield {"type": "error", "id": job.client_id,
+                       "error": f"job failed: "
+                                f"{type(exc).__name__}: {exc}"}
+                job.failed += 1
+                return
+            wall = time.perf_counter() - started
+            telemetry.observe("repro_serve_job_seconds", wall,
+                              help="Wall seconds per served job.")
+            telemetry.emit("serve.job.done", job=job.id,
+                           cached=job.cached, computed=job.computed,
+                           failed=job.failed, wall_s=round(wall, 6))
+            self._record_manifest(job, wall)
+            yield {
+                "type": "done", "id": job.client_id,
+                "cells": job.cached + job.computed + job.failed,
+                "cached": job.cached, "computed": job.computed,
+                "failed": job.failed, "wall_s": round(wall, 6),
+            }
+        finally:
+            if job.failed:
+                self._jobs_failed += 1
+            self._jobs.pop(job.id, None)
+            telemetry.set_gauge("repro_serve_active_jobs",
+                                len(self._jobs),
+                                help="Jobs currently streaming "
+                                     "results.")
+
+    async def _execute(self,
+                       job: _Job) -> AsyncIterator[Dict[str, Any]]:
+        spec = job.spec
+        engine = (spec.engine or "").strip() or None
+        if engine == "inline":
+            engine = None
+        # Probe the warm path first: memo + disk cache, no fleet.
+        todo: List[Tuple[str, CpuConfig, Tuple[str, ...]]] = []
+        cached: List[Tuple[str, str, str, Any]] = []
+        probe_started = time.perf_counter()
+
+        def _probe() -> None:
+            for name in spec.apps:
+                ctx = app_context(name, job.blocks)
+                for config in job.configs:
+                    missing = []
+                    for scheme in spec.schemes:
+                        stats = ctx.cached_stats(scheme, config)
+                        if stats is None:
+                            missing.append(scheme)
+                        else:
+                            cached.append((name, scheme, config.name,
+                                           stats))
+                    if missing:
+                        todo.append((name, config, tuple(missing)))
+
+        await asyncio.to_thread(_probe)
+        probe_wall = time.perf_counter() - probe_started
+        total = len(spec.apps) * len(spec.schemes) * len(job.configs)
+        yield {"type": "accepted", "id": job.client_id, "job": job.id,
+               "cells": total, "warm": len(cached)}
+        per_cell = probe_wall / max(1, len(cached))
+        for name, scheme, config_name, stats in cached:
+            yield self._cell_record(job, name, scheme, config_name,
+                                    cached=True, wall_s=per_cell,
+                                    stats=stats)
+        if not todo:
+            return
+
+        spool = tempfile.mkdtemp(prefix="repro-serve-spool-") \
+            if self.fleet is not None else None
+        tasks = [
+            TaskSpec(
+                id=f"{job.id}|{name}|{config.name}",
+                fn=_cell_task,
+                args=(name, job.blocks, missing, config, engine),
+                kwargs={"spool_dir": spool, "capture_telemetry": True},
+                inline_kwargs={"capture_telemetry": False},
+            )
+            for name, config, missing in todo
+        ]
+        job.pending = {task.id for task in tasks}
+        by_id = {task.id: task for task in tasks}
+        results: List[TaskResult] = []
+        try:
+            if self.fleet is not None:
+                for task in tasks:
+                    await asyncio.to_thread(self.fleet.submit, task)
+            else:
+                for task in tasks:
+                    asyncio.create_task(self._run_task_inline(job, task))
+            while job.pending:
+                result = await job.queue.get()
+                job.pending.discard(result.task_id)
+                results.append(result)
+                _jid, name, config_name = result.task_id.split("|", 2)
+                if result.ok:
+                    app, tag, cell, snap = result.value
+                    if snap is not None:
+                        telemetry.merge_snapshot(snap)
+                    wall = sum(a.wall_s for a in result.attempts
+                               if a.outcome == "ok")
+                    ctx = app_context(app, job.blocks)
+                    for scheme, stats in cell.items():
+                        ctx._stats[(scheme, tag)] = stats
+                        yield self._cell_record(
+                            job, app, scheme, tag, cached=False,
+                            wall_s=wall / max(1, len(cell)),
+                            stats=stats)
+                else:
+                    error = result.error or repr(result.error_exc)
+                    wall = sum(a.wall_s for a in result.attempts)
+                    for scheme in by_id[result.task_id].args[2]:
+                        yield self._cell_record(
+                            job, name, scheme, config_name,
+                            cached=False, wall_s=wall,
+                            error=str(error))
+        finally:
+            if spool is not None:
+                clean = {
+                    tuple(r.task_id.split("|", 2)[1:]) for r in results
+                    if r.ok and len(r.attempts) == 1
+                    and not r.quarantined
+                }
+                every = {tuple(t.id.split("|", 2)[1:]) for t in tasks}
+                await asyncio.to_thread(
+                    _drain_spool, spool, every - clean)
+
+    async def _run_task_inline(self, job: _Job, task: TaskSpec) -> None:
+        """The ``executor="inline"`` lane: one cell at a time in a
+        worker thread of this process, live telemetry, same quarantine-
+        path task body the executors use."""
+        from repro.dispatch.base import Attempt
+
+        result = TaskResult(task_id=task.id)
+        async with self._inline_lock:
+            started = time.perf_counter()
+            try:
+                value = await asyncio.to_thread(task.run_inline)
+                result.value = value
+                outcome, error = "ok", None
+            except Exception as exc:  # structured per-cell failure
+                outcome, error = "error", f"{type(exc).__name__}: {exc}"
+                result.error = error
+                result.error_exc = exc
+            attempt = Attempt(index=1, worker="serve-inline",
+                              outcome=outcome,
+                              wall_s=time.perf_counter() - started,
+                              error=error)
+        result.attempts.append(attempt)
+        from repro.dispatch.base import observe_attempt
+        observe_attempt(task.id, attempt)
+        job.queue.put_nowait(result)
+
+    def _record_manifest(self, job: _Job, wall: float) -> None:
+        """Per-job run manifest (kind ``serve``) — same provenance next
+        to the cache as ``run_apps``/``sweep`` write, so
+        ``telemetry.compare`` and CI see served jobs too."""
+        try:
+            from repro.telemetry.manifest import record_run
+
+            record_run(
+                "serve",
+                apps=list(job.spec.apps),
+                schemes=list(job.spec.schemes),
+                configs=[c.name for c in job.configs],
+                walk_blocks=job.blocks,
+                seeds={name: app_context(name, job.blocks)
+                       .app_profile.seed for name in job.spec.apps},
+                wall_s=wall,
+                components={c.name: component_identity(c)
+                            for c in job.configs},
+                extra={"serve": {
+                    "job": job.id, "front": job.front,
+                    "executor": self.executor,
+                    "cached": job.cached, "computed": job.computed,
+                    "failed": job.failed,
+                }},
+            )
+        except OSError:
+            pass
+
+    # -- fleet result pump ---------------------------------------------------
+
+    async def _pump_fleet(self) -> None:
+        """Route completed fleet tasks to their jobs' queues.
+
+        ``poll()`` may run a quarantined cell inline (seconds of work),
+        so it runs in a thread, never on the event loop.
+        """
+        assert self.fleet is not None
+        while True:
+            results = await asyncio.to_thread(self.fleet.poll)
+            for result in results:
+                job_id = result.task_id.split("|", 1)[0]
+                job = self._jobs.get(job_id)
+                if job is not None:
+                    job.queue.put_nowait(result)
+            await asyncio.sleep(_PUMP_S)
+
+    # -- wire front ----------------------------------------------------------
+
+    async def _handle_wire(self, reader: asyncio.StreamReader,
+                           writer: asyncio.StreamWriter) -> None:
+        telemetry.inc("repro_serve_connections_total",
+                      help="Front connections accepted.", front="wire")
+        try:
+            while True:
+                try:
+                    message = await read_msg(reader)
+                except (asyncio.IncompleteReadError, ProtocolError,
+                        ConnectionError):
+                    return
+                if not isinstance(message, dict):
+                    await write_msg(writer, {
+                        "type": "error", "id": None,
+                        "error": "messages must be dicts",
+                    })
+                    return
+                kind = message.get("type")
+                if kind == "hello":
+                    await write_msg(writer, {
+                        "type": "welcome", "server": "repro.serve",
+                        "protocol": PROTOCOL_VERSION,
+                        "executor": self.executor,
+                    })
+                elif kind == "ping":
+                    await write_msg(writer, {"type": "pong"})
+                elif kind == "health":
+                    await write_msg(writer, {"type": "health",
+                                             **self.health()})
+                elif kind == "sweep":
+                    client_id = str(message.get("id", ""))
+                    async for record in self.run_job(
+                            message.get("spec"), client_id, "wire"):
+                        await write_msg(writer, record)
+                elif kind == "shutdown":
+                    await write_msg(writer, {"type": "bye"})
+                    asyncio.create_task(self.stop())
+                    return
+                else:
+                    await write_msg(writer, {
+                        "type": "error", "id": message.get("id"),
+                        "error": f"unknown message type {kind!r}",
+                    })
+        except (ConnectionError, OSError):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    # -- HTTP front ----------------------------------------------------------
+
+    async def _handle_http(self, reader: asyncio.StreamReader,
+                           writer: asyncio.StreamWriter) -> None:
+        telemetry.inc("repro_serve_connections_total",
+                      help="Front connections accepted.", front="http")
+        try:
+            request = await self._read_http_request(reader)
+            if request is None:
+                return
+            method, path, body = request
+            telemetry.emit("serve.http", method=method, path=path)
+            if method == "GET" and path == "/healthz":
+                await self._respond_json(writer, 200, self.health())
+            elif method == "GET" and path == "/metrics":
+                await self._respond(
+                    writer, 200, telemetry.render_prometheus(),
+                    content_type="text/plain; version=0.0.4; "
+                                 "charset=utf-8")
+            elif method == "POST" and path == "/sweep":
+                await self._http_sweep(writer, body)
+            elif method == "POST" and path == "/shutdown":
+                await self._respond_json(writer, 200,
+                                         {"ok": True,
+                                          "draining": True})
+                asyncio.create_task(self.stop())
+            else:
+                await self._respond_json(
+                    writer, 404,
+                    {"ok": False,
+                     "error": f"no route {method} {path}",
+                     "routes": ["GET /healthz", "GET /metrics",
+                                "POST /sweep", "POST /shutdown"]})
+        except (ConnectionError, OSError, asyncio.IncompleteReadError):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _read_http_request(
+        self, reader: asyncio.StreamReader,
+    ) -> Optional[Tuple[str, str, bytes]]:
+        line = await reader.readline()
+        parts = line.decode("latin-1", "replace").split()
+        if len(parts) < 2:
+            return None
+        method, target = parts[0].upper(), parts[1]
+        headers: Dict[str, str] = {}
+        while True:
+            raw = await reader.readline()
+            if raw in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = raw.decode("latin-1", "replace") \
+                .partition(":")
+            headers[name.strip().lower()] = value.strip()
+        length = 0
+        try:
+            length = int(headers.get("content-length", "0"))
+        except ValueError:
+            pass
+        body = await reader.readexactly(length) if length else b""
+        path = target.split("?", 1)[0]
+        return method, path, body
+
+    async def _respond(self, writer: asyncio.StreamWriter, status: int,
+                       body: str,
+                       content_type: str = "application/json") -> None:
+        reason = {200: "OK", 400: "Bad Request",
+                  404: "Not Found"}.get(status, "OK")
+        payload = body.encode("utf-8")
+        writer.write(
+            f"HTTP/1.1 {status} {reason}\r\n"
+            f"Content-Type: {content_type}\r\n"
+            f"Content-Length: {len(payload)}\r\n"
+            f"Connection: close\r\n\r\n".encode("latin-1") + payload)
+        await writer.drain()
+
+    async def _respond_json(self, writer: asyncio.StreamWriter,
+                            status: int, record: Any) -> None:
+        await self._respond(writer, status,
+                            json.dumps(record, sort_keys=True) + "\n")
+
+    async def _http_sweep(self, writer: asyncio.StreamWriter,
+                          body: bytes) -> None:
+        """``POST /sweep``: stream ``accepted``/``cell``/``done`` as
+        ndjson lines, one per completed cell, close-delimited."""
+        try:
+            payload = json.loads(body.decode("utf-8") or "{}")
+        except ValueError as exc:
+            await self._respond_json(
+                writer, 400,
+                {"ok": False, "error": f"request body is not JSON: "
+                                       f"{exc}"})
+            return
+        client_id = str(payload.pop("id", "") if isinstance(
+            payload, dict) else "")
+        writer.write(
+            b"HTTP/1.1 200 OK\r\n"
+            b"Content-Type: application/x-ndjson\r\n"
+            b"Cache-Control: no-store\r\n"
+            b"Connection: close\r\n\r\n")
+        await writer.drain()
+        async for record in self.run_job(payload, client_id, "http"):
+            writer.write(
+                (json.dumps(record, sort_keys=True) + "\n")
+                .encode("utf-8"))
+            await writer.drain()
+
+
+__all__ = ["EXECUTOR_CHOICES", "JobError", "ServeServer"]

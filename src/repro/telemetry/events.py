@@ -7,14 +7,25 @@ reconstruct what a sweep actually did — task leases, retries and
 quarantines, worker deaths, batch-group formation and per-cell
 fallbacks, cache hits/misses/corruption, and sweep cell lifecycle.
 Consumers: ``python -m repro.telemetry.live`` (the ``--progress``
-renderer), the Perfetto exporter's counter tracks, and CI assertions
-over fault-injected runs.
+renderer), the Perfetto exporter's counter tracks, CI assertions over
+fault-injected runs, and the ``repro.serve`` request log.
 
-Enable by pointing ``REPRO_EVENTS`` at a file path.  Every process in a
-run — the parent, pool workers, fleet workers (they inherit the
-environment) — appends to the same file; each line is a single
-``write()`` of an ``O_APPEND`` stream, so concurrent writers interleave
-whole lines, never fragments.  Each record carries::
+Enable by pointing ``REPRO_EVENTS`` at a file path (``REPRO_EVENTS=0``
+explicitly disables, useful to mask an inherited setting).  Every
+process in a run — the parent, pool workers, fleet workers, a
+``repro.serve`` instance and its fleet (they inherit the environment) —
+appends to the same file.  Each record is encoded to one ``bytes`` line
+and written with a **single** ``os.write()`` on a raw
+``O_APPEND|O_CREAT|O_WRONLY`` file descriptor: POSIX guarantees the
+kernel applies the append atomically, so concurrent writers — threads
+*and* processes — interleave whole lines, never fragments, regardless
+of record size.  (The previous implementation used a buffered text
+handle, which split records larger than the TextIO buffer — ~8 KiB,
+e.g. batch-group events with many cells — into multiple syscalls and
+tore under concurrency.)  A module lock serializes the sequence
+counter, sink swaps, and the write itself across threads in one
+process; atomicity across processes comes from ``O_APPEND``.  Each
+record carries::
 
     {"ts": <unix seconds>, "pid": <writer pid>, "seq": <per-process#>,
      "kind": "<dotted.event.kind>", ...fields}
@@ -22,39 +33,65 @@ whole lines, never fragments.  Each record carries::
 When ``REPRO_EVENTS`` is unset the emit path is one dict lookup and a
 truthiness check — near-zero overhead, and nothing is ever written.
 Event emission is strictly best-effort provenance: an unwritable sink
-degrades to disabled rather than failing the run, and no simulation
-semantics may ever depend on it.
+degrades to disabled rather than failing the run (and is re-enabled by
+the next :func:`set_path`), and no simulation semantics may ever depend
+on it.
 """
 
 from __future__ import annotations
 
 import json
 import os
+import threading
 import time
 from typing import Any, Dict, Iterator, Optional, TextIO, Union
 
 ENV_EVENTS = "REPRO_EVENTS"
 
+#: Serializes ``_seq``, sink open/swap, and the append itself across
+#: threads (the fleet broker's accept/handler threads and the serve
+#: front emit concurrently).  Cross-*process* atomicity needs no lock:
+#: each line is a single ``write()`` on an ``O_APPEND`` descriptor.
+_lock = threading.Lock()
+
 #: programmatic override of the env knob (``None`` defers to the env;
 #: ``""`` forces disabled)
 _override: Optional[str] = None
-#: open sink, keyed by (path, pid) so forked children re-open
-_sink: Optional[TextIO] = None
-_sink_key: Optional[tuple] = None
-#: paths that failed to open (don't retry every emit)
+#: raw ``O_APPEND`` fd, keyed by (path, pid) so forked children re-open
+_fd: Optional[int] = None
+_fd_key: Optional[tuple] = None
+#: paths that failed to open/write (don't retry every emit)
 _broken: set = set()
 _seq = 0
+
+
+def _close_fd() -> None:
+    global _fd, _fd_key
+    if _fd is not None:
+        try:
+            os.close(_fd)
+        except OSError:
+            pass
+    _fd = None
+    _fd_key = None
 
 
 def set_path(path: Optional[str]) -> None:
     """Programmatically select the event sink (``None`` restores the
     ``REPRO_EVENTS`` env behaviour, ``""`` disables).  Note the override
     is process-local: worker processes only see the *environment*, so
-    cross-process capture should set ``REPRO_EVENTS`` instead."""
-    global _override, _sink, _sink_key
-    _override = path
-    _sink = None
-    _sink_key = None
+    cross-process capture should set ``REPRO_EVENTS`` instead.
+
+    Any previously *broken* path is forgiven here: a sink that failed to
+    open once (say, its directory was created moments later) must not
+    stay disabled for the rest of the process after the caller points at
+    it again.
+    """
+    global _override
+    with _lock:
+        _override = path
+        _close_fd()
+        _broken.clear()
 
 
 def active_path() -> Optional[str]:
@@ -72,37 +109,44 @@ def enabled() -> bool:
 
 def emit(kind: str, **fields: Any) -> None:
     """Append one event (no-op when no sink is configured)."""
-    global _sink, _sink_key, _seq
+    global _fd, _fd_key, _seq
     path = active_path()
     if path is None:
         return
-    key = (path, os.getpid())
-    if _sink is None or _sink_key != key:
-        try:
-            _sink = open(path, "a", encoding="utf-8")
-        except OSError:
-            _broken.add(path)
-            _sink = None
-            _sink_key = None
+    with _lock:
+        # Re-check under the lock: a racing set_path/emit may have
+        # broken or swapped the sink between the fast-path check and
+        # here.
+        path = active_path()
+        if path is None:
             return
-        _sink_key = key
-        _seq = 0
-    _seq += 1
-    record: Dict[str, Any] = {
-        "ts": time.time(),
-        "pid": key[1],
-        "seq": _seq,
-        "kind": kind,
-    }
-    record.update(fields)
-    try:
-        _sink.write(json.dumps(record, sort_keys=True,
-                               default=str) + "\n")
-        _sink.flush()
-    except (OSError, ValueError):
-        _broken.add(path)
-        _sink = None
-        _sink_key = None
+        key = (path, os.getpid())
+        if _fd is None or _fd_key != key:
+            _close_fd()
+            try:
+                _fd = os.open(path,
+                              os.O_APPEND | os.O_CREAT | os.O_WRONLY,
+                              0o644)
+            except OSError:
+                _broken.add(path)
+                return
+            _fd_key = key
+            _seq = 0
+        _seq += 1
+        record: Dict[str, Any] = {
+            "ts": time.time(),
+            "pid": key[1],
+            "seq": _seq,
+            "kind": kind,
+        }
+        record.update(fields)
+        line = (json.dumps(record, sort_keys=True, default=str)
+                + "\n").encode("utf-8")
+        try:
+            os.write(_fd, line)
+        except (OSError, ValueError):
+            _broken.add(path)
+            _close_fd()
 
 
 def iter_events(source: Union[str, TextIO]) -> Iterator[Dict[str, Any]]:

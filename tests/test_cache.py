@@ -130,6 +130,20 @@ class TestArtifactStore:
         assert store.clear() == 1
         assert store.load_stats("ab" * 32) is None
 
+    def test_clear_deletes_but_never_counts_orphan_tmp_files(
+            self, store, workload):
+        """An interrupted atomic write leaves a ``.tmp-*`` orphan next
+        to the artifacts.  ``clear()`` must sweep it away, but the
+        return value counts artifacts — the orphan was never one."""
+        stats = simulate(workload.trace())
+        store.store_stats("ab" * 32, stats)
+        artifact = store.path_for("stats", "ab" * 32)
+        orphan = artifact.parent / ".tmp-1234-abandoned"
+        orphan.write_bytes(b"partial write")
+        assert store.clear() == 1  # the stats artifact, not the orphan
+        assert not orphan.exists()
+        assert not artifact.exists()
+
 
 class TestRunnerWiring:
     def test_warm_stats_identical_and_hit(self, isolated_cache):

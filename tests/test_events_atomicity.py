@@ -1,0 +1,134 @@
+"""Event-stream append atomicity: no torn lines, ever.
+
+The event sink is shared by every process in a run (parent, pool/fleet
+workers, a serve instance).  Each record must land as one whole line
+regardless of size or concurrency: the writer encodes the full line and
+issues a **single** ``os.write()`` on an ``O_APPEND`` descriptor, which
+POSIX applies atomically.  The regression these tests pin down: the old
+buffered text-mode writer split records larger than the TextIO buffer
+(~8 KiB) into multiple syscalls, so concurrent writers interleaved
+fragments mid-record.
+"""
+
+import json
+import os
+import subprocess
+import sys
+import threading
+
+import pytest
+
+from repro.telemetry import events
+
+#: Per-record payload comfortably past the old ~8 KiB TextIO buffer, so
+#: a non-atomic writer would reliably split each record across writes.
+BIG = 3 * 8192
+
+
+@pytest.fixture(autouse=True)
+def _restore_sink():
+    yield
+    events.set_path(None)
+
+
+def _emit_burst(count: int, tag: str) -> None:
+    for n in range(count):
+        events.emit("stress.burst", tag=tag, n=n, payload="x" * BIG)
+
+
+def assert_no_torn_lines(path: str) -> int:
+    """Every raw line parses as a complete record; returns the count."""
+    total = 0
+    with open(path, "rb") as handle:
+        for raw in handle:
+            assert raw.endswith(b"\n"), "unterminated (torn) line"
+            record = json.loads(raw)  # raises on a fragment
+            assert record["kind"] == "stress.burst"
+            assert len(record["payload"]) == BIG
+            total += 1
+    return total
+
+
+class TestAtomicAppend:
+    def test_multithread_big_records_do_not_tear(self, tmp_path):
+        log = tmp_path / "events.jsonl"
+        events.set_path(str(log))
+        per_thread = 25
+        threads = [
+            threading.Thread(target=_emit_burst,
+                             args=(per_thread, f"t{n}"))
+            for n in range(8)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert assert_no_torn_lines(str(log)) == 8 * per_thread
+
+    def test_multiprocess_big_records_do_not_tear(self, tmp_path):
+        log = tmp_path / "events.jsonl"
+        script = (
+            "from repro.telemetry import events\n"
+            "import sys\n"
+            "for n in range(int(sys.argv[1])):\n"
+            f"    events.emit('stress.burst', tag=sys.argv[2], n=n,"
+            f" payload='x' * {BIG})\n"
+        )
+        per_proc = 25
+        env = dict(os.environ, REPRO_EVENTS=str(log),
+                   PYTHONPATH=os.pathsep.join(sys.path))
+        procs = [
+            subprocess.Popen(
+                [sys.executable, "-c", script, str(per_proc), f"p{n}"],
+                env=env)
+            for n in range(4)
+        ]
+        # The parent writes concurrently with its children.
+        events.set_path(str(log))
+        _emit_burst(per_proc, "parent")
+        for proc in procs:
+            assert proc.wait(timeout=120) == 0
+        assert assert_no_torn_lines(str(log)) == 5 * per_proc
+        # Ordered per writer: each pid's seq strictly increments.
+        seqs = {}
+        for record in events.iter_events(str(log)):
+            assert record["seq"] == seqs.get(record["pid"], 0) + 1
+            seqs[record["pid"]] = record["seq"]
+        assert len(seqs) == 5
+
+    def test_single_emit_is_one_line_even_when_huge(self, tmp_path):
+        log = tmp_path / "events.jsonl"
+        events.set_path(str(log))
+        events.emit("stress.burst", tag="solo", n=0, payload="x" * BIG)
+        assert assert_no_torn_lines(str(log)) == 1
+
+
+class TestSinkLifecycle:
+    def test_set_path_revives_a_broken_sink(self, tmp_path):
+        """Regression: a sink that failed once must not stay dead after
+        the caller points at it (or anything) again."""
+        bad = tmp_path / "not-yet" / "events.jsonl"
+        events.set_path(str(bad))  # parent dir missing -> open fails
+        events.emit("cache.hit", artifact="trace")
+        assert not events.enabled()  # degraded to disabled
+        bad.parent.mkdir()
+        events.set_path(str(bad))  # same path, now writable
+        assert events.enabled()
+        events.emit("cache.hit", artifact="trace")
+        assert len(list(events.iter_events(str(bad)))) == 1
+
+    def test_env_zero_disables(self, monkeypatch):
+        monkeypatch.setenv(events.ENV_EVENTS, "0")
+        events.set_path(None)
+        assert not events.enabled()
+        events.emit("cache.hit", artifact="trace")  # must not raise
+
+    def test_reopen_resets_seq_per_sink(self, tmp_path):
+        first = tmp_path / "a.jsonl"
+        second = tmp_path / "b.jsonl"
+        events.set_path(str(first))
+        events.emit("cache.hit", artifact="trace")
+        events.set_path(str(second))
+        events.emit("cache.hit", artifact="trace")
+        (record,) = list(events.iter_events(str(second)))
+        assert record["seq"] == 1

@@ -1,0 +1,374 @@
+"""The serve stack: persistent fleet, job engine, wire + HTTP fronts,
+sync client, and the load-generator harness.
+
+Server tests run the ``inline`` executor lane (no worker subprocesses)
+inside a background thread's event loop; one test exercises the
+persistent fleet end-to-end with real worker processes.  Everything
+routes through a throwaway cache so warm/cold behaviour is deterministic.
+"""
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.cache import reset_cache
+from repro.dispatch import RetryPolicy, TaskSpec
+from repro.dispatch.fleet import PersistentFleet
+from repro.experiments.runner import app_context, clear_cache
+from repro.loadgen import (
+    ClosedLoopEngine,
+    OpenLoopEngine,
+    SweepGridWorkload,
+    parse_mix,
+    percentile,
+)
+from repro.loadgen.base import _mix_pattern
+from repro.serve import ServeServer
+from repro.serve.client import ServeClient, ServeError
+
+WALK = 60
+FAST = RetryPolicy(timeout_s=60.0, max_attempts=3, backoff_base_s=0.01,
+                   backoff_cap_s=0.05, heartbeat_s=0.1)
+
+
+@pytest.fixture(autouse=True)
+def _fresh_state(tmp_path, monkeypatch):
+    import repro.telemetry as telemetry
+
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+    reset_cache()
+    clear_cache()
+    telemetry.reset()  # metrics are process-wide and cumulative
+    yield
+    clear_cache()
+    reset_cache()
+
+
+class _ServerThread:
+    """Run a ServeServer on its own event loop in a daemon thread."""
+
+    def __init__(self, **kwargs) -> None:
+        import asyncio
+
+        self._asyncio = asyncio
+        self.kwargs = kwargs
+        self.server = None
+        self.loop = None
+        self.error = None
+        self.ready = threading.Event()
+        self.thread = threading.Thread(target=self._run, daemon=True)
+        self.thread.start()
+        assert self.ready.wait(timeout=60), self.error
+        assert self.error is None, self.error
+
+    def _run(self) -> None:
+        asyncio = self._asyncio
+
+        async def main():
+            try:
+                self.server = ServeServer(**self.kwargs)
+                await self.server.start()
+                self.loop = asyncio.get_running_loop()
+            except Exception as exc:  # surface in the test thread
+                self.error = exc
+                raise
+            finally:
+                self.ready.set()
+            await self.server.serve_forever()
+
+        try:
+            asyncio.run(main())
+        except Exception:
+            pass
+
+    @property
+    def wire(self):
+        return ("127.0.0.1", self.server.wire_port)
+
+    @property
+    def http(self) -> str:
+        return f"http://127.0.0.1:{self.server.http_port}"
+
+    def stop(self) -> None:
+        if self.loop is None or self.server is None \
+                or self.loop.is_closed():
+            return
+        future = self._asyncio.run_coroutine_threadsafe(
+            self.server.stop(grace_s=10.0), self.loop)
+        future.result(timeout=60)
+        self.thread.join(timeout=30)
+
+
+@pytest.fixture
+def server():
+    srv = _ServerThread(executor="inline", wire_port=0, http_port=0)
+    yield srv
+    srv.stop()
+
+
+SPEC = {"apps": ["Music"], "schemes": ["baseline", "critic"],
+        "walk_blocks": WALK}
+
+
+class TestWireFront:
+    def test_hello_ping_health(self, server):
+        with ServeClient(server.wire) as client:
+            welcome = client.hello()
+            assert welcome["type"] == "welcome"
+            assert welcome["protocol"] == 1
+            assert client.ping()
+            health = client.health()
+            assert health["ok"] and health["status"] == "serving"
+
+    def test_sweep_streams_cells_then_done(self, server):
+        with ServeClient(server.wire) as client:
+            records = list(client.sweep(SPEC, job_id="t1"))
+        kinds = [r["type"] for r in records]
+        assert kinds[0] == "accepted" and kinds[-1] == "done"
+        assert kinds.count("cell") == 2
+        done = records[-1]
+        assert done["cells"] == 2 and done["failed"] == 0
+        for record in records:
+            json.dumps(record)  # every record is JSON-safe
+
+    def test_second_pass_is_fully_cached(self, server):
+        with ServeClient(server.wire) as client:
+            list(client.sweep(SPEC, job_id="cold"))
+            done = list(client.sweep(SPEC, job_id="warm"))[-1]
+        assert done["cached"] == done["cells"] == 2
+        assert done["computed"] == 0
+
+    def test_served_stats_bit_identical_to_inline(self, server):
+        with ServeClient(server.wire) as client:
+            records = list(client.sweep(SPEC, job_id="ident"))
+        served = {r["scheme"]: r["stats"] for r in records
+                  if r["type"] == "cell"}
+        ctx = app_context("Music", WALK)
+        for scheme in ("baseline", "critic"):
+            assert served[scheme] == ctx.stats(scheme).to_dict()
+
+    def test_bad_spec_rejected_with_did_you_mean(self, server):
+        with ServeClient(server.wire) as client:
+            with pytest.raises(ServeError, match="did you mean"):
+                list(client.sweep({"apps": ["Music"],
+                                   "schemes": ["crtic"]}))
+            # connection still usable after a rejection
+            assert client.ping()
+
+    def test_unknown_app_rejected(self, server):
+        with ServeClient(server.wire) as client:
+            with pytest.raises(ServeError, match="unknown workload"):
+                list(client.sweep({"apps": ["NotAnApp"]}))
+
+    def test_unknown_spec_field_rejected(self, server):
+        with ServeClient(server.wire) as client:
+            with pytest.raises(ServeError, match="walk_block"):
+                list(client.sweep({"apps": ["Music"],
+                                   "walk_block": WALK}))
+
+    def test_unknown_message_type_is_answered_not_fatal(self, server):
+        from repro.dispatch import wire
+
+        with ServeClient(server.wire) as client:
+            client._send({"type": "frobnicate"})
+            reply = client._recv()
+            assert reply["type"] == "error"
+            assert "frobnicate" in reply["error"]
+            assert client.ping()
+
+
+class TestHttpFront:
+    def _get(self, url: str):
+        with urllib.request.urlopen(url, timeout=30) as resp:
+            return resp.status, resp.read().decode()
+
+    def test_healthz(self, server):
+        status, body = self._get(server.http + "/healthz")
+        health = json.loads(body)
+        assert status == 200 and health["ok"]
+        assert health["executor"] == "inline"
+
+    def test_metrics_exposition(self, server):
+        with ServeClient(server.wire) as client:
+            list(client.sweep(SPEC, job_id="m1"))
+        status, body = self._get(server.http + "/metrics")
+        assert status == 200
+        assert "# TYPE repro_serve_jobs_total counter" in body
+        assert 'repro_serve_cells_total{source="computed"} 2' in body
+
+    def test_sweep_streams_ndjson(self, server):
+        request = urllib.request.Request(
+            server.http + "/sweep",
+            data=json.dumps({"id": "h1", **SPEC}).encode(),
+            headers={"Content-Type": "application/json"})
+        with urllib.request.urlopen(request, timeout=120) as resp:
+            assert resp.status == 200
+            assert resp.headers["Content-Type"] == \
+                "application/x-ndjson"
+            records = [json.loads(line) for line in resp]
+        assert [r["type"] for r in records] == \
+            ["accepted", "cell", "cell", "done"]
+        assert records[-1]["id"] == "h1"
+
+    def test_unknown_route_404s_with_route_list(self, server):
+        with pytest.raises(urllib.error.HTTPError) as info:
+            self._get(server.http + "/nope")
+        assert info.value.code == 404
+        assert "/sweep" in info.value.read().decode()
+
+    def test_non_json_body_400s(self, server):
+        request = urllib.request.Request(server.http + "/sweep",
+                                         data=b"not json")
+        with pytest.raises(urllib.error.HTTPError) as info:
+            urllib.request.urlopen(request, timeout=30)
+        assert info.value.code == 400
+
+
+class TestDrain:
+    def test_shutdown_message_drains_and_rejects_new_jobs(self):
+        srv = _ServerThread(executor="inline", wire_port=0, http_port=0)
+        try:
+            with ServeClient(srv.wire) as client:
+                client.shutdown_server()
+            srv.thread.join(timeout=30)
+            assert not srv.thread.is_alive()
+        finally:
+            srv.stop()
+
+
+# -- module-level task body (pickled by reference into fleet workers) --------
+
+
+def _triple(x):
+    return 3 * x
+
+
+class TestPersistentFleet:
+    def test_workers_survive_across_submissions(self):
+        fleet = PersistentFleet(jobs=2, policy=FAST)
+        try:
+            import time
+
+            def drain(count):
+                out = []
+                deadline = time.monotonic() + 60
+                while len(out) < count:
+                    assert time.monotonic() < deadline, "fleet stalled"
+                    out.extend(fleet.poll())
+                    time.sleep(0.02)
+                return out
+
+            for task_id in ("a1", "a2", "a3"):
+                fleet.submit(TaskSpec(id=task_id, fn=_triple,
+                                      args=(int(task_id[1]),)))
+            first = drain(3)
+            assert {r.task_id: r.value for r in first} == \
+                {"a1": 3, "a2": 6, "a3": 9}
+            spawned_after_first = fleet.workers_spawned()
+            # Second wave on the same fleet: no new workers spawned.
+            fleet.submit(TaskSpec(id="b1", fn=_triple, args=(10,)))
+            second = drain(1)
+            assert second[0].value == 30
+            assert fleet.workers_spawned() == spawned_after_first
+            assert fleet.workers_alive() == 2
+        finally:
+            fleet.shutdown(grace_s=15.0)
+        assert fleet.workers_alive() == 0
+
+    def test_submit_after_shutdown_raises(self):
+        fleet = PersistentFleet(jobs=1, policy=FAST)
+        fleet.shutdown(grace_s=15.0)
+        with pytest.raises(RuntimeError):
+            fleet.submit(TaskSpec(id="late", fn=_triple, args=(1,)))
+
+
+class TestLoadgenPieces:
+    def test_parse_mix(self):
+        assert parse_mix("cell=8,full=2") == {"cell": 8, "full": 2}
+        assert parse_mix("cell") == {"cell": 1}
+        with pytest.raises(ValueError, match="unknown request shape"):
+            parse_mix("row=1")
+        with pytest.raises(ValueError, match="integer"):
+            parse_mix("cell=lots")
+
+    def test_mix_pattern_interleaves_deterministically(self):
+        pattern = _mix_pattern({"cell": 3, "full": 1})
+        assert sorted(pattern) == ["cell", "cell", "cell", "full"]
+        assert _mix_pattern({"cell": 3, "full": 1}) == pattern
+
+    def test_percentile_nearest_rank(self):
+        values = [float(n) for n in range(101)]
+        assert percentile(values, 0.50) == 50.0
+        assert percentile(values, 0.99) == 99.0
+        assert percentile(values, 1.0) == 100.0
+        assert percentile([], 0.5) == 0.0
+
+    def test_grid_workload_round_robins_cells(self):
+        workload = SweepGridWorkload(
+            spec={"apps": ["Music", "Email"], "schemes": ["baseline"]},
+            mix={"cell": 1})
+        stream = workload.reqs()
+        reqs = [next(stream) for _ in range(4)]
+        assert [r.spec["apps"] for r in reqs] == \
+            [["Music"], ["Email"], ["Music"], ["Email"]]
+        assert all(r.shape == "cell" for r in reqs)
+        assert workload.grid_cells() == 2
+
+    def test_grid_workload_full_shape_keeps_whole_grid(self):
+        workload = SweepGridWorkload(
+            spec={"apps": ["Music", "Email"]}, mix={"full": 1})
+        req = next(workload.reqs())
+        assert req.spec["apps"] == ["Music", "Email"]
+
+    def test_empty_apps_rejected(self):
+        with pytest.raises(ValueError, match="apps"):
+            SweepGridWorkload(spec={"apps": []})
+
+
+class TestLoadgenEndToEnd:
+    def test_closed_loop_report_shape_and_warm_pass(self, server):
+        workload = SweepGridWorkload(spec=SPEC, mix={"cell": 1})
+        engine = ClosedLoopEngine(concurrency=2, timeout_s=120)
+        cold = engine.run(server.wire, workload, requests=4)
+        assert cold["requests"]["failed"] == 0
+        # Concurrent requests for the same not-yet-cached cell may race
+        # (no request coalescing), so "at least the grid" computed.
+        assert cold["cells"]["computed"] >= 2
+        warm = engine.run(server.wire, workload, requests=4)
+        assert warm["cells"]["computed"] == 0
+        assert warm["cells"]["cached"] == warm["cells"]["served"] == 4
+        lat = warm["latency_s"]
+        assert 0 < lat["p50"] <= lat["p95"] <= lat["p99"] <= lat["max"]
+        phases = warm["phases"]["loadgen.request"]
+        assert phases["calls"] == 4
+        assert phases["total_s"] == pytest.approx(
+            sum(s["latency_s"] for s in warm["samples"]), rel=1e-3)
+
+    def test_open_loop_charges_schedule_delay(self, server):
+        workload = SweepGridWorkload(spec=SPEC, mix={"cell": 1})
+        # Prime the cache so open-loop requests are all warm and fast.
+        ClosedLoopEngine(concurrency=1, timeout_s=120).run(
+            server.wire, workload, requests=2)
+        engine = OpenLoopEngine(rate_hz=50.0, concurrency=2,
+                                timeout_s=120)
+        report = engine.run(server.wire, workload, requests=10)
+        assert report["requests"]["ok"] == 10
+        assert report["offered"]["rate_hz"] == 50.0
+        # 10 requests at 50 Hz: the run spans at least the schedule.
+        assert report["wall_s"] >= 9 / 50.0
+
+    def test_loadgen_report_is_compare_compatible(self, server,
+                                                  tmp_path):
+        from repro.telemetry import compare
+
+        workload = SweepGridWorkload(spec=SPEC, mix={"cell": 1})
+        engine = ClosedLoopEngine(concurrency=1, timeout_s=120)
+        report = engine.run(server.wire, workload, requests=2)
+        path = tmp_path / "loadgen.json"
+        path.write_text(json.dumps(report))
+        means = compare.phase_means(json.loads(path.read_text()))
+        assert "loadgen.request" in means
+        assert means["loadgen.request"] > 0

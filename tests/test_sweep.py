@@ -27,6 +27,44 @@ def _fresh_state(tmp_path, monkeypatch):
     reset_cache()
 
 
+class TestSpecRoundtrip:
+    def test_to_dict_emits_only_non_defaults(self):
+        spec = SweepSpec(apps=("Music",))
+        assert spec.to_dict() == {"apps": ["Music"]}
+        spec = SweepSpec(apps=("Music",), schemes=("baseline", "critic"),
+                         walk_blocks=WALK, engine="batch")
+        assert spec.to_dict() == {
+            "apps": ["Music"], "schemes": ["baseline", "critic"],
+            "walk_blocks": WALK, "engine": "batch",
+        }
+
+    def test_from_dict_roundtrips(self):
+        spec = SweepSpec(apps=("Music", "Email"),
+                         schemes=("baseline", "critic"),
+                         configs=("google-tablet",),
+                         prefetchers=("critical-nextline",),
+                         icache_policy="trrip", walk_blocks=WALK)
+        assert SweepSpec.from_dict(spec.to_dict()) == spec
+
+    def test_from_dict_accepts_comma_separated_axes(self):
+        spec = SweepSpec.from_dict(
+            {"apps": "Music, Email", "schemes": "baseline,critic"})
+        assert spec.apps == ("Music", "Email")
+        assert spec.schemes == ("baseline", "critic")
+
+    def test_from_dict_rejects_unknown_fields_by_name(self):
+        with pytest.raises(ValueError, match="walk_block"):
+            SweepSpec.from_dict({"apps": ["Music"], "walk_block": 60})
+
+    def test_from_dict_rejects_empty_apps(self):
+        with pytest.raises(ValueError, match="apps"):
+            SweepSpec.from_dict({"apps": []})
+
+    def test_from_dict_rejects_non_object(self):
+        with pytest.raises(ValueError, match="JSON object"):
+            SweepSpec.from_dict(["Music"])
+
+
 class TestSweepSpec:
     def test_validate_unknown_scheme_suggests(self):
         spec = SweepSpec(apps=("Music",), schemes=("crtic",))

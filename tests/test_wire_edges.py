@@ -1,0 +1,137 @@
+"""Wire-framing edge cases: frame-size boundary, mid-frame EOF, and
+interleaved writers on a shared locked socket.
+
+``MAX_FRAME`` is monkeypatched down to a few KiB so the boundary cases
+(exactly at the cap, one byte over) don't allocate 256 MiB.
+"""
+
+import pickle
+import socket
+import threading
+
+import pytest
+
+from repro.dispatch import wire
+
+SMALL_CAP = 4096
+
+
+@pytest.fixture
+def pair():
+    left, right = socket.socketpair()
+    left.settimeout(10)
+    right.settimeout(10)
+    yield left, right
+    left.close()
+    right.close()
+
+
+@pytest.fixture
+def small_cap(monkeypatch):
+    monkeypatch.setattr(wire, "MAX_FRAME", SMALL_CAP)
+    return SMALL_CAP
+
+
+class TestFrameSizeBoundary:
+    def test_frame_at_exactly_max_is_accepted(self, pair, small_cap):
+        left, right = pair
+        payload = b"x" * small_cap
+        sender = threading.Thread(
+            target=wire.send_frame, args=(left, payload))
+        sender.start()
+        assert wire.recv_frame(right) == payload
+        sender.join()
+
+    def test_frame_one_over_max_is_rejected(self, pair, small_cap):
+        left, right = pair
+        # Hand-craft the header: send_frame would block on a payload the
+        # reader refuses to drain, so only the envelope goes out.
+        left.sendall(wire._HEADER.pack(small_cap + 1))
+        with pytest.raises(wire.WireError, match="oversized"):
+            wire.recv_frame(right)
+
+    def test_frame_one_under_max_is_accepted(self, pair, small_cap):
+        left, right = pair
+        payload = b"x" * (small_cap - 1)
+        sender = threading.Thread(
+            target=wire.send_frame, args=(left, payload))
+        sender.start()
+        assert wire.recv_frame(right) == payload
+        sender.join()
+
+
+class TestMidFrameEOF:
+    def test_eof_inside_header(self, pair):
+        left, right = pair
+        left.sendall(b"\x00\x00")  # half a length header
+        left.close()
+        with pytest.raises(wire.WireError, match="mid-frame"):
+            wire.recv_frame(right)
+
+    def test_eof_inside_payload(self, pair):
+        left, right = pair
+        left.sendall(wire._HEADER.pack(100) + b"only ten b")
+        left.close()
+        with pytest.raises(wire.WireError, match="mid-frame"):
+            wire.recv_frame(right)
+
+    def test_clean_eof_before_any_frame(self, pair):
+        left, right = pair
+        left.close()
+        with pytest.raises(wire.WireError):
+            wire.recv_frame(right)
+
+    def test_undecodable_payload_is_wire_error(self, pair):
+        left, right = pair
+        wire.send_frame(left, b"\x80\x05 this is not a pickle")
+        with pytest.raises(wire.WireError, match="undecodable"):
+            wire.recv_msg(right)
+
+
+class TestInterleavedWriters:
+    def test_locked_writers_never_interleave_frames(self, pair):
+        """Many threads sharing one socket + lock (the worker's
+        heartbeat-vs-result pattern): the reader must see every message
+        intact, exactly once."""
+        left, right = pair
+        lock = threading.Lock()
+        writers, per_writer = 6, 40
+        # Vary message size across the socket buffer boundary so some
+        # sendalls need multiple syscalls — the racy case the lock
+        # exists for.
+        def blast(tag):
+            for n in range(per_writer):
+                message = {"tag": tag, "n": n,
+                           "pad": "p" * (64 + 977 * (n % 9))}
+                wire.send_msg(left, message, lock=lock)
+
+        threads = [
+            threading.Thread(target=blast, args=(f"w{n}",))
+            for n in range(writers)
+        ]
+        seen = []
+        def drain():
+            for _ in range(writers * per_writer):
+                seen.append(wire.recv_msg(right))
+
+        reader = threading.Thread(target=drain)
+        reader.start()
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        reader.join()
+        assert len(seen) == writers * per_writer
+        for tag in (f"w{n}" for n in range(writers)):
+            ns = [m["n"] for m in seen if m["tag"] == tag]
+            assert ns == sorted(ns) and len(ns) == per_writer
+
+    def test_pickled_roundtrip_is_exact(self, pair):
+        left, right = pair
+        message = {"nested": [1, 2.5, ("a", b"bytes")],
+                   "big": list(range(500))}
+        sender = threading.Thread(
+            target=wire.send_msg, args=(left, message))
+        sender.start()
+        assert wire.recv_msg(right) == message
+        sender.join()
