@@ -65,6 +65,27 @@ from repro.dispatch.faults import ENV_FAULTS
 #: How often the drain loop sweeps leases/processes, seconds.
 _TICK_S = 0.05
 
+#: Broker bind interface, ``HOST[:PORT]`` (default loopback, ephemeral
+#: port).  Bind a real interface to accept multi-host TCP workers.
+ENV_BIND = "REPRO_FLEET_BIND"
+
+#: Shared-secret auth token for the worker hello handshake.  Empty (the
+#: default) means no auth — fine on loopback, not on a real interface.
+ENV_TOKEN = "REPRO_FLEET_TOKEN"
+
+
+def parse_bind(value: Optional[str]) -> Tuple[str, int]:
+    """Parse a ``HOST[:PORT]`` bind spec (default loopback:ephemeral)."""
+    value = (value or "").strip()
+    if not value:
+        return "127.0.0.1", 0
+    host, _, port = value.rpartition(":")
+    if not host:
+        return value, 0
+    if not port.isdigit():
+        raise ValueError(f"expected HOST[:PORT] bind spec, got {value!r}")
+    return host, int(port)
+
 
 @dataclass
 class _Lease:
@@ -83,7 +104,18 @@ class _WorkerProc:
 
 
 class Broker:
-    """Task queue + lease table behind a loopback TCP listener.
+    """Task queue + lease table behind a TCP listener.
+
+    The listener binds loopback/ephemeral by default and a configurable
+    interface (``host``/``port`` or ``REPRO_FLEET_BIND``) for real
+    multi-host fleets.  Workers the owner spawns itself are announced
+    via :meth:`expect_worker`; a ``hello`` from any *other* name is an
+    **externally-joined** TCP worker (``python -m repro.dispatch.worker
+    --connect host:port`` from another machine), tracked separately so
+    elastic respawn can count it against capacity without ever holding
+    a process handle for it.  When a ``token`` is set (or
+    ``REPRO_FLEET_TOKEN``), every hello must carry it or the connection
+    is answered with ``denied`` and dropped.
 
     Two lifetimes:
 
@@ -100,12 +132,20 @@ class Broker:
     """
 
     def __init__(self, policy: RetryPolicy,
-                 persistent: bool = False) -> None:
+                 persistent: bool = False,
+                 host: Optional[str] = None,
+                 port: Optional[int] = None,
+                 token: Optional[str] = None) -> None:
         self.policy = policy
         self.persistent = persistent
-        self._listener = socket.create_server(("127.0.0.1", 0))
+        if host is None and port is None:
+            host, port = parse_bind(os.environ.get(ENV_BIND))
+        self.token = token if token is not None \
+            else os.environ.get(ENV_TOKEN, "")
+        self._listener = socket.create_server(
+            (host or "127.0.0.1", port or 0))
         self._listener.settimeout(0.2)
-        self.address: Tuple[str, int] = self._listener.getsockname()
+        self.address: Tuple[str, int] = self._listener.getsockname()[:2]
         self._lock = threading.RLock()
         self._tasks: Dict[str, TaskSpec] = {}
         self._payloads: Dict[str, bytes] = {}
@@ -118,6 +158,10 @@ class Broker:
         self._leases: Dict[str, _Lease] = {}          # task_id -> lease
         self._worker_lease: Dict[str, str] = {}       # worker -> task_id
         self._worker_pids: Dict[str, int] = {}
+        #: worker names the owner will spawn itself (pids killable)
+        self._expected: Set[str] = set()
+        #: externally-joined TCP workers currently connected
+        self._external: Set[str] = set()
         self._conns: List[socket.socket] = []
         self._exhausted: Set[str] = set()
         #: task ids in completion order, not yet taken (persistent mode)
@@ -138,6 +182,17 @@ class Broker:
             )
             self._seq += 1
             heapq.heappush(self._queue, (0.0, self._seq, task.id, 1))
+
+    def expect_worker(self, name: str) -> None:
+        """Announce a worker the owner spawns itself; any other hello
+        name counts as an external TCP join."""
+        with self._lock:
+            self._expected.add(name)
+
+    def external_workers(self) -> int:
+        """Externally-joined workers currently connected."""
+        with self._lock:
+            return len(self._external)
 
     def start(self) -> None:
         thread = threading.Thread(target=self._accept_loop,
@@ -284,8 +339,11 @@ class Broker:
                     )
                 else:
                     continue
+                # External workers live on other hosts: their reported
+                # pid means nothing here, so never SIGKILL it locally —
+                # expiring the lease is the whole remedy.
                 pid = self._worker_pids.get(lease.worker)
-                if pid:
+                if pid and lease.worker not in self._external:
                     pids.append(pid)
                 self._release_lease(task_id, outcome, error)
         return pids
@@ -333,9 +391,29 @@ class Broker:
             hello = wire.recv_msg(conn)
             if hello.get("type") != "hello":
                 return
+            if (hello.get("token") or "") != self.token:
+                telemetry.inc("repro_fleet_denied_total",
+                              help="Worker hellos rejected by the auth "
+                                   "token handshake.")
+                telemetry.emit("fleet.denied",
+                               worker=str(hello.get("worker", "?")))
+                wire.send_msg(conn, {
+                    "type": "denied",
+                    "error": "fleet auth token mismatch",
+                })
+                return
             worker = hello["worker"]
             with self._lock:
                 self._worker_pids[worker] = hello.get("pid", 0)
+                external = worker not in self._expected
+                if external:
+                    self._external.add(worker)
+            if external:
+                telemetry.inc("repro_fleet_joins_total",
+                              help="Externally-joined TCP workers "
+                                   "accepted by the broker.")
+                telemetry.emit("fleet.join", worker=worker,
+                               worker_pid=hello.get("pid", 0))
             while True:
                 message = wire.recv_msg(conn)
                 kind = message.get("type")
@@ -351,6 +429,7 @@ class Broker:
             pass
         finally:
             with self._lock:
+                self._external.discard(worker)
                 task_id = self._worker_lease.get(worker)
                 if task_id is not None:
                     self._release_lease(
@@ -474,18 +553,20 @@ class Broker:
                 pass
 
 
-def _spawn_worker(address: Tuple[str, int],
-                  name: str) -> Optional[subprocess.Popen]:
+def _spawn_worker(address: Tuple[str, int], name: str,
+                  token: str = "") -> Optional[subprocess.Popen]:
     """Launch one ``repro.dispatch.worker`` against ``address``.
 
     Workers must resolve the same modules the parent can (the task
     payloads pickle functions *by reference*), regardless of the
     worker's cwd — so the parent's import path ships in the
-    environment.
+    environment, and so does the broker's auth token.
     """
     host, port = address
     env = dict(os.environ)
     env["PYTHONPATH"] = os.pathsep.join(p for p in sys.path if p)
+    if token:
+        env[ENV_TOKEN] = token
     try:
         proc = subprocess.Popen(
             [sys.executable, "-m", "repro.dispatch.worker",
@@ -533,7 +614,8 @@ class FleetExecutor:
 
     def _spawn(self, broker: Broker, index: int) -> Optional[_WorkerProc]:
         name = f"fleet-{index}"
-        proc = _spawn_worker(broker.address, name)
+        broker.expect_worker(name)
+        proc = _spawn_worker(broker.address, name, broker.token)
         if proc is None:
             return None
         worker = _WorkerProc(name=name, proc=proc)
@@ -546,7 +628,14 @@ class FleetExecutor:
     def _reap_and_respawn(self, broker: Broker,
                           spawn_budget: List[int]) -> int:
         """Collect dead workers; spawn replacements while budget lasts.
-        Returns the number of live workers."""
+
+        Externally-joined TCP workers count toward the ``jobs`` target
+        (an elastic fleet scales local spawning *down* when remote
+        capacity joins) but never against the spawn budget — the broker
+        holds no process handle for them.  Returns local live +
+        external workers.
+        """
+        external = broker.external_workers()
         live = 0
         for worker in self._procs:
             if worker.dead:
@@ -561,7 +650,7 @@ class FleetExecutor:
                 telemetry.emit("dispatch.worker.death",
                                worker=worker.name,
                                returncode=worker.proc.returncode)
-        while live < self.jobs and spawn_budget[0] > 0 \
+        while live + external < self.jobs and spawn_budget[0] > 0 \
                 and not broker.finished():
             spawn_budget[0] -= 1
             spawned = self._spawn(broker, len(self._procs))
@@ -571,7 +660,10 @@ class FleetExecutor:
         telemetry.set_gauge("repro_dispatch_workers", live,
                             help="Live fleet workers (gauge; merges as "
                                  "max across processes).")
-        return live
+        telemetry.set_gauge("repro_dispatch_external_workers", external,
+                            help="Externally-joined TCP workers "
+                                 "currently connected (gauge).")
+        return live + external
 
     # -- the drain loop ------------------------------------------------------
 
@@ -679,15 +771,26 @@ class PersistentFleet:
 
     Thread-safe: submit/poll may be called from any thread (the serve
     front calls them from the asyncio event loop).
+
+    Multi-host: pass ``bind="HOST[:PORT]"`` (or set
+    ``REPRO_FLEET_BIND``) to put the broker on a real interface and let
+    ``python -m repro.dispatch.worker --connect host:port`` join from
+    other machines; ``jobs=0`` runs an **external-only** fleet — no
+    local complement at all, capacity comes entirely from TCP joins.
     """
 
     def __init__(self, jobs: Optional[int] = None,
-                 policy: Optional[RetryPolicy] = None) -> None:
-        self.jobs = max(1, jobs if jobs is not None
-                        else (os.cpu_count() or 1))
+                 policy: Optional[RetryPolicy] = None,
+                 bind: Optional[str] = None,
+                 token: Optional[str] = None) -> None:
+        self.jobs = max(0, jobs) if jobs is not None \
+            else max(1, os.cpu_count() or 1)
         self.policy = policy if policy is not None \
             else RetryPolicy.from_env()
-        self.broker = Broker(self.policy, persistent=True)
+        host, port = parse_bind(bind) if bind is not None \
+            else (None, None)
+        self.broker = Broker(self.policy, persistent=True,
+                             host=host, port=port, token=token)
         self.broker.start()
         self._procs: List[_WorkerProc] = []
         self._procs_lock = threading.Lock()
@@ -731,11 +834,17 @@ class PersistentFleet:
     def workers_spawned(self) -> int:
         return self._spawned
 
+    def workers_external(self) -> int:
+        """Externally-joined TCP workers currently connected."""
+        return self.broker.external_workers()
+
     # -- monitor -------------------------------------------------------------
 
     def _spawn(self) -> None:
         name = f"serve-fleet-{self._spawned}"
-        proc = _spawn_worker(self.broker.address, name)
+        self.broker.expect_worker(name)
+        proc = _spawn_worker(self.broker.address, name,
+                             self.broker.token)
         if proc is None:
             return
         self._spawned += 1
@@ -771,6 +880,10 @@ class PersistentFleet:
             telemetry.set_gauge("repro_dispatch_workers", live,
                                 help="Live fleet workers (gauge; merges "
                                      "as max across processes).")
+            telemetry.set_gauge("repro_dispatch_external_workers",
+                                self.broker.external_workers(),
+                                help="Externally-joined TCP workers "
+                                     "currently connected (gauge).")
             time.sleep(_TICK_S)
 
     # -- teardown ------------------------------------------------------------
@@ -810,4 +923,5 @@ class PersistentFleet:
             worker.dead = True
 
 
-__all__ = ["Broker", "FleetExecutor", "PersistentFleet"]
+__all__ = ["Broker", "ENV_BIND", "ENV_TOKEN", "FleetExecutor",
+           "PersistentFleet", "parse_bind"]

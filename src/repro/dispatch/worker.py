@@ -21,6 +21,13 @@ attempt, and at most one fault fires:
 
 Workers never *retry* anything themselves — retry policy belongs to the
 broker, which sees every attempt from every worker.
+
+Multi-host: ``--connect`` takes any reachable broker address, not just
+loopback; ``--token`` (or ``REPRO_FLEET_TOKEN``) rides along in the
+``hello`` and a mismatch is answered with ``denied`` — the worker
+prints the reason and exits 1.  ``--discover HOST:PORT`` asks a
+``repro.serve`` wire front for its broker address first (the ``join``
+message), so one published endpoint is enough to wire up a whole fleet.
 """
 
 from __future__ import annotations
@@ -37,6 +44,7 @@ from typing import Optional, Tuple
 
 from repro.dispatch import wire
 from repro.dispatch.faults import ENV_FAULTS, FaultPlan, corrupt_bytes
+from repro.dispatch.fleet import ENV_TOKEN
 
 #: Seconds into an attempt at which the ``kill`` fault fires.
 KILL_DELAY_S = 0.02
@@ -81,8 +89,35 @@ def _execute(payload: bytes) -> Tuple[bool, bytes, Optional[str]]:
     return True, wire.dumps(value), None
 
 
+def discover_broker(address: Tuple[str, int], worker: str,
+                    token: str = "") -> Tuple[str, int]:
+    """Ask a ``repro.serve`` wire front where its fleet broker lives.
+
+    Sends the ``join`` registration message and returns the broker's
+    ``(host, port)``; raises :class:`OSError` if the front is
+    unreachable or answers anything but a ``fleet`` record.
+    """
+    with socket.create_connection(address, timeout=10.0) as sock:
+        wire.send_msg(sock, {"type": "join", "worker": worker,
+                             "pid": os.getpid(), "token": token})
+        try:
+            reply = wire.recv_msg(sock)
+        except wire.WireError as exc:
+            raise OSError(f"bad discovery reply: {exc}") from exc
+    if not isinstance(reply, dict) or reply.get("type") != "fleet":
+        error = reply.get("error") if isinstance(reply, dict) else None
+        raise OSError(error or f"unexpected discovery reply "
+                               f"{reply!r}")
+    host = reply.get("host") or address[0]
+    # A broker parked on a wildcard interface is reachable wherever the
+    # serve front itself was.
+    if host in ("0.0.0.0", "::"):
+        host = address[0]
+    return host, int(reply["port"])
+
+
 def serve(address: Tuple[str, int], worker: str,
-          plan: Optional[FaultPlan] = None) -> int:
+          plan: Optional[FaultPlan] = None, token: str = "") -> int:
     """The worker loop; returns an exit code."""
     if plan is None:
         plan = FaultPlan.parse(os.environ.get(ENV_FAULTS))
@@ -95,7 +130,8 @@ def serve(address: Tuple[str, int], worker: str,
     sock.settimeout(RECV_TIMEOUT_S)
     send_lock = threading.Lock()
     wire.send_msg(sock, {"type": "hello", "worker": worker,
-                         "pid": os.getpid()}, lock=send_lock)
+                         "pid": os.getpid(), "token": token},
+                  lock=send_lock)
     try:
         while True:
             wire.send_msg(sock, {"type": "ready", "worker": worker},
@@ -107,6 +143,11 @@ def serve(address: Tuple[str, int], worker: str,
             kind = message.get("type")
             if kind == "exit":
                 return 0
+            if kind == "denied":
+                print(f"worker {worker}: broker denied the hello: "
+                      f"{message.get('error', 'token mismatch')}",
+                      file=sys.stderr)
+                return 1
             if kind == "idle":
                 time.sleep(message.get("sleep", 0.05))
                 continue
@@ -160,13 +201,32 @@ def main(argv=None) -> int:
         description="Fleet worker: pull task leases from a dispatch "
                     "broker and execute them.",
     )
-    parser.add_argument("--connect", type=_parse_address, required=True,
+    parser.add_argument("--connect", type=_parse_address, default=None,
                         metavar="HOST:PORT",
                         help="broker address to pull leases from")
+    parser.add_argument("--discover", type=_parse_address, default=None,
+                        metavar="HOST:PORT",
+                        help="repro.serve wire front to ask for the "
+                             "broker address (instead of --connect)")
     parser.add_argument("--worker", default=f"fleet-pid{os.getpid()}",
                         help="worker name reported to the broker")
+    parser.add_argument("--token", default=os.environ.get(ENV_TOKEN, ""),
+                        help="fleet auth token for the hello handshake "
+                             f"(default: ${ENV_TOKEN})")
     args = parser.parse_args(argv)
-    return serve(args.connect, args.worker)
+    if (args.connect is None) == (args.discover is None):
+        parser.error("exactly one of --connect/--discover is required")
+    address = args.connect
+    if address is None:
+        try:
+            address = discover_broker(args.discover, args.worker,
+                                      args.token)
+        except OSError as exc:
+            print(f"worker {args.worker}: discovery against "
+                  f"{args.discover[0]}:{args.discover[1]} failed: "
+                  f"{exc}", file=sys.stderr)
+            return 1
+    return serve(address, args.worker, token=args.token)
 
 
 if __name__ == "__main__":

@@ -53,6 +53,7 @@ class Sample:
     cells: int = 0
     cached: int = 0
     computed: int = 0
+    coalesced: int = 0
     failed: int = 0
     ok: bool = True
     error: str = ""
@@ -63,7 +64,8 @@ class Sample:
             "start_s": round(self.start_s, 6),
             "latency_s": round(self.latency_s, 6),
             "cells": self.cells, "cached": self.cached,
-            "computed": self.computed, "failed": self.failed,
+            "computed": self.computed, "coalesced": self.coalesced,
+            "failed": self.failed,
             "ok": self.ok,
         }
         if self.error:
@@ -211,6 +213,7 @@ def summarize(samples: List[Sample], wall_s: float,
             "served": cells,
             "cached": sum(s.cached for s in ok),
             "computed": sum(s.computed for s in ok),
+            "coalesced": sum(s.coalesced for s in ok),
             "failed": sum(s.failed for s in ok),
         },
         "throughput": {

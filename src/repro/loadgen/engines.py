@@ -30,13 +30,15 @@ from repro.serve.client import ServeClient, ServeError
 def _drive(client: ServeClient, req: Req) -> Tuple[bool, str,
                                                    Dict[str, int]]:
     """Send one request, drain its stream, return (ok, error, tallies)."""
-    tallies = {"cells": 0, "cached": 0, "computed": 0, "failed": 0}
+    tallies = {"cells": 0, "cached": 0, "computed": 0, "coalesced": 0,
+               "failed": 0}
     try:
         for record in client.sweep(req.spec, job_id=f"req-{req.index}"):
             if record.get("type") == "done":
                 tallies["cells"] = record.get("cells", 0)
                 tallies["cached"] = record.get("cached", 0)
                 tallies["computed"] = record.get("computed", 0)
+                tallies["coalesced"] = record.get("coalesced", 0)
                 tallies["failed"] = record.get("failed", 0)
         return tallies["failed"] == 0, "", tallies
     except (ServeError, ConnectionError, OSError) as exc:

@@ -35,8 +35,23 @@ def build_parser() -> argparse.ArgumentParser:
                         help="HTTP-front port, 0 for ephemeral "
                              "(default: 7018)")
     parser.add_argument("--workers", type=int, default=None,
-                        help="fleet worker processes (default: "
-                             "cpu-count capped heuristic)")
+                        help="fleet worker processes; 0 = external "
+                             "TCP workers only (default: cpu-count "
+                             "capped heuristic)")
+    parser.add_argument("--fleet-bind", default=None,
+                        metavar="HOST[:PORT]",
+                        help="bind the fleet broker here so "
+                             "'repro.dispatch.worker --connect' can "
+                             "join from other hosts (default: "
+                             "$REPRO_FLEET_BIND or loopback)")
+    parser.add_argument("--token", default=None,
+                        help="auth token for worker joins and the "
+                             "cache.get endpoint (default: "
+                             "$REPRO_FLEET_TOKEN)")
+    parser.add_argument("--max-pending", type=int, default=None,
+                        help="admission backpressure: refuse jobs "
+                             "with a structured busy reply past this "
+                             "many pending (default: unbounded)")
     parser.add_argument("--executor", choices=EXECUTOR_CHOICES,
                         default="fleet",
                         help="execution lane: a persistent worker "
@@ -55,6 +70,8 @@ async def _amain(args: argparse.Namespace) -> int:
     server = ServeServer(
         workers=args.workers, executor=args.executor, host=args.host,
         wire_port=args.wire_port, http_port=args.http_port,
+        fleet_bind=args.fleet_bind, token=args.token,
+        max_pending=args.max_pending,
     )
     await server.start()
     loop = asyncio.get_running_loop()
@@ -65,13 +82,21 @@ async def _amain(args: argparse.Namespace) -> int:
                 lambda: asyncio.ensure_future(
                     server.stop(args.grace_s)),
             )
+    fleet_note = ""
+    if server.fleet is not None:
+        fhost, fport = server.fleet.broker.address
+        fleet_note = f", fleet broker on {fhost}:{fport}"
     print(f"repro.serve: wire on {args.host}:{server.wire_port}, "
           f"http on {args.host}:{server.http_port} "
-          f"(executor={args.executor})", flush=True)
+          f"(executor={args.executor}){fleet_note}", flush=True)
     if args.ready_file:
         record = {"pid": os.getpid(), "host": args.host,
                   "wire_port": server.wire_port,
                   "http_port": server.http_port}
+        if server.fleet is not None:
+            fhost, fport = server.fleet.broker.address
+            record["fleet_host"] = fhost
+            record["fleet_port"] = fport
         with open(args.ready_file, "w") as handle:
             json.dump(record, handle)
             handle.write("\n")

@@ -21,6 +21,11 @@ class ServeError(RuntimeError):
     """The server rejected a request (an ``error`` record)."""
 
 
+class ServeBusyError(ServeError):
+    """Admission backpressure: the server answered ``busy`` — the
+    pending-job table is full; retry later."""
+
+
 class ServeClient:
     """Synchronous client for the serve wire front."""
 
@@ -63,11 +68,36 @@ class ServeClient:
             record = self._recv()
             kind = record.get("type") if isinstance(record, dict) \
                 else None
+            if kind == "busy":
+                raise ServeBusyError(record.get("error", "busy"))
             if kind == "error":
                 raise ServeError(record.get("error", "rejected"))
             yield record
             if kind == "done":
                 return
+
+    def cache_get(self, kind: str, key: str,
+                  token: str = "") -> Dict[str, Any]:
+        """Fetch one artifact blob from the server's local cache tier
+        (the ``cache.blob`` record; ``hit``/``text`` carry the answer).
+        Raises :class:`ServeError` on ``denied``."""
+        self._send({"type": "cache.get", "kind": kind, "key": key,
+                    "token": token})
+        record = self._recv()
+        if isinstance(record, dict) and record.get("type") == "denied":
+            raise ServeError(record.get("error", "denied"))
+        return record
+
+    def fleet_info(self, worker: str = "repro.serve.client",
+                   token: str = "") -> Dict[str, Any]:
+        """Ask where the fleet broker lives (the ``fleet`` record).
+        Raises :class:`ServeError` on ``denied`` or an inline server."""
+        self._send({"type": "join", "worker": worker, "token": token})
+        record = self._recv()
+        if isinstance(record, dict) \
+                and record.get("type") in ("denied", "error"):
+            raise ServeError(record.get("error", "denied"))
+        return record
 
     def shutdown_server(self) -> None:
         """Ask the server to drain gracefully (fire-and-forget)."""
@@ -92,4 +122,4 @@ class ServeClient:
         self.close()
 
 
-__all__ = ["ServeClient", "ServeError"]
+__all__ = ["ServeBusyError", "ServeClient", "ServeError"]

@@ -17,6 +17,23 @@ Cells run through the exact same
 :func:`repro.experiments.runner._cell_task` body the batch sweep engine
 uses, so a served grid is bit-identical to an inline sweep of the same
 spec — the acceptance gate the loadgen asserts.
+
+Hardening and multi-host duties layered on top:
+
+* **admission backpressure** — ``max_pending`` bounds the in-flight
+  job table; past it, admission answers a structured ``busy`` record
+  (HTTP 503) instead of growing latency without bound;
+* **in-flight cell coalescing** — concurrent jobs that need the same
+  uncached cell subscribe to the first computation (keyed by the
+  cell's content address), so a cold concurrent burst computes each
+  grid cell exactly once;
+* **cache-read endpoint** (``cache.get``) — remote/tiered cache
+  backends on other hosts read artifacts through the wire front, each
+  answered from the local tier only (see
+  :meth:`repro.cache.ArtifactCache.peek_local`);
+* **worker registration** (``join``) — a TCP worker asks where the
+  fleet broker lives, then ``--connect``\\ s to it directly (both
+  guarded by the fleet auth token when one is set).
 """
 
 from __future__ import annotations
@@ -33,7 +50,7 @@ from repro import telemetry
 from repro.cache import get_cache
 from repro.cpu import CpuConfig
 from repro.dispatch import RetryPolicy, TaskResult, TaskSpec
-from repro.dispatch.fleet import PersistentFleet
+from repro.dispatch.fleet import ENV_TOKEN, PersistentFleet
 from repro.experiments.runner import (
     DEFAULT_WALK_BLOCKS,
     _cell_task,
@@ -61,6 +78,10 @@ class JobError(ValueError):
     """A job failed admission (bad spec, unknown name, draining)."""
 
 
+class JobBusyError(JobError):
+    """Admission refused: the pending-job table is at ``max_pending``."""
+
+
 @dataclass
 class _Job:
     """Book-keeping for one in-flight sweep job."""
@@ -71,11 +92,14 @@ class _Job:
     spec: SweepSpec
     configs: Tuple[CpuConfig, ...]
     blocks: int
-    queue: "asyncio.Queue[TaskResult]" = field(
+    queue: "asyncio.Queue[Any]" = field(
         default_factory=asyncio.Queue)
     pending: Set[str] = field(default_factory=set)
+    #: in-flight cell futures this job owns, by stats artifact key
+    owned_keys: Set[str] = field(default_factory=set)
     cached: int = 0
     computed: int = 0
+    coalesced: int = 0
     failed: int = 0
 
 
@@ -88,7 +112,10 @@ class ServeServer:
                  host: str = "127.0.0.1",
                  wire_port: int = 0,
                  http_port: int = 0,
-                 policy: Optional[RetryPolicy] = None) -> None:
+                 policy: Optional[RetryPolicy] = None,
+                 fleet_bind: Optional[str] = None,
+                 token: Optional[str] = None,
+                 max_pending: Optional[int] = None) -> None:
         if executor not in EXECUTOR_CHOICES:
             raise ValueError(
                 f"unknown serve executor {executor!r} "
@@ -101,13 +128,20 @@ class ServeServer:
         self._http_port = http_port
         self.policy = policy if policy is not None \
             else RetryPolicy.from_env()
+        self.fleet_bind = fleet_bind
+        self.token = token if token is not None \
+            else os.environ.get(ENV_TOKEN, "")
+        self.max_pending = max_pending
         self.fleet: Optional[PersistentFleet] = None
         self.started_unix = time.time()
         self._jobs: Dict[str, _Job] = {}
         self._job_seq = 0
         self._jobs_total = 0
         self._jobs_failed = 0
-        self._cells = {"cached": 0, "computed": 0, "failed": 0}
+        self._cells = {"cached": 0, "computed": 0, "coalesced": 0,
+                       "failed": 0}
+        #: cells being computed right now, stats-key -> outcome future
+        self._inflight: Dict[str, "asyncio.Future[Any]"] = {}
         self._draining = False
         self._stopped = asyncio.Event()
         self._wire_server: Optional[asyncio.base_events.Server] = None
@@ -121,7 +155,10 @@ class ServeServer:
         """Bind both fronts and warm the fleet."""
         if self.executor == "fleet":
             self.fleet = await asyncio.to_thread(
-                PersistentFleet, self.workers, self.policy,
+                lambda: PersistentFleet(
+                    self.workers, self.policy,
+                    bind=self.fleet_bind, token=self.token,
+                ),
             )
             self._pump_task = asyncio.create_task(self._pump_fleet())
         self._wire_server = await asyncio.start_server(
@@ -188,28 +225,49 @@ class ServeServer:
                 "active": len(self._jobs),
                 "total": self._jobs_total,
                 "failed": self._jobs_failed,
+                "max_pending": self.max_pending,
             },
             "cells": dict(self._cells),
-            "cache": {"hits": cache.hits, "misses": cache.misses},
+            "cache": {"hits": cache.hits, "misses": cache.misses,
+                      "backend": cache.backend_spec()},
         }
         if self.fleet is not None:
+            host, port = self.fleet.broker.address
             record["workers"] = {
                 "configured": self.fleet.jobs,
                 "alive": self.fleet.workers_alive(),
                 "spawned": self.fleet.workers_spawned(),
+                "external": self.fleet.workers_external(),
             }
+            record["fleet"] = {"host": host, "port": port,
+                               "token_required": bool(self.token)}
         else:
             record["workers"] = {"configured": 1, "alive": 1,
-                                 "spawned": 0}
+                                 "spawned": 0, "external": 0}
         return record
 
     # -- the job engine ------------------------------------------------------
 
     def _admit(self, payload: Any, client_id: str, front: str) -> _Job:
         """Validate a sweep payload and register the job, or raise
-        :class:`JobError` with a client-presentable message."""
+        :class:`JobError` (:class:`JobBusyError` when the pending-job
+        table is full) with a client-presentable message.  Rejection
+        accounting happens here, so both fronts share it."""
         if self._draining:
-            raise JobError("server is draining; job rejected")
+            self._reject(front, "server is draining; job rejected")
+        if self.max_pending is not None \
+                and len(self._jobs) >= self.max_pending:
+            telemetry.inc("repro_serve_busy_total",
+                          help="Jobs refused at admission because the "
+                               "pending-job table was full.",
+                          front=front)
+            telemetry.emit("serve.job.busy", front=front,
+                           active=len(self._jobs),
+                           max_pending=self.max_pending)
+            raise JobBusyError(
+                f"server busy: {len(self._jobs)} jobs pending "
+                f"(max {self.max_pending})"
+            )
         try:
             spec = SweepSpec.from_dict(payload)
             spec.validate()
@@ -217,7 +275,7 @@ class ServeServer:
             for name in spec.apps:
                 get_profile(name)
         except (ValueError, KeyError) as exc:
-            raise JobError(str(exc).strip("\"'")) from exc
+            self._reject(front, str(exc).strip("\"'"), cause=exc)
         blocks = spec.walk_blocks if spec.walk_blocks is not None \
             else DEFAULT_WALK_BLOCKS
         self._job_seq += 1
@@ -237,17 +295,34 @@ class ServeServer:
                        configs=",".join(c.name for c in configs))
         return job
 
+    def _reject(self, front: str, error: str,
+                cause: Optional[BaseException] = None) -> None:
+        self._jobs_failed += 1
+        telemetry.inc("repro_serve_jobs_rejected_total",
+                      help="Jobs that failed admission.")
+        telemetry.emit("serve.job.rejected", front=front, error=error)
+        raise JobError(error) from cause
+
+    def _busy_record(self, client_id: str,
+                     exc: JobBusyError) -> Dict[str, Any]:
+        return {"type": "busy", "id": client_id, "error": str(exc),
+                "active": len(self._jobs),
+                "max_pending": self.max_pending}
+
     def _cell_record(self, job: _Job, app: str, scheme: str,
                      config: str, *, cached: bool, wall_s: float,
-                     stats: Any = None,
+                     coalesced: bool = False, stats: Any = None,
                      error: Optional[str] = None) -> Dict[str, Any]:
         source = "failed" if error is not None else (
-            "cached" if cached else "computed")
+            "cached" if cached else
+            "coalesced" if coalesced else "computed")
         self._cells[source] += 1
         if error is not None:
             job.failed += 1
         elif cached:
             job.cached += 1
+        elif coalesced:
+            job.coalesced += 1
         else:
             job.computed += 1
         telemetry.inc("repro_serve_cells_total",
@@ -255,7 +330,7 @@ class ServeServer:
         record: Dict[str, Any] = {
             "type": "cell", "id": job.client_id, "app": app,
             "scheme": scheme, "config": config, "cached": cached,
-            "wall_s": round(wall_s, 6),
+            "coalesced": coalesced, "wall_s": round(wall_s, 6),
         }
         if error is not None:
             record["error"] = error
@@ -267,18 +342,22 @@ class ServeServer:
                       front: str) -> AsyncIterator[Dict[str, Any]]:
         """Admit + execute one sweep job, yielding JSON-safe
         ``accepted``/``cell``/``done`` records as cells complete (or a
-        single ``error`` record on admission failure)."""
-        started = time.perf_counter()
+        single ``busy``/``error`` record on admission failure)."""
         try:
             job = self._admit(payload, client_id, front)
+        except JobBusyError as exc:
+            yield self._busy_record(client_id, exc)
+            return
         except JobError as exc:
-            self._jobs_failed += 1
-            telemetry.inc("repro_serve_jobs_rejected_total",
-                          help="Jobs that failed admission.")
-            telemetry.emit("serve.job.rejected", front=front,
-                           error=str(exc))
             yield {"type": "error", "id": client_id, "error": str(exc)}
             return
+        async for record in self._stream_job(job):
+            yield record
+
+    async def _stream_job(self,
+                          job: _Job) -> AsyncIterator[Dict[str, Any]]:
+        """Execute an already-admitted job and stream its records."""
+        started = time.perf_counter()
         try:
             try:
                 async for record in self._execute(job):
@@ -298,12 +377,15 @@ class ServeServer:
                               help="Wall seconds per served job.")
             telemetry.emit("serve.job.done", job=job.id,
                            cached=job.cached, computed=job.computed,
+                           coalesced=job.coalesced,
                            failed=job.failed, wall_s=round(wall, 6))
             self._record_manifest(job, wall)
             yield {
                 "type": "done", "id": job.client_id,
-                "cells": job.cached + job.computed + job.failed,
+                "cells": (job.cached + job.computed + job.coalesced
+                          + job.failed),
                 "cached": job.cached, "computed": job.computed,
+                "coalesced": job.coalesced,
                 "failed": job.failed, "wall_s": round(wall, 6),
             }
         finally:
@@ -322,7 +404,8 @@ class ServeServer:
         if engine == "inline":
             engine = None
         # Probe the warm path first: memo + disk cache, no fleet.
-        todo: List[Tuple[str, CpuConfig, Tuple[str, ...]]] = []
+        todo: List[Tuple[str, CpuConfig, Tuple[str, ...],
+                         Dict[str, str]]] = []
         cached: List[Tuple[str, str, str, Any]] = []
         probe_started = time.perf_counter()
 
@@ -331,15 +414,19 @@ class ServeServer:
                 ctx = app_context(name, job.blocks)
                 for config in job.configs:
                     missing = []
+                    keys: Dict[str, str] = {}
                     for scheme in spec.schemes:
                         stats = ctx.cached_stats(scheme, config)
                         if stats is None:
                             missing.append(scheme)
+                            keys[scheme] = ctx._stats_key(
+                                scheme, config, 5, 1.0)
                         else:
                             cached.append((name, scheme, config.name,
                                            stats))
                     if missing:
-                        todo.append((name, config, tuple(missing)))
+                        todo.append((name, config, tuple(missing),
+                                     keys))
 
         await asyncio.to_thread(_probe)
         probe_wall = time.perf_counter() - probe_started
@@ -354,8 +441,38 @@ class ServeServer:
         if not todo:
             return
 
+        # Partition cold cells: cells some other job is already
+        # computing become subscriptions on its in-flight future; the
+        # rest this job computes, registering futures of its own.  This
+        # runs on the event loop with no await between lookup and
+        # registration, so two jobs can never both claim a cell.
+        loop = asyncio.get_running_loop()
+        subscribe: List[Tuple[str, str, str,
+                              "asyncio.Future[Any]"]] = []
+        compute: List[Tuple[str, CpuConfig, Tuple[str, ...],
+                            Dict[str, str]]] = []
+        for name, config, missing, keys in todo:
+            own = []
+            for scheme in missing:
+                fut = self._inflight.get(keys[scheme])
+                if fut is not None:
+                    subscribe.append((name, scheme, config.name, fut))
+                    telemetry.inc("repro_serve_coalesced_total",
+                                  help="Cold cells answered by "
+                                       "subscribing to another job's "
+                                       "in-flight computation.")
+                    telemetry.emit("serve.cell.coalesced", job=job.id,
+                                   app=name, scheme=scheme,
+                                   config=config.name)
+                else:
+                    self._inflight[keys[scheme]] = loop.create_future()
+                    job.owned_keys.add(keys[scheme])
+                    own.append(scheme)
+            if own:
+                compute.append((name, config, tuple(own), keys))
+
         spool = tempfile.mkdtemp(prefix="repro-serve-spool-") \
-            if self.fleet is not None else None
+            if self.fleet is not None and compute else None
         tasks = [
             TaskSpec(
                 id=f"{job.id}|{name}|{config.name}",
@@ -364,10 +481,20 @@ class ServeServer:
                 kwargs={"spool_dir": spool, "capture_telemetry": True},
                 inline_kwargs={"capture_telemetry": False},
             )
-            for name, config, missing in todo
+            for name, config, missing, _keys in compute
         ]
         job.pending = {task.id for task in tasks}
         by_id = {task.id: task for task in tasks}
+        keys_by_task = {
+            f"{job.id}|{name}|{config.name}": keys
+            for name, config, _missing, keys in compute
+        }
+        for index, (name, scheme, config_name, fut) in \
+                enumerate(subscribe):
+            sub_id = f"{job.id}|sub{index}"
+            job.pending.add(sub_id)
+            asyncio.ensure_future(self._await_coalesced(
+                job, sub_id, name, scheme, config_name, fut))
         results: List[TaskResult] = []
         try:
             if self.fleet is not None:
@@ -377,10 +504,26 @@ class ServeServer:
                 for task in tasks:
                     asyncio.create_task(self._run_task_inline(job, task))
             while job.pending:
-                result = await job.queue.get()
+                item = await job.queue.get()
+                if isinstance(item, tuple):  # a coalesced cell resolved
+                    sub_id, name, scheme, config_name, outcome = item
+                    job.pending.discard(sub_id)
+                    if outcome[0] == "ok":
+                        yield self._cell_record(
+                            job, name, scheme, config_name,
+                            cached=False, coalesced=True,
+                            wall_s=outcome[2], stats=outcome[1])
+                    else:
+                        yield self._cell_record(
+                            job, name, scheme, config_name,
+                            cached=False, coalesced=True, wall_s=0.0,
+                            error=outcome[1])
+                    continue
+                result = item
                 job.pending.discard(result.task_id)
                 results.append(result)
                 _jid, name, config_name = result.task_id.split("|", 2)
+                task_keys = keys_by_task.get(result.task_id, {})
                 if result.ok:
                     app, tag, cell, snap = result.value
                     if snap is not None:
@@ -390,19 +533,33 @@ class ServeServer:
                     ctx = app_context(app, job.blocks)
                     for scheme, stats in cell.items():
                         ctx._stats[(scheme, tag)] = stats
+                        per_scheme = wall / max(1, len(cell))
+                        self._resolve_inflight(
+                            job, task_keys.get(scheme),
+                            ("ok", stats, per_scheme))
                         yield self._cell_record(
                             job, app, scheme, tag, cached=False,
-                            wall_s=wall / max(1, len(cell)),
+                            wall_s=per_scheme,
                             stats=stats)
                 else:
                     error = result.error or repr(result.error_exc)
                     wall = sum(a.wall_s for a in result.attempts)
                     for scheme in by_id[result.task_id].args[2]:
+                        self._resolve_inflight(
+                            job, task_keys.get(scheme),
+                            ("error", str(error)))
                         yield self._cell_record(
                             job, name, scheme, config_name,
                             cached=False, wall_s=wall,
                             error=str(error))
         finally:
+            # Whatever this job still owns resolves as an error so
+            # subscribers never hang on a job that died mid-stream.
+            for key in list(job.owned_keys):
+                self._resolve_inflight(
+                    job, key,
+                    ("error", "the computing job ended before this "
+                              "cell resolved"))
             if spool is not None:
                 clean = {
                     tuple(r.task_id.split("|", 2)[1:]) for r in results
@@ -412,6 +569,28 @@ class ServeServer:
                 every = {tuple(t.id.split("|", 2)[1:]) for t in tasks}
                 await asyncio.to_thread(
                     _drain_spool, spool, every - clean)
+
+    def _resolve_inflight(self, job: _Job, key: Optional[str],
+                          outcome: Tuple[Any, ...]) -> None:
+        """Resolve (and retire) an in-flight cell future this job owns."""
+        if key is None or key not in job.owned_keys:
+            return
+        job.owned_keys.discard(key)
+        fut = self._inflight.pop(key, None)
+        if fut is not None and not fut.done():
+            fut.set_result(outcome)
+
+    async def _await_coalesced(self, job: _Job, sub_id: str, name: str,
+                               scheme: str, config_name: str,
+                               fut: "asyncio.Future[Any]") -> None:
+        """Feed another job's cell outcome into this job's queue."""
+        try:
+            outcome = await asyncio.shield(fut)
+        except asyncio.CancelledError:
+            outcome = ("error", "the in-flight computation was "
+                                "cancelled")
+        job.queue.put_nowait((sub_id, name, scheme, config_name,
+                              outcome))
 
     async def _run_task_inline(self, job: _Job, task: TaskSpec) -> None:
         """The ``executor="inline"`` lane: one cell at a time in a
@@ -521,6 +700,10 @@ class ServeServer:
                     async for record in self.run_job(
                             message.get("spec"), client_id, "wire"):
                         await write_msg(writer, record)
+                elif kind == "cache.get":
+                    await self._handle_cache_get(writer, message)
+                elif kind == "join":
+                    await self._handle_join(writer, message)
                 elif kind == "shutdown":
                     await write_msg(writer, {"type": "bye"})
                     asyncio.create_task(self.stop())
@@ -538,6 +721,65 @@ class ServeServer:
                 await writer.wait_closed()
             except (ConnectionError, OSError):
                 pass
+
+    def _token_ok(self, message: Dict[str, Any]) -> bool:
+        return (message.get("token") or "") == (self.token or "")
+
+    async def _handle_cache_get(self, writer: asyncio.StreamWriter,
+                                message: Dict[str, Any]) -> None:
+        """Serve one artifact blob to a remote cache tier.
+
+        Answered from the *local* tier only (no hit/miss accounting,
+        no recursion through this host's own remote tier — see
+        :meth:`repro.cache.ArtifactCache.peek_local`).
+        """
+        if not self._token_ok(message):
+            telemetry.inc("repro_serve_denied_total",
+                          help="Wire requests refused by the auth "
+                               "token check.", request="cache.get")
+            await write_msg(writer, {"type": "denied",
+                                     "error": "auth token mismatch"})
+            return
+        kind = str(message.get("kind", ""))
+        key = str(message.get("key", ""))
+        cache = get_cache()
+        text = await asyncio.to_thread(cache.peek_local, kind, key)
+        hit = text is not None
+        telemetry.inc("repro_serve_cache_requests_total",
+                      help="Remote cache-tier reads served, by "
+                           "outcome.",
+                      kind=kind, result="hit" if hit else "miss")
+        telemetry.emit("serve.cache.get", artifact=kind, key=key[:12],
+                       hit=hit)
+        await write_msg(writer, {"type": "cache.blob", "kind": kind,
+                                 "key": key, "hit": hit, "text": text})
+
+    async def _handle_join(self, writer: asyncio.StreamWriter,
+                           message: Dict[str, Any]) -> None:
+        """Worker registration: tell a TCP worker where the fleet
+        broker lives so it can ``--connect`` there."""
+        if not self._token_ok(message):
+            telemetry.inc("repro_serve_denied_total",
+                          help="Wire requests refused by the auth "
+                               "token check.", request="join")
+            await write_msg(writer, {"type": "denied",
+                                     "error": "auth token mismatch"})
+            return
+        if self.fleet is None:
+            await write_msg(writer, {
+                "type": "error", "id": None,
+                "error": "this server runs executor=inline; "
+                         "there is no fleet broker to join",
+            })
+            return
+        host, port = self.fleet.broker.address
+        telemetry.emit("serve.worker.register",
+                       worker=str(message.get("worker", "?")))
+        await write_msg(writer, {
+            "type": "fleet", "host": host, "port": port,
+            "token_required": bool(self.token),
+            "external": self.fleet.workers_external(),
+        })
 
     # -- HTTP front ----------------------------------------------------------
 
@@ -608,14 +850,16 @@ class ServeServer:
 
     async def _respond(self, writer: asyncio.StreamWriter, status: int,
                        body: str,
-                       content_type: str = "application/json") -> None:
-        reason = {200: "OK", 400: "Bad Request",
-                  404: "Not Found"}.get(status, "OK")
+                       content_type: str = "application/json",
+                       extra_headers: str = "") -> None:
+        reason = {200: "OK", 400: "Bad Request", 404: "Not Found",
+                  503: "Service Unavailable"}.get(status, "OK")
         payload = body.encode("utf-8")
         writer.write(
             f"HTTP/1.1 {status} {reason}\r\n"
             f"Content-Type: {content_type}\r\n"
             f"Content-Length: {len(payload)}\r\n"
+            f"{extra_headers}"
             f"Connection: close\r\n\r\n".encode("latin-1") + payload)
         await writer.drain()
 
@@ -638,17 +882,34 @@ class ServeServer:
             return
         client_id = str(payload.pop("id", "") if isinstance(
             payload, dict) else "")
+        # Admission happens before the status line goes out, so
+        # backpressure and bad specs answer with real HTTP statuses
+        # (503 busy / 400 rejected) instead of a 200 ndjson error.
+        try:
+            job = self._admit(payload, client_id, "http")
+        except JobBusyError as exc:
+            await self._respond(
+                writer, 503,
+                json.dumps({"ok": False, "busy": True,
+                            "error": str(exc)}, sort_keys=True) + "\n",
+                extra_headers="Retry-After: 1\r\n")
+            return
+        except JobError as exc:
+            await self._respond_json(writer, 400,
+                                     {"ok": False, "error": str(exc)})
+            return
         writer.write(
             b"HTTP/1.1 200 OK\r\n"
             b"Content-Type: application/x-ndjson\r\n"
             b"Cache-Control: no-store\r\n"
             b"Connection: close\r\n\r\n")
         await writer.drain()
-        async for record in self.run_job(payload, client_id, "http"):
+        async for record in self._stream_job(job):
             writer.write(
                 (json.dumps(record, sort_keys=True) + "\n")
                 .encode("utf-8"))
             await writer.drain()
 
 
-__all__ = ["EXECUTOR_CHOICES", "JobError", "ServeServer"]
+__all__ = ["EXECUTOR_CHOICES", "JobBusyError", "JobError",
+           "ServeServer"]

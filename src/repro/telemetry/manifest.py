@@ -92,7 +92,8 @@ def build_manifest(
         "created_unix": time.time(),
         "pid": os.getpid(),
         **invocation,
-        "cache": {"hits": cache.hits, "misses": cache.misses},
+        "cache": {"hits": cache.hits, "misses": cache.misses,
+                  "backend": cache.backend_spec()},
         "wall_s": wall_s,
         "phases": _phase_stats(),
         "counters": _counters(),

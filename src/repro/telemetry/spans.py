@@ -30,7 +30,7 @@ a Chrome-trace/Perfetto timeline.  Setting ``REPRO_SPANS`` to a *path*
 JSONL to that path at exit, ready for the exporter.
 
 State is process-local and single-threaded by design, matching the rest
-of the pipeline; the legacy :mod:`repro.perf` module re-exports this API.
+of the pipeline.
 """
 
 from __future__ import annotations
@@ -158,8 +158,7 @@ def span(name: str, **attrs: Any) -> Iterator[Span]:
 
 
 def phase(name: str) -> Any:
-    """Time one pipeline phase (attribute-less :func:`span`); the legacy
-    :mod:`repro.perf` entry point."""
+    """Time one pipeline phase (attribute-less :func:`span`)."""
     return span(name)
 
 

@@ -1,7 +1,7 @@
 """Cross-process telemetry: worker snapshots must reach the parent.
 
 Regression tests for the PR-1 parallel runner silently dropping
-``repro.perf`` phases/counters recorded inside ``ProcessPoolExecutor``
+telemetry phases/counters recorded inside ``ProcessPoolExecutor``
 workers: fleet totals (e.g. ``simulate`` call counts) must match the
 serial run's, and even a *crashing* worker's telemetry must be recovered
 through the temp-file spool channel.  With execution now behind the

@@ -27,7 +27,7 @@ from repro.loadgen import (
 )
 from repro.loadgen.base import _mix_pattern
 from repro.serve import ServeServer
-from repro.serve.client import ServeClient, ServeError
+from repro.serve.client import ServeBusyError, ServeClient, ServeError
 
 WALK = 60
 FAST = RetryPolicy(timeout_s=60.0, max_attempts=3, backoff_base_s=0.01,
@@ -118,7 +118,7 @@ class TestWireFront:
         with ServeClient(server.wire) as client:
             welcome = client.hello()
             assert welcome["type"] == "welcome"
-            assert welcome["protocol"] == 1
+            assert welcome["protocol"] == 2
             assert client.ping()
             health = client.health()
             assert health["ok"] and health["status"] == "serving"
@@ -225,6 +225,94 @@ class TestHttpFront:
         with pytest.raises(urllib.error.HTTPError) as info:
             urllib.request.urlopen(request, timeout=30)
         assert info.value.code == 400
+
+
+class TestBackpressure:
+    """``--max-pending`` admission control on both fronts."""
+
+    @pytest.fixture
+    def busy_server(self):
+        # max_pending=0: the pending-job table is always "full", so
+        # every submission gets the structured busy reply — the most
+        # deterministic way to exercise the backpressure path.
+        srv = _ServerThread(executor="inline", wire_port=0, http_port=0,
+                            max_pending=0)
+        yield srv
+        srv.stop()
+
+    def test_wire_front_answers_structured_busy(self, busy_server):
+        with ServeClient(busy_server.wire) as client:
+            with pytest.raises(ServeBusyError):
+                list(client.sweep(SPEC, job_id="nope"))
+            # inspect the raw record shape on a second attempt
+            client._send({"type": "sweep", "id": "raw", "spec": SPEC})
+            record = client._recv()
+            assert record["type"] == "busy"
+            assert record["id"] == "raw"
+            assert record["max_pending"] == 0
+            assert "error" in record and "active" in record
+            # connection still usable after backpressure
+            assert client.ping()
+
+    def test_http_front_answers_503_with_retry_after(self, busy_server):
+        request = urllib.request.Request(
+            busy_server.http + "/sweep",
+            data=json.dumps({"id": "h503", **SPEC}).encode(),
+            headers={"Content-Type": "application/json"})
+        with pytest.raises(urllib.error.HTTPError) as info:
+            urllib.request.urlopen(request, timeout=30)
+        assert info.value.code == 503
+        assert info.value.headers["Retry-After"] == "1"
+        body = json.loads(info.value.read().decode())
+        assert body["busy"] is True and body["ok"] is False
+
+    def test_healthz_reports_max_pending(self, busy_server):
+        with urllib.request.urlopen(busy_server.http + "/healthz",
+                                    timeout=30) as resp:
+            health = json.loads(resp.read().decode())
+        assert health["jobs"]["max_pending"] == 0
+
+
+class TestCoalescing:
+    """Concurrent cold requests for the same cell share one compute."""
+
+    def test_concurrent_cold_full_sweeps_compute_grid_once(self,
+                                                           server):
+        dones = []
+        errors = []
+
+        def submit(job_id):
+            try:
+                with ServeClient(server.wire, timeout_s=120) as client:
+                    dones.append(
+                        list(client.sweep(SPEC, job_id=job_id))[-1])
+            except Exception as exc:  # pragma: no cover - surfaced below
+                errors.append(exc)
+
+        threads = [threading.Thread(target=submit, args=(f"co{n}",))
+                   for n in range(2)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=120)
+        assert not errors, errors
+        assert len(dones) == 2
+        total = {key: sum(d[key] for d in dones)
+                 for key in ("cells", "cached", "computed",
+                             "coalesced", "failed")}
+        # The 2-cell grid computes exactly once across both jobs; the
+        # duplicate cells ride along as coalesced or (if the first job
+        # finished a cell before the second looked) cached.
+        assert total["failed"] == 0
+        assert total["cells"] == 4
+        assert total["computed"] == 2
+        assert total["cached"] + total["coalesced"] == 2
+
+    def test_done_record_carries_coalesced_field(self, server):
+        with ServeClient(server.wire) as client:
+            done = list(client.sweep(SPEC, job_id="solo"))[-1]
+        assert done["coalesced"] == 0
+        assert done["computed"] == 2
 
 
 class TestDrain:
@@ -334,9 +422,12 @@ class TestLoadgenEndToEnd:
         engine = ClosedLoopEngine(concurrency=2, timeout_s=120)
         cold = engine.run(server.wire, workload, requests=4)
         assert cold["requests"]["failed"] == 0
-        # Concurrent requests for the same not-yet-cached cell may race
-        # (no request coalescing), so "at least the grid" computed.
-        assert cold["cells"]["computed"] >= 2
+        # In-flight coalescing: concurrent requests for the same
+        # not-yet-cached cell share one computation, so exactly the
+        # grid computes and every duplicate is cached or coalesced.
+        assert cold["cells"]["computed"] == 2
+        assert cold["cells"]["computed"] + cold["cells"]["cached"] \
+            + cold["cells"]["coalesced"] == cold["cells"]["served"]
         warm = engine.run(server.wire, workload, requests=4)
         assert warm["cells"]["computed"] == 0
         assert warm["cells"]["cached"] == warm["cells"]["served"] == 4

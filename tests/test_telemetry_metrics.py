@@ -205,31 +205,22 @@ class TestManifestIntegration:
         reset_cache()
 
 
-class TestPerfShimDeprecation:
-    def test_importing_repro_perf_warns_once(self):
-        import importlib
-        import warnings
+class TestPerfShimRemoved:
+    """Tombstone: ``repro.perf`` was a deprecated alias of
+    :mod:`repro.telemetry` and has been deleted after a deprecation
+    cycle.  These tests pin the removal so the name never silently
+    comes back."""
 
-        with warnings.catch_warnings():
-            warnings.simplefilter("ignore", DeprecationWarning)
-            import repro.perf
+    def test_importing_repro_perf_raises(self):
+        with pytest.raises(ModuleNotFoundError):
+            import repro.perf  # noqa: F401
 
-        with pytest.warns(DeprecationWarning, match="repro.telemetry"):
-            importlib.reload(repro.perf)
-        # ...but the shim still re-exports the real API.
-        assert repro.perf.phase is telemetry.phase
-        assert repro.perf.count is telemetry.count
-
-    def test_no_in_repo_module_still_imports_perf(self):
-        """The shim exists for external callers only; everything under
-        src/repro/ has been migrated to repro.telemetry."""
+    def test_no_in_repo_reference_to_perf_remains(self):
         import pathlib
 
         root = pathlib.Path(__file__).resolve().parent.parent / "src"
         offenders = []
         for path in root.rglob("*.py"):
-            if path.name == "perf.py":
-                continue
             text = path.read_text()
             if "from repro import perf" in text \
                     or "import repro.perf" in text \

@@ -3,17 +3,11 @@
 import io
 import json
 import time
-import warnings
 
 import pytest
 
 from repro import telemetry
 from repro.telemetry import Span
-
-with warnings.catch_warnings():
-    # the deprecated shim is itself under test here
-    warnings.simplefilter("ignore", DeprecationWarning)
-    from repro import perf
 
 
 @pytest.fixture(autouse=True)
@@ -66,9 +60,9 @@ class TestSpanTree:
         assert telemetry.phase_stats()["decorated.run"]["calls"] == 1
 
     def test_legacy_phases_shape(self):
-        with perf.phase("generate"):
+        with telemetry.phase("generate"):
             pass
-        snapshot = perf.phases()
+        snapshot = telemetry.phases()
         calls, total = snapshot["generate"]
         assert calls == 1 and total >= 0.0
 
@@ -153,8 +147,3 @@ class TestReport:
         assert "self" in text.splitlines()[1]
         assert "fig10" in text and "simulate" in text
         assert "cache.hit.trace" in text
-
-    def test_shim_report_is_telemetry_report(self):
-        with perf.phase("simulate"):
-            pass
-        assert perf.report() == telemetry.report()
