@@ -58,10 +58,16 @@ from repro.registry import (
     EXECUTORS,
     SCHEME_RECIPES,
     SIMULATORS,
+    WORKLOAD_FAMILIES,
     component_identity,
 )
 from repro.trace.dynamic import Trace
-from repro.workloads import Workload, WorkloadProfile, generate, get_profile
+from repro.workloads import (
+    Workload,
+    WorkloadProfile,
+    build_workload,
+    get_profile,
+)
 
 def _env_int(name: str, default: int, minimum: int = 1) -> int:
     """An integer environment override, degrading to ``default``.
@@ -94,7 +100,7 @@ DEFAULT_WALK_BLOCKS = _env_int("REPRO_WALK_BLOCKS", 700)
 #: whole story: it shows up here, in the sweep engine, and in the fuzzer.
 SCHEMES = SCHEME_RECIPES.names()
 
-_workloads: Dict[Tuple[str, int], "AppContext"] = {}
+_workloads: Dict[Tuple[str, int, str], "AppContext"] = {}
 
 
 def default_jobs() -> int:
@@ -113,6 +119,10 @@ class AppContext:
     """
 
     app_profile: WorkloadProfile
+    #: workload family (scenario generator) this context builds under;
+    #: see :data:`repro.registry.WORKLOAD_FAMILIES`.  Non-default
+    #: families fold their versioned identity into every cache key.
+    workload_family: str = "default"
     profile: Optional[CriticProfile] = None
     _workload: Optional[Workload] = None
     _traces: Dict[str, Trace] = field(default_factory=dict)
@@ -122,12 +132,21 @@ class AppContext:
     def name(self) -> str:
         return self.app_profile.name
 
+    def _family_key_params(self) -> Dict[str, str]:
+        """Cache-key params for the family: empty for ``default`` so
+        existing default-family keys stay byte-identical."""
+        if self.workload_family == "default":
+            return {}
+        return {"workload_family":
+                WORKLOAD_FAMILIES.identity(self.workload_family)}
+
     @property
     def workload(self) -> Workload:
         """The generated program/walk/memory (built on first touch)."""
         if self._workload is None:
             with telemetry.phase("generate"):
-                self._workload = generate(self.app_profile)
+                self._workload = build_workload(self.workload_family,
+                                                self.app_profile)
         return self._workload
 
     def trace(self) -> Trace:
@@ -137,7 +156,8 @@ class AppContext:
             return trace
         cache = get_cache()
         key = artifact_key("trace", profile=self.app_profile,
-                           scheme="baseline")
+                           scheme="baseline",
+                           **self._family_key_params())
         trace = cache.load_trace(key)
         if trace is None:
             with telemetry.phase("materialize"):
@@ -145,8 +165,8 @@ class AppContext:
             cache.store_trace(key, trace)
         else:
             # Share the loaded trace with Workload.trace() callers.
-            if self._workload is not None and self._workload._trace is None:
-                self._workload._trace = trace
+            if self._workload is not None:
+                self._workload.adopt_trace(trace)
         self._traces["baseline"] = trace
         return trace
 
@@ -162,7 +182,7 @@ class AppContext:
         )
         cache = get_cache()
         key = artifact_key("critic_profile", profile=self.app_profile,
-                           finder=config)
+                           finder=config, **self._family_key_params())
         profile = cache.load_profile(key)
         if profile is None:
             with telemetry.phase("find_critic_profile"):
@@ -197,6 +217,7 @@ class AppContext:
             max_length=max_length,
             profiled_fraction=profiled_fraction,
             finder=FinderConfig(profiled_fraction=profiled_fraction),
+            **self._family_key_params(),
         )
 
     def scheme_trace(self, scheme: str, max_length: int = 5,
@@ -237,6 +258,7 @@ class AppContext:
             finder=FinderConfig(profiled_fraction=profiled_fraction),
             config=config,
             components=component_identity(config),
+            **self._family_key_params(),
         )
 
     def cached_stats(self, scheme: str = "baseline",
@@ -284,16 +306,18 @@ class AppContext:
 
 
 def app_context(name: str,
-                walk_blocks: Optional[int] = None) -> AppContext:
+                walk_blocks: Optional[int] = None,
+                workload_family: str = "default") -> AppContext:
     """Get (and memoize) the :class:`AppContext` for one app/benchmark."""
     blocks = walk_blocks if walk_blocks is not None else DEFAULT_WALK_BLOCKS
-    key = (name, blocks)
+    key = (name, blocks, workload_family)
     if key not in _workloads:
         base = get_profile(name)
         # Same scaling `generate()` would apply, hoisted here so the scaled
         # profile can serve as the cache-key record without generating.
         scaled = base.scaled(blocks / base.walk_blocks)
-        _workloads[key] = AppContext(app_profile=scaled)
+        _workloads[key] = AppContext(app_profile=scaled,
+                                     workload_family=workload_family)
     return _workloads[key]
 
 
@@ -329,9 +353,10 @@ def _observe_cell(name: str, scheme: str, config_name: str,
 
 def _run_cell(name: str, blocks: int, schemes: Tuple[str, ...],
               config: CpuConfig, engine: Optional[str] = None,
+              workload_family: str = "default",
               ) -> Tuple[str, str, Dict[str, SimStats]]:
     """Worker body: compute all ``schemes`` for one app x config cell."""
-    ctx = app_context(name, blocks)
+    ctx = app_context(name, blocks, workload_family)
     cell: Dict[str, SimStats] = {}
     for scheme in schemes:
         telemetry.emit("sweep.cell.start", app=name, scheme=scheme,
@@ -350,13 +375,14 @@ _BATCH_TAG = "batch"
 
 def _run_batch_cell(
     name: str, blocks: int, scheme: str, configs: Tuple[CpuConfig, ...],
+    workload_family: str = "default",
 ) -> Tuple[str, str, Dict[str, SimStats]]:
     """Worker body for one batched app x scheme cell: all ``configs``
     advance through the batch engine together (per-cell inline fallback
     happens inside :func:`repro.cpu.batch.simulate_batch`)."""
     from repro.cpu.batch import simulate_batch
 
-    ctx = app_context(name, blocks)
+    ctx = app_context(name, blocks, workload_family)
     trace = ctx.scheme_trace(scheme)
     telemetry.emit("sweep.cell.start", app=name, scheme=scheme,
                    config=",".join(c.name for c in configs),
@@ -398,7 +424,7 @@ def _spool_snapshot(spool_dir: str, name: str, config_name: str) -> None:
 
 def _cell_task(
     name: str, blocks: int, schemes: Tuple[str, ...], config: CpuConfig,
-    engine: Optional[str] = None,
+    engine: Optional[str] = None, workload_family: str = "default",
     spool_dir: Optional[str] = None, capture_telemetry: bool = True,
 ) -> Tuple[str, str, Dict[str, SimStats], Optional[Dict]]:
     """The dispatch task body for one app x config cell.
@@ -413,11 +439,13 @@ def _cell_task(
     if not capture_telemetry:
         with telemetry.phase("run_apps.serial"):
             app, config_name, cell = _run_cell(name, blocks, schemes,
-                                               config, engine)
+                                               config, engine,
+                                               workload_family)
         return app, config_name, cell, None
     telemetry.reset()
     try:
-        result = _run_cell(name, blocks, schemes, config, engine)
+        result = _run_cell(name, blocks, schemes, config, engine,
+                           workload_family)
     except BaseException:
         _spool_snapshot(spool_dir, name, config.name)
         raise
@@ -426,6 +454,7 @@ def _cell_task(
 
 def _batch_cell_task(
     name: str, blocks: int, scheme: str, configs: Tuple[CpuConfig, ...],
+    workload_family: str = "default",
     spool_dir: Optional[str] = None, capture_telemetry: bool = True,
 ) -> Tuple[str, str, Dict[str, SimStats], Optional[Dict]]:
     """The dispatch task body for one batched app x scheme cell — the
@@ -435,11 +464,12 @@ def _batch_cell_task(
     if not capture_telemetry:
         with telemetry.phase("run_apps.serial"):
             app, tag, cell = _run_batch_cell(name, blocks, scheme,
-                                             configs)
+                                             configs, workload_family)
         return app, tag, cell, None
     telemetry.reset()
     try:
-        result = _run_batch_cell(name, blocks, scheme, configs)
+        result = _run_batch_cell(name, blocks, scheme, configs,
+                                 workload_family)
     except BaseException:
         _spool_snapshot(spool_dir, name, f"{scheme}|{_BATCH_TAG}")
         raise
@@ -548,6 +578,7 @@ def run_apps(apps: Sequence[str],
              walk_blocks: Optional[int] = None,
              executor: Optional[str] = None,
              engine: Optional[str] = None,
+             workload_family: Optional[str] = None,
              ) -> Dict[str, Dict[Tuple[str, str], SimStats]]:
     """Compute stats for an app x scheme x config grid, in parallel.
 
@@ -581,11 +612,13 @@ def run_apps(apps: Sequence[str],
     engine_name = (engine or os.environ.get(ENV_ENGINE, "")).strip() \
         or "inline"
     SIMULATORS.entry(engine_name)  # unknown engines fail loudly
+    family = workload_family or "default"
+    WORKLOAD_FAMILIES.entry(family)  # unknown families fail loudly
     started = time.perf_counter()
     with telemetry.span("run_apps", apps=len(apps),
                         schemes=",".join(schemes)):
         results = _run_apps_grid(apps, schemes, jobs, configs, blocks,
-                                 executor, engine_name)
+                                 executor, engine_name, family)
     report = _last_report
     # Engine identity rides in ``extra`` — recorded in the manifest but
     # outside the invocation record, so ``config_hash`` (and with it the
@@ -604,11 +637,12 @@ def run_apps(apps: Sequence[str],
         schemes=list(schemes),
         configs=[config.name for config in configs],
         walk_blocks=blocks,
-        seeds={name: app_context(name, blocks).app_profile.seed
+        seeds={name: app_context(name, blocks, family).app_profile.seed
                for name in apps},
         wall_s=time.perf_counter() - started,
         components={config.name: component_identity(config)
                     for config in configs},
+        workload_family=WORKLOAD_FAMILIES.identity(family),
         extra=extra,
     )
     return results
@@ -622,6 +656,7 @@ def _run_apps_grid(
     blocks: int,
     executor: Optional[str] = None,
     engine: str = "inline",
+    workload_family: str = "default",
 ) -> Dict[str, Dict[Tuple[str, str], SimStats]]:
     """The probe + executor fan-out body of :func:`run_apps`."""
     global _last_report
@@ -631,7 +666,7 @@ def _run_apps_grid(
     todo: List[Tuple[str, CpuConfig, Tuple[str, ...]]] = []
     with telemetry.phase("run_apps.probe"):
         for name in apps:
-            ctx = app_context(name, blocks)
+            ctx = app_context(name, blocks, workload_family)
             for config in configs:
                 missing = []
                 for scheme in schemes:
@@ -667,7 +702,7 @@ def _run_apps_grid(
 
     def _absorb(name: str, config_name: str,
                 cell: Dict[str, SimStats]) -> None:
-        ctx = app_context(name, blocks)
+        ctx = app_context(name, blocks, workload_family)
         for scheme, stats in cell.items():
             results[name][(scheme, config_name)] = stats
             ctx._stats[(scheme, config_name)] = stats
@@ -687,7 +722,8 @@ def _run_apps_grid(
             TaskSpec(
                 id=f"{name}|{scheme}|{_BATCH_TAG}",
                 fn=_batch_cell_task,
-                args=(name, blocks, scheme, tuple(batch_configs)),
+                args=(name, blocks, scheme, tuple(batch_configs),
+                      workload_family),
                 kwargs={"spool_dir": spool, "capture_telemetry": True},
                 inline_kwargs={"capture_telemetry": False},
             )
@@ -699,7 +735,8 @@ def _run_apps_grid(
                 id=f"{name}|{config.name}",
                 fn=_cell_task,
                 args=(name, blocks, missing, config,
-                      None if engine == "inline" else engine),
+                      None if engine == "inline" else engine,
+                      workload_family),
                 kwargs={"spool_dir": spool, "capture_telemetry": True},
                 inline_kwargs={"capture_telemetry": False},
             )
@@ -744,7 +781,7 @@ def _run_apps_grid(
                 # Batched cell: tag is "<scheme>|batch" and the payload
                 # maps config names (not schemes) to stats.
                 scheme = tag[: -len(batch_suffix)]
-                ctx = app_context(name, blocks)
+                ctx = app_context(name, blocks, workload_family)
                 for config_name, stats in cell.items():
                     results[name][(scheme, config_name)] = stats
                     ctx._stats[(scheme, config_name)] = stats

@@ -51,6 +51,8 @@ from repro.registry import (
     PREFETCHERS,
     SCHEME_RECIPES,
     SIMULATORS,
+    WORKLOAD_FAMILIES,
+    all_registries,
     component_identity,
 )
 from repro.telemetry import span
@@ -81,6 +83,13 @@ class SweepSpec:
     #: (``None`` defers to ``REPRO_SIM_ENGINE`` / ``inline``); engines
     #: are bit-identical, so this changes wall time, never numbers
     engine: Optional[str] = None
+    #: workload family (scenario generator), by
+    #: :data:`~repro.registry.WORKLOAD_FAMILIES` name (``None`` means
+    #: the ``default`` catalog generator).  Unlike ``engine``, the
+    #: family *changes the numbers*, so its versioned identity folds
+    #: into the stats cache keys and the manifest ``config_hash``
+    #: whenever it is not ``default``.
+    workload_family: Optional[str] = None
 
     def to_dict(self) -> Dict[str, object]:
         """JSON-safe payload form — what ``repro.serve`` jobs and the
@@ -94,7 +103,7 @@ class SweepSpec:
         if self.prefetchers:
             record["prefetchers"] = list(self.prefetchers)
         for key in ("icache_policy", "branch_predictor", "walk_blocks",
-                    "jobs", "executor", "engine"):
+                    "jobs", "executor", "engine", "workload_family"):
             value = getattr(self, key)
             if value is not None:
                 record[key] = value
@@ -147,6 +156,8 @@ class SweepSpec:
             EXECUTORS.identity(self.executor)
         if self.engine is not None:
             SIMULATORS.identity(self.engine)
+        if self.workload_family is not None:
+            WORKLOAD_FAMILIES.identity(self.workload_family)
 
     def resolve_configs(self) -> Tuple[CpuConfig, ...]:
         """Materialize the named configs with the overrides applied."""
@@ -229,11 +240,12 @@ def run_sweep(spec: SweepSpec) -> SweepResult:
         grid = run_apps(
             spec.apps, spec.schemes, jobs=spec.jobs, configs=configs,
             walk_blocks=spec.walk_blocks, executor=spec.executor,
-            engine=spec.engine,
+            engine=spec.engine, workload_family=spec.workload_family,
         )
     blocks = spec.walk_blocks if spec.walk_blocks is not None \
         else DEFAULT_WALK_BLOCKS
     report = last_dispatch_report()
+    family = spec.workload_family or "default"
     engine_name = (spec.engine or os.environ.get(ENV_ENGINE, "")).strip() \
         or "inline"
     # Like the runner manifest: engine identity recorded, config_hash
@@ -252,11 +264,12 @@ def run_sweep(spec: SweepSpec) -> SweepResult:
         schemes=list(spec.schemes),
         configs=[config.name for config in configs],
         walk_blocks=blocks,
-        seeds={name: app_context(name, blocks).app_profile.seed
+        seeds={name: app_context(name, blocks, family).app_profile.seed
                for name in spec.apps},
         wall_s=time.perf_counter() - started,
         components={config.name: component_identity(config)
                     for config in configs},
+        workload_family=WORKLOAD_FAMILIES.identity(family),
         extra=extra,
     )
     return SweepResult(spec=spec, configs=configs, grid=grid)
@@ -269,19 +282,22 @@ def _csv(value: str) -> Tuple[str, ...]:
     return tuple(part.strip() for part in value.split(",") if part.strip())
 
 
+#: display titles for :func:`repro.registry.all_registries` keys whose
+#: snake_case form doesn't read well as-is.
+_SECTION_TITLES = {"icache_policies": "i-cache policies"}
+
+
 def list_components() -> str:
-    """Render every registry's contents (the ``--list`` output)."""
-    sections = (
-        ("hardware configs", HARDWARE_CONFIGS),
-        ("schemes", SCHEME_RECIPES),
-        ("branch predictors", BRANCH_PREDICTORS),
-        ("i-cache policies", ICACHE_POLICIES),
-        ("prefetchers", PREFETCHERS),
-        ("executors", EXECUTORS),
-        ("simulators", SIMULATORS),
-    )
+    """Render every registry's contents (the ``--list`` output).
+
+    Enumerates :func:`repro.registry.all_registries`, so a newly added
+    registry (like the workload families) appears here — and in the
+    serve ``/healthz`` payload, which reads the same source — without
+    touching this function.
+    """
     lines: List[str] = []
-    for title, registry in sections:
+    for key, registry in all_registries().items():
+        title = _SECTION_TITLES.get(key, key.replace("_", " "))
         identities = ", ".join(registry.identity(name)
                                for name in registry.names())
         lines.append(f"{title}: {identities}")
@@ -325,6 +341,12 @@ def build_parser() -> argparse.ArgumentParser:
                         help="simulation engine: inline or batch "
                              "(default REPRO_SIM_ENGINE or inline; "
                              "bit-identical results either way)")
+    parser.add_argument("--workload-family", default=None, metavar="NAME",
+                        help="workload family (scenario generator): "
+                             "default, phased, bursty, zipfian-footprint, "
+                             "netbound, vecmobile, or trace-replay "
+                             "(changes the numbers; folded into cache "
+                             "keys and config_hash when not default)")
     parser.add_argument("--cache-backend", default=None, metavar="SPEC",
                         help="artifact-cache backend spec: local, "
                              "local:/root, remote:HOST:PORT, or "
@@ -373,6 +395,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         jobs=args.jobs,
         executor=args.executor,
         engine=args.engine,
+        workload_family=args.workload_family,
     )
     try:
         if args.progress:

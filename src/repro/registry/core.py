@@ -139,6 +139,18 @@ class Registry:
         matches = difflib.get_close_matches(
             name, list(self._entries), n=3, cutoff=0.6,
         )
+        if not matches:
+            # Compound names ("zipfian-footprint") dilute whole-string
+            # similarity below the cutoff for typos of their head word
+            # ("zipfain"); retry against each name's leading token.
+            heads = {}
+            for known in self._entries:
+                heads.setdefault(known.split("-", 1)[0], known)
+            matches = [
+                heads[token] for token in difflib.get_close_matches(
+                    name, list(heads), n=3, cutoff=0.6,
+                )
+            ]
         hint = ""
         if matches:
             quoted = " or ".join(repr(m) for m in matches)

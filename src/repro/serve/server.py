@@ -58,7 +58,11 @@ from repro.experiments.runner import (
     app_context,
 )
 from repro.experiments.sweep import SweepSpec
-from repro.registry import component_identity
+from repro.registry import (
+    WORKLOAD_FAMILIES,
+    all_registries,
+    component_identity,
+)
 from repro.workloads import get_profile
 from repro.serve.protocol import (
     PROTOCOL_VERSION,
@@ -230,6 +234,14 @@ class ServeServer:
             "cells": dict(self._cells),
             "cache": {"hits": cache.hits, "misses": cache.misses,
                       "backend": cache.backend_spec()},
+            # Every component registry, by versioned identity — clients
+            # discover what this server can sweep (including the
+            # workload families) without a round trip per kind.
+            "registries": {
+                kind: [registry.identity(name)
+                       for name in registry.names()]
+                for kind, registry in all_registries().items()
+            },
         }
         if self.fleet is not None:
             host, port = self.fleet.broker.address
@@ -403,6 +415,7 @@ class ServeServer:
         engine = (spec.engine or "").strip() or None
         if engine == "inline":
             engine = None
+        family = spec.workload_family or "default"
         # Probe the warm path first: memo + disk cache, no fleet.
         todo: List[Tuple[str, CpuConfig, Tuple[str, ...],
                          Dict[str, str]]] = []
@@ -411,7 +424,7 @@ class ServeServer:
 
         def _probe() -> None:
             for name in spec.apps:
-                ctx = app_context(name, job.blocks)
+                ctx = app_context(name, job.blocks, family)
                 for config in job.configs:
                     missing = []
                     keys: Dict[str, str] = {}
@@ -477,7 +490,8 @@ class ServeServer:
             TaskSpec(
                 id=f"{job.id}|{name}|{config.name}",
                 fn=_cell_task,
-                args=(name, job.blocks, missing, config, engine),
+                args=(name, job.blocks, missing, config, engine,
+                      family),
                 kwargs={"spool_dir": spool, "capture_telemetry": True},
                 inline_kwargs={"capture_telemetry": False},
             )
@@ -530,7 +544,7 @@ class ServeServer:
                         telemetry.merge_snapshot(snap)
                     wall = sum(a.wall_s for a in result.attempts
                                if a.outcome == "ok")
-                    ctx = app_context(app, job.blocks)
+                    ctx = app_context(app, job.blocks, family)
                     for scheme, stats in cell.items():
                         ctx._stats[(scheme, tag)] = stats
                         per_scheme = wall / max(1, len(cell))
@@ -625,17 +639,19 @@ class ServeServer:
         try:
             from repro.telemetry.manifest import record_run
 
+            family = job.spec.workload_family or "default"
             record_run(
                 "serve",
                 apps=list(job.spec.apps),
                 schemes=list(job.spec.schemes),
                 configs=[c.name for c in job.configs],
                 walk_blocks=job.blocks,
-                seeds={name: app_context(name, job.blocks)
+                seeds={name: app_context(name, job.blocks, family)
                        .app_profile.seed for name in job.spec.apps},
                 wall_s=wall,
                 components={c.name: component_identity(c)
                             for c in job.configs},
+                workload_family=WORKLOAD_FAMILIES.identity(family),
                 extra={"serve": {
                     "job": job.id, "front": job.front,
                     "executor": self.executor,

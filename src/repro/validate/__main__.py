@@ -68,6 +68,12 @@ def main(argv=None) -> int:
                              "metamorphic (same grid under the inline "
                              "and batch simulation engines must agree "
                              "bitwise, including manifest config_hash)")
+    parser.add_argument("--families", action="store_true",
+                        help="end the fuzz campaign with the workload-"
+                             "family metamorphic (every registered "
+                             "family: determinism, PerfectBr/4xI$ "
+                             "dominance, trace-replay round trip, "
+                             "differential oracle)")
     parser.add_argument("--report", default="validate-report.json",
                         help="violation report path (written on failure)")
     args = parser.parse_args(argv)
@@ -100,6 +106,7 @@ def main(argv=None) -> int:
             differential=not args.no_differential,
             dispatch=args.dispatch,
             engines=args.engine,
+            families=args.families,
             progress=lambda line: print(line, flush=True),
         )
         checked += result.properties_checked

@@ -35,6 +35,7 @@ from repro.isa.opcodes import Opcode
 from repro.trace.dynamic import Trace
 from repro.trace.materialize import (
     HashedPattern,
+    MemoryModel,
     StridedPattern,
     TableMemoryModel,
     materialize,
@@ -93,29 +94,45 @@ class Workload:
     profile: WorkloadProfile
     program: Program
     walk: List[int]
-    memory: TableMemoryModel
+    memory: MemoryModel
     functions: List[FunctionInfo]
-    _trace: Optional[Trace] = None
+    #: per-program trace memo: ``id(program) -> (program, trace)``.  The
+    #: program reference is held alongside the trace so a dead program's
+    #: ``id`` can never be recycled onto a stale entry.
+    _trace_memo: Dict[int, Tuple[Program, Trace]] = field(
+        default_factory=dict)
 
     @property
     def name(self) -> str:
         return self.profile.name
 
+    def _materialized(self, program: Program, name: str) -> Trace:
+        hit = self._trace_memo.get(id(program))
+        if hit is not None and hit[0] is program:
+            return hit[1]
+        trace = materialize(program, self.walk, self.memory, name=name)
+        self._trace_memo[id(program)] = (program, trace)
+        return trace
+
     def trace(self) -> Trace:
-        """Materialize (and cache) the dynamic trace of this workload."""
-        if self._trace is None:
-            self._trace = materialize(
-                self.program, self.walk, self.memory,
-                name=self.profile.name,
-            )
-        return self._trace
+        """Materialize (and memoize) the dynamic trace of this workload."""
+        return self._materialized(self.program, self.profile.name)
 
     def trace_for(self, program: Program) -> Trace:
-        """Materialize the same walk over a *transformed* program."""
-        return materialize(
-            program, self.walk, self.memory,
-            name=f"{self.profile.name}:transformed",
-        )
+        """Materialize the same walk over a *transformed* program.
+
+        Memoized per program object — a mutated program *copy* can never
+        be served the original program's cached trace."""
+        if program is self.program:
+            return self.trace()
+        return self._materialized(
+            program, f"{self.profile.name}:transformed")
+
+    def adopt_trace(self, trace: Trace) -> None:
+        """Seed the memo with an externally recorded/loaded trace for the
+        current program (no-op if a trace is already memoized)."""
+        if id(self.program) not in self._trace_memo:
+            self._trace_memo[id(self.program)] = (self.program, trace)
 
 
 class _Builder:
@@ -580,6 +597,18 @@ class _Builder:
         for fn_index in range(prof.num_functions):
             callee_pool = list(range(fn_index + 1, prof.num_functions))
             self.build_function(fn_index, callee_pool)
+        return self.finish()
+
+    def finish(self) -> Tuple[Program, List[FunctionInfo]]:
+        """Patch BL targets and assemble the :class:`Program`.
+
+        Split out of :meth:`build` so workload *families*
+        (:mod:`repro.workloads.patterns`) can drive
+        :meth:`build_function` per function — swapping regime profiles
+        between calls — and still get the same call-patching and
+        program-assembly semantics.  Functions must have been built in
+        increasing ``fn_index`` order (``self.functions[i].index == i``).
+        """
         # Patch BL targets from callee function index to entry block id.
         for info in self.functions:
             block_ids = info.body_blocks
@@ -591,7 +620,7 @@ class _Builder:
                     opcode=Opcode.BL, dests=(14,), target=entry,
                     uid=patched.uid,
                 )
-        program = Program(self.blocks, name=prof.name)
+        program = Program(self.blocks, name=self.profile.name)
         return program, self.functions
 
 

@@ -1,0 +1,537 @@
+"""Workload pattern library: the eighth registry of scenario generators.
+
+The Table II catalog generator (:mod:`repro.workloads.generator`)
+synthesizes one parameterized *family* of instruction streams.  This
+module multiplies that into a library of structurally distinct scenario
+shapes, registered as :data:`repro.registry.WORKLOAD_FAMILIES` behind
+the narrow :class:`repro.registry.protocols.WorkloadFamily` protocol:
+
+``default``
+    The catalog generator itself, unchanged — same program, walk, and
+    trace bytes as a direct :func:`~repro.workloads.generator.generate`
+    call, so default-family cache keys stay byte-identical.
+``phased``
+    Phase-structured streams: the walk cycles through hot-loop, UI, and
+    IO *regimes*, each a pool of functions built under regime-specific
+    knobs (mobile apps alternate render loops, event handling, and I/O —
+    Zhao et al.'s app-phase profiles).
+``bursty``
+    Burst/idle alternation following the cxl-fabric-sim
+    ``BurstyWorkload`` shape: dense compute bursts separated by idle
+    polling over long-stall loads.
+``zipfian-footprint``
+    Zipfian block-popularity code footprint: top-level function choice
+    follows a Zipf distribution over *all* functions, so a few functions
+    stay hot while a long tail churns the i-cache.
+``netbound``
+    Network-latency-bound profiles: most of the walk sits in small wait
+    loops whose chain loads walk a DRAM-sized region (long-stall
+    memory), with occasional compute bursts.
+``vecmobile``
+    Vectorizable mobile-kernel bodies (Khadem et al.): few functions,
+    large straight-line FP-heavy blocks, fully strided streaming loads,
+    long regular loops, almost no hard branches.
+``trace-replay``
+    Re-materializes a :class:`~repro.workloads.generator.Workload` from
+    a recorded trace artifact in the content-addressed cache, making
+    cached real traces first-class scenarios (record any family's trace
+    via :func:`record_replay_source`, then sweep it like an app).
+
+Every family draws all randomness from the profile's seed (build is
+bit-deterministic) and composes with the existing ``_Builder`` /
+``_WalkBuilder`` machinery, so the generator's register conventions —
+and with them the chain-detection guarantees — hold for every family.
+Family identity (``name@version``) folds into stats cache keys and run
+manifests exactly like the other registries whenever the family is not
+``default``.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import Opcode
+from repro.registry import WORKLOAD_FAMILIES
+from repro.trace.dynamic import Trace, TraceEntry
+from repro.trace.program import BasicBlock, Program
+from repro.workloads.generator import (
+    FunctionInfo,
+    Workload,
+    _Builder,
+    _WalkBuilder,
+    generate,
+)
+from repro.workloads.profiles import WorkloadProfile
+
+#: Walk-RNG salt (the catalog generator uses ``seed ^ 0x5A5A5A``; each
+#: family salts differently so its walk is independent of the default's).
+_FAMILY_WALK_SALT = 0x7A17E4
+
+
+def build_workload(family: str, profile: WorkloadProfile) -> Workload:
+    """Build ``profile``'s workload under the named family.
+
+    Unknown names raise the registry's did-you-mean ``RegistryError``
+    (``--workload-family zipfain`` suggests ``zipfian-footprint``).
+    """
+    return WORKLOAD_FAMILIES.create(family).build(profile)
+
+
+# -- pooled regime machinery ---------------------------------------------------
+
+
+def _pooled_program(
+    profile: WorkloadProfile,
+    regimes: Sequence[Tuple[str, int, WorkloadProfile]],
+) -> Tuple[Program, List[FunctionInfo], object, Dict[str, List[int]]]:
+    """Build one program whose functions split across *regime pools*.
+
+    ``regimes`` is ``(name, weight, regime_profile)`` triples; the
+    profile's functions are partitioned across pools proportionally to
+    weight (every pool gets at least one function) and each pool's
+    functions are emitted under its regime profile.  Calls stay inside
+    the pool, so a walk segment spent in one pool is a phase boundary in
+    the dynamic stream too.  Functions are built in increasing index
+    order — the invariant :meth:`_Builder.finish` relies on.
+    """
+    builder = _Builder(profile)
+    total_weight = sum(weight for _, weight, _ in regimes)
+    n = max(profile.num_functions, len(regimes))
+    pools: Dict[str, List[int]] = {}
+    cursor = 0
+    for pos, (name, weight, _) in enumerate(regimes):
+        if pos == len(regimes) - 1:
+            count = n - cursor
+        else:
+            count = max(1, round(n * weight / total_weight))
+            count = min(count, n - cursor - (len(regimes) - 1 - pos))
+        pools[name] = list(range(cursor, cursor + count))
+        cursor += count
+    for name, _, regime_profile in regimes:
+        builder.profile = regime_profile
+        for fn_index in pools[name]:
+            callee_pool = [j for j in pools[name] if j > fn_index]
+            builder.build_function(fn_index, callee_pool)
+    builder.profile = profile
+    program, functions = builder.finish()
+    return program, functions, builder.memory, pools
+
+
+def _pooled_walk(
+    profile: WorkloadProfile,
+    functions: List[FunctionInfo],
+    pools: Dict[str, List[int]],
+    schedule: Sequence[Tuple[str, int]],
+) -> List[int]:
+    """A walk alternating pool segments per ``schedule`` (cyclically).
+
+    Each ``(pool, segment_blocks)`` entry runs top-level functions from
+    that pool until the segment's block budget is spent; the schedule
+    repeats until the profile's total walk budget is reached.
+    """
+    rng = random.Random(profile.seed ^ _FAMILY_WALK_SALT)
+    walker = _WalkBuilder(profile, functions, rng)
+    budget = profile.walk_blocks
+    index = 0
+    while len(walker.walk) < budget:
+        pool_name, segment = schedule[index % len(schedule)]
+        index += 1
+        target = min(budget, len(walker.walk) + max(1, segment))
+        pool = pools[pool_name]
+        while len(walker.walk) < target:
+            walker.visit(rng.choice(pool), 0, target)
+    return walker.walk
+
+
+# -- families ------------------------------------------------------------------
+
+
+@WORKLOAD_FAMILIES.register("default", version=1)
+class DefaultFamily:
+    """The Table II catalog generator as a family (identity scenario)."""
+
+    def build(self, profile: WorkloadProfile) -> Workload:
+        return generate(profile)
+
+
+@WORKLOAD_FAMILIES.register("phased", version=1)
+class PhasedFamily:
+    """Hot-loop / UI / IO regimes cycled through phase segments."""
+
+    def build(self, profile: WorkloadProfile) -> Workload:
+        hot = replace(
+            profile,
+            blocks_per_function=(2, 3),
+            block_instructions=(36, 64),
+            chain_motif_prob=min(1.0, profile.chain_motif_prob + 0.15),
+            call_frac=0.05, skip_branch_frac=0.05,
+            load_frac=0.10, big_region_load_frac=0.01,
+            loop_iterations=(8, 16),
+        )
+        io = replace(
+            profile,
+            block_instructions=(14, 26),
+            chain_motif_prob=0.25,
+            load_frac=0.30, store_frac=0.12,
+            big_region_load_frac=0.30, strided_frac=0.2,
+            call_frac=0.20,
+        )
+        program, functions, memory, pools = _pooled_program(
+            profile,
+            [("hot", 2, hot), ("ui", 5, profile), ("io", 3, io)],
+        )
+        period = max(30, profile.walk_blocks // 6)
+        schedule = [
+            ("hot", (period * 2) // 5),
+            ("ui", (period * 2) // 5),
+            ("io", max(1, period // 5)),
+        ]
+        walk = _pooled_walk(profile, functions, pools, schedule)
+        return Workload(profile=profile, program=program, walk=walk,
+                        memory=memory, functions=functions)
+
+
+@WORKLOAD_FAMILIES.register("bursty", version=1)
+class BurstyFamily:
+    """Dense compute bursts separated by idle long-stall polling.
+
+    The cxl-fabric-sim ``BurstyWorkload`` shape: a fixed burst size and
+    idle gap alternate for the whole walk; idle blocks are tiny polling
+    loops whose loads sit in the uncacheably large region (the stream is
+    latency-bound between bursts).
+    """
+
+    def build(self, profile: WorkloadProfile) -> Workload:
+        burst = replace(
+            profile,
+            loop_iterations=(4, 10),
+            call_frac=min(profile.call_frac, 0.15),
+        )
+        idle = replace(
+            profile,
+            blocks_per_function=(1, 2),
+            block_instructions=(6, 10),
+            chain_motif_prob=0.0, indep_critical_prob=0.0,
+            load_frac=0.45, store_frac=0.02,
+            big_region_load_frac=0.9, strided_frac=0.0,
+            call_frac=0.0, skip_branch_frac=0.0,
+            loop_iterations=(6, 12),
+        )
+        program, functions, memory, pools = _pooled_program(
+            profile, [("burst", 4, burst), ("idle", 1, idle)],
+        )
+        burst_blocks = max(20, profile.walk_blocks // 10)
+        idle_blocks = max(8, burst_blocks // 2)
+        schedule = [("burst", burst_blocks), ("idle", idle_blocks)]
+        walk = _pooled_walk(profile, functions, pools, schedule)
+        return Workload(profile=profile, program=program, walk=walk,
+                        memory=memory, functions=functions)
+
+
+@WORKLOAD_FAMILIES.register("zipfian-footprint", version=1)
+class ZipfianFootprintFamily:
+    """Zipfian block-popularity code footprint stressing the i-cache.
+
+    The program is the catalog build; the *walk* picks top-level
+    functions with Zipf weights ``1/(rank+1)^alpha`` over all functions
+    (the catalog walk only rotates the first quarter uniformly), so a
+    handful of functions dominate while the long tail keeps evicting
+    them — the replacement-policy stress the paper's Fig 3c footprints
+    imply.
+    """
+
+    alpha = 1.1
+
+    def build(self, profile: WorkloadProfile) -> Workload:
+        prof = replace(
+            profile,
+            loop_iterations=(1, 3),
+            call_frac=min(profile.call_frac, 0.25),
+        )
+        builder = _Builder(prof)
+        program, functions = builder.build()
+        rng = random.Random(prof.seed ^ _FAMILY_WALK_SALT)
+        walker = _WalkBuilder(prof, functions, rng)
+        n = prof.num_functions
+        weights = [1.0 / (rank + 1) ** self.alpha for rank in range(n)]
+        budget = prof.walk_blocks
+        while len(walker.walk) < budget:
+            fn = rng.choices(range(n), weights=weights)[0]
+            walker.visit(fn, 0, budget)
+        return Workload(profile=prof, program=program, walk=walker.walk,
+                        memory=builder.memory, functions=functions)
+
+
+@WORKLOAD_FAMILIES.register("netbound", version=1)
+class NetboundFamily:
+    """Latency-bound app profiles: long waits on DRAM-sized chases.
+
+    Most of the walk sits in a small-block *wait* regime whose chains
+    are nearly all pointer-chase loads over a region far beyond the L2
+    (each chain member is a long memory stall — the network-round-trip
+    analogue Zhao et al. measure in mobile apps), punctuated by short
+    compute segments in the base regime.
+    """
+
+    def build(self, profile: WorkloadProfile) -> Workload:
+        wait = replace(
+            profile,
+            blocks_per_function=(1, 2),
+            block_instructions=(8, 14),
+            chain_motif_prob=0.5,
+            chain_length=(3, 6), chain_spacing=(1, 2),
+            chain_load_head_frac=1.0, chain_load_frac=0.8,
+            chase_region_bytes=8 * 1024 * 1024,
+            load_frac=0.30, store_frac=0.02,
+            big_region_load_frac=0.8, strided_frac=0.0,
+            call_frac=0.0, skip_branch_frac=0.10,
+            loop_iterations=(10, 24),
+        )
+        program, functions, memory, pools = _pooled_program(
+            profile, [("app", 1, profile), ("wait", 2, wait)],
+        )
+        app_blocks = max(8, profile.walk_blocks // 20)
+        schedule = [("app", app_blocks), ("wait", app_blocks * 3)]
+        walk = _pooled_walk(profile, functions, pools, schedule)
+        return Workload(profile=profile, program=program, walk=walk,
+                        memory=memory, functions=functions)
+
+
+@WORKLOAD_FAMILIES.register("vecmobile", version=1)
+class VecMobileFamily:
+    """Vectorizable mobile-kernel bodies (profile transform only).
+
+    Few functions with large straight-line blocks, a realistic FP share,
+    fully strided streaming loads, long regular loops, and almost no
+    data-dependent branches — the loop nests Khadem et al. identify as
+    vector-processing candidates in mobile libraries.
+    """
+
+    def build(self, profile: WorkloadProfile) -> Workload:
+        prof = replace(
+            profile,
+            num_functions=min(profile.num_functions, 8),
+            blocks_per_function=(2, 3),
+            block_instructions=(48, 80),
+            chain_motif_prob=0.10, indep_critical_prob=0.10,
+            fp_frac=0.28, long_latency_frac=0.04,
+            load_frac=0.28, store_frac=0.12,
+            big_region_load_frac=0.35, strided_frac=1.0,
+            filler_predicated_frac=0.0, filler_wide_imm_frac=0.05,
+            call_frac=0.05, skip_branch_frac=0.04, hard_branch_frac=0.02,
+            loop_iterations=(16, 40),
+        )
+        return generate(prof)
+
+
+# -- trace replay --------------------------------------------------------------
+
+
+def replay_source_key(profile: WorkloadProfile) -> str:
+    """The cache key ``trace-replay`` reads its source recording from.
+
+    Deliberately the same key shape the runner stores baseline traces
+    under for the default family, so every trace a default-family sweep
+    has ever cached is immediately replayable.
+    """
+    from repro.cache import artifact_key
+
+    return artifact_key("trace", profile=profile, scheme="baseline")
+
+
+def record_replay_source(profile: WorkloadProfile, trace: Trace) -> None:
+    """Record ``trace`` as the replay source for ``profile``.
+
+    Tests and tools use this to make *any* family's trace (or a real
+    recorded one) the scenario ``trace-replay`` re-materializes.
+    """
+    from repro.cache import get_cache
+
+    get_cache().store_trace(replay_source_key(profile), trace)
+
+
+class ReplayMemoryModel:
+    """MemoryModel replaying recorded per-uid address streams.
+
+    Occurrence indices beyond the recording wrap around, so a replayed
+    workload can still materialize walks longer than the recording.
+    """
+
+    def __init__(self) -> None:
+        self._addrs: Dict[int, List[int]] = {}
+
+    def record(self, uid: int, addr: int) -> None:
+        self._addrs.setdefault(uid, []).append(addr)
+
+    def address_for(self, uid: int, occurrence: int) -> int:
+        seq = self._addrs.get(uid)
+        if not seq:
+            return 0x8000_0000
+        return seq[occurrence % len(seq)]
+
+    def pattern_for(self, uid: int) -> "_RecordedSpan":
+        """Alias-oracle surface (``region_oracle`` calls
+        ``pattern_for(uid).span()``): the recorded addresses bound the
+        footprint exactly, so replayed programs stay compilable under
+        every scheme recipe."""
+        seq = self._addrs.get(uid)
+        if not seq:
+            return _RecordedSpan(0x8000_0000, 0x8000_0000 + 4)
+        return _RecordedSpan(min(seq), max(seq) + 4)
+
+
+@dataclass(frozen=True)
+class _RecordedSpan:
+    """Minimal pattern stand-in: just the [lo, hi) footprint bound."""
+
+    lo: int
+    hi: int
+
+    def span(self) -> Tuple[int, int]:
+        return (self.lo, self.hi)
+
+
+def _replay_runs(trace: Trace) -> List[List[TraceEntry]]:
+    """Split the dynamic stream into reconstructed basic blocks.
+
+    Classic two-pass dynamic CFG discovery: pass one splits after every
+    branch and collects the *leaders* (uids that start a post-branch
+    run — branch targets and fall-throughs-after-branch); pass two also
+    splits *before* any leader, so an instruction reachable both by
+    branch and by fall-through starts its own block instead of being
+    duplicated into two superblocks (which would break program-level uid
+    uniqueness).
+    """
+    leaders = set()
+    at_start = True
+    for entry in trace:
+        if at_start:
+            leaders.add(entry.uid)
+        at_start = entry.instr.is_branch
+    runs: List[List[TraceEntry]] = []
+    current: List[TraceEntry] = []
+    for entry in trace:
+        if current and entry.uid in leaders:
+            runs.append(current)
+            current = []
+        current.append(entry)
+        if entry.instr.is_branch:
+            runs.append(current)
+            current = []
+    if current:
+        runs.append(current)
+    return runs
+
+
+def replay_workload(profile: WorkloadProfile, trace: Trace) -> Workload:
+    """Reconstruct a :class:`Workload` from a recorded dynamic trace.
+
+    The reconstructed program's blocks are the trace's dynamic basic
+    blocks (deduplicated by uid sequence), the walk is the recorded
+    block sequence, and the memory model replays the recorded per-uid
+    address streams — so ``workload.trace()`` is the recording itself
+    (bit-identical ``SimStats``) while ``trace_for`` still supports
+    compiler-transformed replays of the same walk.
+    """
+    runs = _replay_runs(trace)
+    blocks_by_key: Dict[Tuple[int, ...], int] = {}
+    block_instrs: List[List[Instruction]] = []
+    walk: List[int] = []
+    for pos, run in enumerate(runs):
+        key = tuple(entry.uid for entry in run)
+        block_id = blocks_by_key.get(key)
+        if block_id is None and pos == len(runs) - 1:
+            # A recording truncated mid-block: map the partial final run
+            # onto the full block it prefixes (materialize emits a short
+            # deterministic tail past the recorded end; the recorded
+            # trace itself is served verbatim via the memo).
+            for full_key, existing in blocks_by_key.items():
+                if full_key[: len(key)] == key:
+                    block_id = existing
+                    break
+        if block_id is None:
+            block_id = len(block_instrs)
+            blocks_by_key[key] = block_id
+            block_instrs.append([entry.instr for entry in run])
+        walk.append(block_id)
+
+    # Remap branch targets onto reconstructed block ids: a taken
+    # occurrence's successor block is the target's reconstruction.
+    taken_successor: Dict[int, int] = {}
+    for pos, run in enumerate(runs):
+        last = run[-1]
+        if last.instr.is_branch and last.taken and pos + 1 < len(runs):
+            taken_successor.setdefault(last.uid, walk[pos + 1])
+    pad_id = len(block_instrs)
+    needs_pad = False
+    blocks: List[BasicBlock] = []
+    for block_id, instrs in enumerate(block_instrs):
+        fixed = list(instrs)
+        last = fixed[-1] if fixed else None
+        if last is not None and last.is_branch and last.target is not None:
+            target = taken_successor.get(last.uid)
+            if target is None:
+                # Never taken in the recording: point at a pad block the
+                # walk never visits (materialize only needs the target
+                # to differ from every fall-through successor).
+                target = pad_id
+                needs_pad = True
+            fixed[-1] = replace(last, target=target)
+        blocks.append(BasicBlock(block_id, fixed))
+    if needs_pad:
+        blocks.append(BasicBlock(
+            pad_id, [Instruction(opcode=Opcode.MOV, dests=(8,), imm=0)],
+        ))
+
+    memory = ReplayMemoryModel()
+    for entry in trace:
+        if entry.mem_addr is not None:
+            memory.record(entry.uid, entry.mem_addr)
+
+    program = Program(blocks, name=f"{trace.name}:replay")
+    workload = Workload(
+        profile=profile, program=program, walk=walk,
+        memory=memory, functions=[],
+    )
+    workload.adopt_trace(trace)
+    return workload
+
+
+@WORKLOAD_FAMILIES.register("trace-replay", version=1)
+class TraceReplayFamily:
+    """Re-materialize a workload from a recorded trace artifact.
+
+    Reads the recording at :func:`replay_source_key`; when the cache has
+    none (or is disabled), the default family's trace is generated,
+    recorded, and replayed — so a cold ``trace-replay`` sweep is
+    self-priming and still deterministic per seed.
+    """
+
+    def build(self, profile: WorkloadProfile) -> Workload:
+        from repro.cache import get_cache
+
+        trace: Optional[Trace] = get_cache().load_trace(
+            replay_source_key(profile))
+        if trace is None:
+            trace = generate(profile).trace()
+            record_replay_source(profile, trace)
+        return replay_workload(profile, trace)
+
+
+__all__ = [
+    "BurstyFamily",
+    "DefaultFamily",
+    "NetboundFamily",
+    "PhasedFamily",
+    "ReplayMemoryModel",
+    "TraceReplayFamily",
+    "VecMobileFamily",
+    "ZipfianFootprintFamily",
+    "build_workload",
+    "record_replay_source",
+    "replay_source_key",
+    "replay_workload",
+]

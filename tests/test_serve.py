@@ -163,6 +163,25 @@ class TestWireFront:
             with pytest.raises(ServeError, match="unknown workload"):
                 list(client.sweep({"apps": ["NotAnApp"]}))
 
+    def test_sweep_with_workload_family(self, server):
+        spec = dict(SPEC, workload_family="bursty")
+        with ServeClient(server.wire) as client:
+            records = list(client.sweep(spec, job_id="fam-cold"))
+            warm = list(client.sweep(spec, job_id="fam-warm"))[-1]
+        served = {r["scheme"]: r["stats"] for r in records
+                  if r["type"] == "cell"}
+        ctx = app_context("Music", WALK, "bursty")
+        for scheme in ("baseline", "critic"):
+            assert served[scheme] == ctx.stats(scheme).to_dict()
+        assert warm["cached"] == warm["cells"] == 2
+
+    def test_unknown_family_rejected_with_suggestion(self, server):
+        with ServeClient(server.wire) as client:
+            with pytest.raises(ServeError, match="did you mean"):
+                list(client.sweep(dict(SPEC,
+                                       workload_family="zipfain")))
+            assert client.ping()
+
     def test_unknown_spec_field_rejected(self, server):
         with ServeClient(server.wire) as client:
             with pytest.raises(ServeError, match="walk_block"):
@@ -190,6 +209,17 @@ class TestHttpFront:
         health = json.loads(body)
         assert status == 200 and health["ok"]
         assert health["executor"] == "inline"
+
+    def test_healthz_enumerates_every_registry(self, server):
+        _status, body = self._get(server.http + "/healthz")
+        registries = json.loads(body)["registries"]
+        assert len(registries) == 8
+        assert "critic@1" in registries["schemes"]
+        assert "google-tablet@1" in registries["hardware_configs"]
+        families = registries["workload_families"]
+        assert "default@1" in families
+        assert "trace-replay@1" in families
+        assert "bursty@1" in families
 
     def test_metrics_exposition(self, server):
         with ServeClient(server.wire) as client:
@@ -414,6 +444,17 @@ class TestLoadgenPieces:
     def test_empty_apps_rejected(self):
         with pytest.raises(ValueError, match="apps"):
             SweepGridWorkload(spec={"apps": []})
+
+    def test_grid_workload_passes_family_through_every_shape(self):
+        workload = SweepGridWorkload(
+            spec={"apps": ["Music", "Email"],
+                  "workload_family": "phased"},
+            mix={"cell": 1, "app": 1, "full": 1})
+        stream = workload.reqs()
+        reqs = [next(stream) for _ in range(6)]
+        assert {r.shape for r in reqs} == {"cell", "app", "full"}
+        for req in reqs:
+            assert req.spec["workload_family"] == "phased"
 
 
 class TestLoadgenEndToEnd:
